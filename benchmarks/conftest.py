@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+``pytest benchmarks/ --benchmark-only`` runs every table/figure
+regeneration; each test prints its rows/series (use ``-s`` to see them
+live; they are also captured into the bench report).
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `import _helpers` from any benchmark module regardless of cwd.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,80 @@
+"""Microbenchmarks — codec throughput and message sizes.
+
+Classic pytest-benchmark timing (multiple rounds) for the quantizer
+kernels that sit on EC-Graph's critical path, plus a size table comparing
+every codec at a representative embedding-matrix shape. Not a paper
+table, but the numbers explain the codec_speedup substitution documented
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.compression.codec import Float16Codec, IdentityCodec, QuantizingCodec
+from repro.compression.onebit import OneBitCodec
+from repro.compression.quantization import BucketQuantizer, pack_bits, unpack_bits
+from repro.compression.topk import TopKCodec
+
+ROWS, DIM = 2048, 128
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((ROWS, DIM)).astype(np.float32)
+
+
+@pytest.mark.parametrize("bits", [2, 8])
+def test_quantizer_encode_throughput(benchmark, matrix, bits):
+    quantizer = BucketQuantizer(bits)
+    encoded = benchmark(quantizer.encode, matrix)
+    assert encoded.payload_bytes() < matrix.nbytes
+
+
+@pytest.mark.parametrize("bits", [2, 8])
+def test_quantizer_decode_throughput(benchmark, matrix, bits):
+    quantizer = BucketQuantizer(bits)
+    encoded = quantizer.encode(matrix)
+    decoded = benchmark(encoded.decode)
+    assert decoded.shape == matrix.shape
+
+
+def test_pack_unpack_roundtrip_throughput(benchmark, matrix):
+    rng = np.random.default_rng(1)
+    ids = rng.integers(0, 16, size=ROWS * DIM, dtype=np.uint32)
+
+    def roundtrip():
+        return unpack_bits(pack_bits(ids, 4), 4, ids.size)
+
+    out = benchmark(roundtrip)
+    np.testing.assert_array_equal(out, ids)
+
+
+def test_codec_size_table(benchmark, matrix):
+    codecs = [
+        IdentityCodec(),
+        Float16Codec(),
+        QuantizingCodec(bits=8),
+        QuantizingCodec(bits=2),
+        OneBitCodec(),
+        TopKCodec(k=16),
+    ]
+
+    def encode_all():
+        return {codec.name: codec.encode(matrix) for codec in codecs}
+
+    encoded = benchmark(encode_all)
+    rows = []
+    for name, enc in encoded.items():
+        ratio = matrix.nbytes / enc.payload_bytes
+        rows.append([name, enc.payload_bytes, f"{ratio:.1f}x"])
+    print()
+    print(format_table(
+        ["codec", "bytes", "ratio"],
+        rows,
+        title=f"Codec sizes for a {ROWS}x{DIM} float32 embedding matrix",
+    ))
+    assert encoded["quant2"].payload_bytes < encoded["quant8"].payload_bytes

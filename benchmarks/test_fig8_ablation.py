@@ -1,0 +1,122 @@
+"""Fig. 8 — ablation study: convergence-time speedup + accuracy.
+
+Configurations, as in the paper's Fig. 8:
+
+* ``Non-cp``      — raw messages both directions,
+* ``Cp-fp``       — forward compression only (no compensation),
+* ``Cp-bp``       — backward compression only (no compensation),
+* ``ReqEC``       — ReqEC-FP forward (fixed bits),
+* ``ResEC``       — ResEC-BP backward,
+* ``ReqEC-adapt`` — ReqEC-FP with the adaptive Bit-Tuner,
+* ``EC-Graph``    — full pipeline (ReqEC-adapt + ResEC).
+
+Bars = speedup of convergence time over Non-cp (higher is better);
+the accuracy column plays the paper's overlaid line. The paper's
+headline shape: compression *without* compensation can be slower than no
+compression at all (it needs many more epochs), while the compensated
+configurations win.
+"""
+
+from __future__ import annotations
+
+from _helpers import HIDDEN, LAYERS, bench_graph, dataset_header, run_once
+
+from repro.analysis.convergence import convergence_target, summarize
+from repro.analysis.reporting import format_table
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.trainer import ECGraphTrainer
+
+DATASETS = ("cora", "reddit", "ogbn-products")
+EPOCHS = 70
+WORKERS = 6
+
+# Per-dataset bits for Cp-fp / Cp-bp / ReqEC / ResEC, following the
+# paper's section V-C convention of picking widths that can still reach
+# near-optimal accuracy.
+BIT_SETTINGS = {
+    "cora": (2, 4, 1, 2),
+    "pubmed": (4, 4, 2, 2),
+    "reddit": (8, 8, 2, 4),
+    "ogbn-products": (8, 8, 2, 2),
+    "ogbn-papers": (8, 8, 4, 4),
+}
+
+
+def _configs(dataset):
+    cp_fp, cp_bp, reqec, resec = BIT_SETTINGS[dataset]
+    return [
+        ("Non-cp", ECGraphConfig(fp_mode="raw", bp_mode="raw")),
+        ("Cp-fp", ECGraphConfig(fp_mode="compress", bp_mode="raw",
+                                fp_bits=cp_fp, adaptive_bits=False)),
+        ("Cp-bp", ECGraphConfig(fp_mode="raw", bp_mode="compress",
+                                bp_bits=cp_bp)),
+        ("ReqEC", ECGraphConfig(fp_mode="reqec", bp_mode="raw",
+                                fp_bits=reqec, adaptive_bits=False)),
+        ("ResEC", ECGraphConfig(fp_mode="raw", bp_mode="resec",
+                                bp_bits=resec)),
+        ("ReqEC-adapt", ECGraphConfig(fp_mode="reqec", bp_mode="raw",
+                                      fp_bits=reqec, adaptive_bits=True)),
+        ("EC-Graph", ECGraphConfig(fp_mode="reqec", bp_mode="resec",
+                                   fp_bits=reqec, bp_bits=resec,
+                                   adaptive_bits=True)),
+    ]
+
+
+def _experiment():
+    results = {}
+    for dataset in DATASETS:
+        graph = bench_graph(dataset)
+        runs = []
+        for name, config in _configs(dataset):
+            trainer = ECGraphTrainer(
+                graph,
+                ModelConfig(num_layers=LAYERS[dataset],
+                            hidden_dim=HIDDEN[dataset]),
+                ClusterSpec(num_workers=WORKERS),
+                config,
+            )
+            runs.append(trainer.train(EPOCHS, name=name))
+        results[dataset] = runs
+    return results
+
+
+def test_fig8_ablation(benchmark):
+    results = run_once(benchmark, _experiment)
+    print()
+    for dataset, runs in results.items():
+        target = convergence_target(runs, slack=0.98)
+        summaries = {run.name: summarize(run, target) for run in runs}
+        base = summaries["Non-cp"].seconds_to_target
+        rows = []
+        for run in runs:
+            summary = summaries[run.name]
+            if base is not None and summary.seconds_to_target:
+                speedup = f"{base / summary.seconds_to_target:.2f}x"
+            else:
+                speedup = "-"
+            rows.append([
+                run.name,
+                speedup,
+                summary.best_test_accuracy,
+                f"{summary.avg_epoch_seconds * 1e3:.2f}ms",
+                summary.epochs_to_target or "-",
+            ])
+        print(f"--- Fig. 8: {dataset} (target acc {target:.3f}) ---")
+        print(dataset_header(dataset))
+        print(format_table(
+            ["config", "speedup vs Non-cp", "best acc", "epoch time",
+             "epochs to target"],
+            rows,
+        ))
+        print()
+
+    # Shape: the full EC-Graph pipeline reaches the target and keeps
+    # near-baseline accuracy on every dataset.
+    for dataset, runs in results.items():
+        summaries = {r.name: summarize(r, convergence_target(runs))
+                     for r in runs}
+        assert summaries["EC-Graph"].seconds_to_target is not None
+        assert summaries["EC-Graph"].best_test_accuracy >= (
+            summaries["Non-cp"].best_test_accuracy - 0.05
+        )

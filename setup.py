@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline where the
+PEP 660 editable path is unavailable (no ``wheel`` package)."""
+
+from setuptools import setup
+
+setup()

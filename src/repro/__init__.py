@@ -1,0 +1,33 @@
+"""EC-Graph reproduction: distributed GNN training with error-compensated
+message compression (Song et al., ICDE 2022).
+
+Public API highlights:
+
+* :func:`repro.api.train_ecgraph` — one-call training of a GCN on a
+  simulated CPU cluster with the paper's full EC-Graph pipeline.
+* :class:`repro.core.ECGraphTrainer` — the distributed trainer with all
+  exchange policies (raw, compressed, ReqEC-FP, ResEC-BP, delayed).
+* :mod:`repro.graph` — graph storage, synthetic datasets matched to the
+  paper's Table III, partitioning in :mod:`repro.partition`.
+* :mod:`repro.baselines` — DGL/PyG-style standalone, DistGNN, DistDGL,
+  AGL and AliGraph-FG reimplementations on the same substrate.
+"""
+
+from repro.api import train_ecgraph
+from repro.cluster import ClusterSpec, NetworkModel
+from repro.core import ConvergenceRun, ECGraphConfig, ECGraphTrainer, ModelConfig
+from repro.graph import load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "train_ecgraph",
+    "ClusterSpec",
+    "NetworkModel",
+    "ConvergenceRun",
+    "ECGraphConfig",
+    "ECGraphTrainer",
+    "ModelConfig",
+    "load_dataset",
+    "__version__",
+]

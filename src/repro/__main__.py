@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets`` — list the paper-matched datasets and their statistics;
+* ``train``    — train one system on one dataset and print the run;
+* ``compare``  — train several systems on one dataset side by side;
+* ``partition`` — partition a dataset and print quality statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.convergence import convergence_target, summarize
+from repro.analysis.reporting import format_table
+from repro.baselines import run_system, system_names
+from repro.graph.datasets import PAPER_STATS, dataset_names, load_dataset
+from repro.partition import make_partitioner, partition_stats
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        stats = PAPER_STATS[name]
+        graph = load_dataset(name, profile=args.profile)
+        rows.append([
+            name,
+            f"{stats.num_vertices:,}",
+            f"{graph.num_vertices:,}",
+            f"{stats.avg_degree:.1f}",
+            f"{graph.adjacency.average_degree:.1f}",
+            stats.num_classes,
+            graph.num_classes,
+        ])
+    print(format_table(
+        ["dataset", "paper |V|", "sim |V|", "paper deg", "sim deg",
+         "paper classes", "sim classes"],
+        rows,
+        title=f"Datasets (profile={args.profile})",
+    ))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(graph.summary())
+    run = run_system(
+        args.system, graph,
+        num_layers=args.layers, hidden_dim=args.hidden,
+        num_workers=args.workers, num_epochs=args.epochs,
+        patience=args.patience,
+    )
+    print(format_table(
+        ["epochs", "best acc", "final acc", "epoch time", "traffic"],
+        [[
+            run.num_epochs,
+            run.best_test_accuracy(),
+            run.final_test_accuracy
+            if run.final_test_accuracy is not None else "-",
+            f"{run.avg_epoch_seconds() * 1e3:.2f}ms",
+            f"{run.total_bytes() / 1e6:.1f}MB",
+        ]],
+        title=f"{args.system} on {graph.name}",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(graph.summary())
+    runs = []
+    for system in args.systems:
+        print(f"training {system} ...", file=sys.stderr)
+        runs.append(run_system(
+            system, graph,
+            num_layers=args.layers, hidden_dim=args.hidden,
+            num_workers=args.workers, num_epochs=args.epochs,
+        ))
+    target = convergence_target(runs, slack=0.97)
+    rows = []
+    for run in runs:
+        summary = summarize(run, target)
+        rows.append([
+            run.name,
+            f"{summary.avg_epoch_seconds * 1e3:.2f}ms",
+            summary.best_test_accuracy,
+            f"{summary.total_bytes / 1e6:.1f}MB",
+            summary.epochs_to_target or "-",
+        ])
+    print(format_table(
+        ["system", "epoch time", "best acc", "traffic",
+         f"epochs to {target:.3f}"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(graph.summary())
+    rows = []
+    for method in args.methods:
+        partitioner = make_partitioner(method, seed=args.seed)
+        partition = partitioner.partition(graph.adjacency, args.workers)
+        stats = partition_stats(graph.adjacency, partition)
+        rows.append([
+            method,
+            f"{partition.seconds * 1e3:.1f}ms",
+            f"{stats.edge_cut_ratio:.3f}",
+            f"{stats.balance:.2f}",
+            f"{stats.avg_remote_neighbors:.2f}",
+        ])
+    print(format_table(
+        ["method", "time", "edge-cut", "balance", "g_rmt"],
+        rows,
+        title=f"{args.workers}-way partitions of {graph.name}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EC-Graph reproduction: distributed GNN training "
+                    "with error-compensated compression",
+    )
+    parser.add_argument("--profile", default="bench",
+                        choices=["tiny", "bench", "full"],
+                        help="dataset size profile")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list datasets").set_defaults(
+        func=_cmd_datasets
+    )
+
+    train = sub.add_parser("train", help="train one system")
+    train.add_argument("--system", default="ecgraph", choices=system_names())
+    train.add_argument("--dataset", default="cora", choices=dataset_names())
+    train.add_argument("--workers", type=int, default=6)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--hidden", type=int, default=16)
+    train.add_argument("--epochs", type=int, default=100)
+    train.add_argument("--patience", type=int, default=None)
+    train.set_defaults(func=_cmd_train)
+
+    compare = sub.add_parser("compare", help="train several systems")
+    compare.add_argument("--systems", nargs="+",
+                         default=["ecgraph", "noncp", "distgnn"],
+                         choices=system_names())
+    compare.add_argument("--dataset", default="reddit",
+                         choices=dataset_names())
+    compare.add_argument("--workers", type=int, default=6)
+    compare.add_argument("--layers", type=int, default=2)
+    compare.add_argument("--hidden", type=int, default=16)
+    compare.add_argument("--epochs", type=int, default=60)
+    compare.set_defaults(func=_cmd_compare)
+
+    part = sub.add_parser("partition", help="partition quality statistics")
+    part.add_argument("--dataset", default="reddit", choices=dataset_names())
+    part.add_argument("--workers", type=int, default=6)
+    part.add_argument("--methods", nargs="+",
+                      default=["hash", "bfs", "metis"],
+                      choices=["hash", "bfs", "metis", "spectral"])
+    part.set_defaults(func=_cmd_partition)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

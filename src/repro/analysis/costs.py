@@ -1,0 +1,100 @@
+"""The paper's Table II cost model, plus empirical validation hooks.
+
+Table II compares the ML-centered architecture against EC-Graph on three
+axes for one target vertex:
+
+=================  =========================  ================================
+quantity           ML-centered                EC-Graph
+=================  =========================  ================================
+memory             ``O(g^L * d)``             ``O(g * d)``
+computation        ``O(g^(L-1) * d^2)``       ``O(L * d^2)``
+communication      ``O(g^L * d0)`` (once)     ``O(T L g_rmt d / (32 / B))``
+=================  =========================  ================================
+
+The functions below evaluate the formulas with concrete parameters so the
+Table II benchmark can print model-vs-measured columns (measured numbers
+come from the trainers' traffic meters and cached-subgraph sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostParameters", "ml_centered_costs", "ecgraph_costs",
+           "CostEstimate"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Symbols of Table II.
+
+    Attributes:
+        avg_degree: ``g`` — mean vertex degree.
+        avg_dim: ``d`` — representative embedding width.
+        input_dim: ``d0`` — raw feature width.
+        num_layers: ``L``.
+        num_iterations: ``T``.
+        avg_remote_neighbors: ``g_rmt`` — mean distinct remote 1-hop
+            neighbours per vertex under the chosen partition.
+        bits: ``B`` — quantization width (32 means no compression).
+    """
+
+    avg_degree: float
+    avg_dim: float
+    input_dim: float
+    num_layers: int
+    num_iterations: int
+    avg_remote_neighbors: float
+    bits: int = 32
+
+    def __post_init__(self):
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if not 1 <= self.bits <= 32:
+            raise ValueError("bits must be in [1, 32]")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Per-target-vertex cost estimates (floats in abstract units)."""
+
+    memory: float
+    computation: float
+    communication: float
+
+
+def ml_centered_costs(p: CostParameters) -> CostEstimate:
+    """Table II, ML-centered column.
+
+    Memory caches the L-hop neighbourhood's features (``g^L d``);
+    computation runs the GNN over the cached tree (``g^(L-1) d^2``);
+    communication pulls the L-hop information once (``g^L d0``).
+    """
+    g_pow_l = p.avg_degree ** p.num_layers
+    return CostEstimate(
+        memory=g_pow_l * p.avg_dim,
+        computation=(p.avg_degree ** (p.num_layers - 1)) * p.avg_dim ** 2,
+        communication=g_pow_l * p.input_dim,
+    )
+
+
+def ecgraph_costs(p: CostParameters) -> CostEstimate:
+    """Table II, EC-Graph column.
+
+    Memory holds only the 1-hop rows (``g d``); computation is ``L`` dense
+    transforms (``L d^2``); communication ships ``g_rmt`` rows of width
+    ``d`` per layer per iteration, divided by the compression factor
+    ``32 / B``.
+    """
+    compression = 32.0 / p.bits
+    return CostEstimate(
+        memory=p.avg_degree * p.avg_dim,
+        computation=p.num_layers * p.avg_dim ** 2,
+        communication=(
+            p.num_iterations
+            * p.num_layers
+            * p.avg_remote_neighbors
+            * p.avg_dim
+            / compression
+        ),
+    )

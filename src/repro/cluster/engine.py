@@ -1,0 +1,155 @@
+"""The cluster runtime: compute/communication accounting per epoch.
+
+The original system runs workers as processes connected by gRPC. This
+reproduction executes all workers inside one process (sequentially), and
+recovers distributed timing by accounting:
+
+* **compute** — numpy kernel time is measured per worker with
+  :meth:`ClusterRuntime.worker_compute`; because real workers run in
+  parallel, the epoch's compute time is the *maximum* over workers;
+* **communication** — every inter-machine message is charged to the
+  traffic meter with its exact wire size; the epoch's communication time
+  is the busiest link's transfer time under the cluster's network model.
+
+``epoch_time = max_w compute_w / speed + comm_time`` is the synchronous
+(BSP) execution model that both EC-Graph and the baselines follow.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.network import TrafficMeter
+from repro.cluster.topology import ClusterSpec
+
+__all__ = ["EpochBreakdown", "ClusterRuntime"]
+
+
+@dataclass(frozen=True)
+class EpochBreakdown:
+    """Timing and traffic summary of one training epoch.
+
+    Attributes:
+        compute_seconds: Bottleneck worker's compute time.
+        comm_seconds: Bottleneck link's communication time.
+        total_seconds: Modelled epoch wall-clock (compute + comm).
+        bytes_sent: Total inter-machine bytes this epoch.
+        category_bytes: Bytes per message category this epoch.
+    """
+
+    compute_seconds: float
+    comm_seconds: float
+    total_seconds: float
+    bytes_sent: int
+    category_bytes: dict[str, int]
+
+
+class ClusterRuntime:
+    """Accounting-backed execution context for one simulated cluster."""
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.meter = TrafficMeter()
+        self._compute = np.zeros(spec.num_workers, dtype=np.float64)
+        self._epoch_history: list[EpochBreakdown] = []
+
+    # ------------------------------------------------------------------
+    # Compute accounting
+    # ------------------------------------------------------------------
+    @contextmanager
+    def worker_compute(self, worker: int):
+        """Context manager charging elapsed wall time to ``worker``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._compute[worker] += time.perf_counter() - start
+
+    def add_compute(self, worker: int, seconds: float) -> None:
+        """Directly charge compute seconds (used by analytic baselines)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._compute[worker] += seconds
+
+    # ------------------------------------------------------------------
+    # Communication accounting
+    # ------------------------------------------------------------------
+    def send_worker_to_worker(
+        self, src: int, dst: int, num_bytes: int, category: str
+    ) -> None:
+        """Charge a worker-to-worker message (embeddings / gradients)."""
+        self.meter.charge(
+            self.spec.worker_machine(src),
+            self.spec.worker_machine(dst),
+            num_bytes,
+            category,
+        )
+
+    def send_worker_to_server(
+        self, worker: int, server: int, num_bytes: int, category: str
+    ) -> None:
+        """Charge a worker-to-server message (gradient push)."""
+        self.meter.charge(
+            self.spec.worker_machine(worker),
+            self.spec.server_machine(server),
+            num_bytes,
+            category,
+        )
+
+    def send_server_to_worker(
+        self, server: int, worker: int, num_bytes: int, category: str
+    ) -> None:
+        """Charge a server-to-worker message (parameter pull)."""
+        self.meter.charge(
+            self.spec.server_machine(server),
+            self.spec.worker_machine(worker),
+            num_bytes,
+            category,
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def end_epoch(self) -> EpochBreakdown:
+        """Close the epoch: compute its breakdown and reset counters."""
+        if self.spec.worker_speeds is None:
+            compute = float(self._compute.max()) / self.spec.compute_speed
+        else:
+            # Heterogeneous cluster: the epoch waits for the slowest
+            # worker after applying its individual speed.
+            scaled = [
+                self._compute[worker] / self.spec.speed_of(worker)
+                for worker in range(self.spec.num_workers)
+            ]
+            compute = float(max(scaled))
+        comm = self.meter.epoch_comm_seconds(
+            self.spec.network, self.spec.num_machines
+        )
+        if self.spec.overlap_comm:
+            total = max(compute, comm)
+        else:
+            total = compute + comm
+        breakdown = EpochBreakdown(
+            compute_seconds=compute,
+            comm_seconds=comm,
+            total_seconds=total,
+            bytes_sent=self.meter.epoch_bytes(),
+            category_bytes=self.meter.epoch_category_bytes(),
+        )
+        self._epoch_history.append(breakdown)
+        self.meter.reset_epoch()
+        self._compute[:] = 0.0
+        return breakdown
+
+    @property
+    def epoch_history(self) -> list[EpochBreakdown]:
+        """Breakdowns of all completed epochs, oldest first."""
+        return list(self._epoch_history)
+
+    def total_seconds(self) -> float:
+        """Sum of modelled epoch times so far."""
+        return sum(epoch.total_seconds for epoch in self._epoch_history)

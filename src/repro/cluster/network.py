@@ -1,0 +1,158 @@
+"""Network model and traffic accounting for the simulated cluster.
+
+The paper's clusters connect machines with Gigabit Ethernet; communication
+time there is (message bytes / bandwidth) plus per-message latency. The
+simulator charges every inter-machine message to a :class:`TrafficMeter`
+with its *actual serialized size* (codecs report exact wire bytes), and a
+:class:`NetworkModel` converts the per-epoch byte totals into seconds.
+
+Intra-machine traffic (workers sharing a machine, or a worker talking to a
+co-located server) is free, matching the paper's shared-memory access for
+local neighbours.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkModel", "TrafficRecord", "TrafficMeter", "GIGABIT"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Bandwidth/latency model of one cluster interconnect.
+
+    Attributes:
+        bandwidth_bytes_per_s: Per-machine link bandwidth. The default is
+            Gigabit Ethernet (1e9 bits/s = 125 MB/s), the paper's setting.
+        latency_s: One-way per-message latency (RPC + serialization fixed
+            cost). 0.1 ms is typical for LAN gRPC.
+    """
+
+    bandwidth_bytes_per_s: float = 125e6
+    latency_s: float = 1e-4
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_seconds(self, num_bytes: int, num_messages: int = 1) -> float:
+        """Time to move ``num_bytes`` split over ``num_messages`` messages."""
+        return num_bytes / self.bandwidth_bytes_per_s + num_messages * self.latency_s
+
+
+GIGABIT = NetworkModel()
+
+
+@dataclass
+class TrafficRecord:
+    """Byte/message counters for one (endpoint, category) pair."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+
+
+class TrafficMeter:
+    """Per-epoch and cumulative traffic accounting.
+
+    Every charge names a source machine, a destination machine and a
+    category (``fp_embeddings``, ``bp_gradients``, ``param_pull``,
+    ``param_push``, ``sampling``, ...). Per-machine counters let the
+    engine compute the bottleneck link each epoch.
+    """
+
+    def __init__(self):
+        self._epoch: dict[int, dict[str, TrafficRecord]] = defaultdict(
+            lambda: defaultdict(TrafficRecord)
+        )
+        self._total_bytes: int = 0
+        self._total_messages: int = 0
+        self._category_bytes: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    def charge(
+        self,
+        src_machine: int,
+        dst_machine: int,
+        num_bytes: int,
+        category: str = "other",
+    ) -> None:
+        """Record one message. Intra-machine messages are free."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if src_machine == dst_machine:
+            return
+        src = self._epoch[src_machine][category]
+        dst = self._epoch[dst_machine][category]
+        src.bytes_sent += num_bytes
+        src.messages_sent += 1
+        dst.bytes_received += num_bytes
+        dst.messages_received += 1
+        self._total_bytes += num_bytes
+        self._total_messages += 1
+        self._category_bytes[category] += num_bytes
+
+    # ------------------------------------------------------------------
+    def epoch_machine_bytes(self, machine: int) -> tuple[int, int, int]:
+        """``(sent, received, messages)`` for one machine this epoch."""
+        sent = received = messages = 0
+        for record in self._epoch.get(machine, {}).values():
+            sent += record.bytes_sent
+            received += record.bytes_received
+            messages += record.messages_sent + record.messages_received
+        return sent, received, messages
+
+    def epoch_bytes(self) -> int:
+        """Total bytes charged since the last :meth:`reset_epoch`."""
+        return sum(
+            record.bytes_sent
+            for per_cat in self._epoch.values()
+            for record in per_cat.values()
+        )
+
+    def epoch_category_bytes(self) -> dict[str, int]:
+        """Bytes per category since the last reset (send side only)."""
+        out: dict[str, int] = defaultdict(int)
+        for per_cat in self._epoch.values():
+            for category, record in per_cat.items():
+                out[category] += record.bytes_sent
+        return dict(out)
+
+    def epoch_comm_seconds(self, network: NetworkModel, machines: int) -> float:
+        """Per-epoch communication time under a synchronous model.
+
+        Each machine's link carries its sent+received bytes; the epoch is
+        gated by the busiest link, so the epoch communication time is the
+        max over machines of that link's transfer time.
+        """
+        worst = 0.0
+        for machine in range(machines):
+            sent, received, messages = self.epoch_machine_bytes(machine)
+            # Full-duplex link: send and receive overlap, so the link is
+            # busy for the larger direction; latency counts per message.
+            busy = network.transfer_seconds(max(sent, received), 0)
+            busy += (messages / 2) * network.latency_s
+            worst = max(worst, busy)
+        return worst
+
+    def reset_epoch(self) -> None:
+        """Clear the per-epoch counters (cumulative totals are kept)."""
+        self._epoch.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return self._total_messages
+
+    def category_totals(self) -> dict[str, int]:
+        """Cumulative bytes per category since construction."""
+        return dict(self._category_bytes)

@@ -1,0 +1,70 @@
+"""Simulated shared file system (the paper's NFS).
+
+After partitioning, each worker loads its subgraph (topology + features)
+from a shared store. This in-memory stand-in tracks the bytes each worker
+reads so preprocessing I/O can be charged in the Fig. 9 end-to-end
+accounting, and can optionally spill to disk for large artifacts.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SharedStore"]
+
+
+@dataclass
+class SharedStore:
+    """A key/value store shared by all workers.
+
+    Attributes:
+        spill_dir: When set, values are pickled to disk under this
+            directory instead of kept in memory (useful for large graphs).
+    """
+
+    spill_dir: Path | None = None
+    _memory: dict[str, object] = field(default_factory=dict, repr=False)
+    _sizes: dict[str, int] = field(default_factory=dict, repr=False)
+    _reads: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def put(self, key: str, value: object) -> int:
+        """Store ``value`` under ``key``; returns its serialized size."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._sizes[key] = len(blob)
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            (self.spill_dir / self._filename(key)).write_bytes(blob)
+        else:
+            self._memory[key] = blob
+        return len(blob)
+
+    def get(self, key: str) -> object:
+        """Load the value stored under ``key``, counting the read."""
+        if key not in self._sizes:
+            raise KeyError(f"no such key in shared store: {key!r}")
+        self._reads[key] = self._reads.get(key, 0) + 1
+        if self.spill_dir is not None:
+            blob = (self.spill_dir / self._filename(key)).read_bytes()
+        else:
+            blob = self._memory[key]
+        return pickle.loads(blob)
+
+    def size_of(self, key: str) -> int:
+        """Serialized size of one entry in bytes."""
+        return self._sizes[key]
+
+    def keys(self) -> list[str]:
+        return list(self._sizes)
+
+    def total_read_bytes(self) -> int:
+        """Total bytes served to readers so far."""
+        return sum(
+            self._sizes[key] * count for key, count in self._reads.items()
+        )
+
+    @staticmethod
+    def _filename(key: str) -> str:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+        return f"{safe}.pkl"

@@ -1,0 +1,215 @@
+"""Binary wire format for every message the cluster exchanges.
+
+The traffic meter charges sizes that the codecs *compute*; this module
+provides the actual serialization (the stand-in for the original
+system's protobuf layer) so those computed sizes can be validated
+against real encoded bytes — tests assert the two agree. It also makes
+the simulator honest about framing overhead: every frame carries a
+16-byte header (magic, kind, flags, payload length).
+
+Supported payload kinds:
+
+* ``RAW``      — float32 matrix,
+* ``QUANT``    — bucket-quantized matrix (packed ids + table or bounds),
+* ``EXACT``    — ReqEC-FP trend message (rows + changing-rate matrix),
+* ``SELECTOR`` — ReqEC-FP selector message (2-bit selector + quantized
+  subset + proportion).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compression.quantization import QuantizedMatrix
+
+__all__ = [
+    "HEADER_BYTES",
+    "encode_raw",
+    "decode_raw",
+    "encode_quantized",
+    "decode_quantized",
+    "encode_exact",
+    "decode_exact",
+    "encode_selector",
+    "decode_selector",
+]
+
+HEADER_BYTES = 16
+_MAGIC = 0xEC6A
+_KIND_RAW = 1
+_KIND_QUANT = 2
+_KIND_EXACT = 3
+_KIND_SELECTOR = 4
+
+_HEADER = struct.Struct("<HHIQ")  # magic, kind, flags, payload length
+
+
+def _frame(kind: int, payload: bytes, flags: int = 0) -> bytes:
+    return _HEADER.pack(_MAGIC, kind, flags, len(payload)) + payload
+
+
+def _unframe(frame: bytes, expected_kind: int) -> tuple[bytes, int]:
+    if len(frame) < HEADER_BYTES:
+        raise ValueError("frame shorter than header")
+    magic, kind, flags, length = _HEADER.unpack_from(frame)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic 0x{magic:04X}")
+    if kind != expected_kind:
+        raise ValueError(f"expected kind {expected_kind}, got {kind}")
+    payload = frame[HEADER_BYTES:HEADER_BYTES + length]
+    if len(payload) != length:
+        raise ValueError("truncated frame")
+    return payload, flags
+
+
+def _pack_shape(shape: tuple[int, ...]) -> bytes:
+    if len(shape) > 2:
+        raise ValueError("wire format supports at most 2-D matrices")
+    rows = shape[0] if len(shape) >= 1 else 0
+    cols = shape[1] if len(shape) == 2 else 0
+    return struct.pack("<II", rows, cols)
+
+
+def _unpack_shape(buffer: bytes, offset: int) -> tuple[tuple[int, ...], int]:
+    rows, cols = struct.unpack_from("<II", buffer, offset)
+    shape = (rows,) if cols == 0 else (rows, cols)
+    return shape, offset + 8
+
+
+# ----------------------------------------------------------------------
+# RAW
+# ----------------------------------------------------------------------
+def encode_raw(matrix: np.ndarray) -> bytes:
+    """Frame a float32 matrix."""
+    data = np.ascontiguousarray(matrix, dtype=np.float32)
+    return _frame(_KIND_RAW, _pack_shape(data.shape) + data.tobytes())
+
+
+def decode_raw(frame: bytes) -> np.ndarray:
+    payload, _ = _unframe(frame, _KIND_RAW)
+    shape, offset = _unpack_shape(payload, 0)
+    return np.frombuffer(payload, dtype=np.float32, offset=offset).reshape(
+        shape
+    ).copy()
+
+
+# ----------------------------------------------------------------------
+# QUANT
+# ----------------------------------------------------------------------
+def encode_quantized(quantized: QuantizedMatrix) -> bytes:
+    """Frame a bucket-quantized matrix.
+
+    ``table`` mode ships the bucket representatives explicitly (paper
+    Fig. 3); ``bounds`` mode ships only (lo, hi) and flags it so the
+    decoder rebuilds the midpoints.
+    """
+    parts = [
+        _pack_shape(quantized.shape),
+        struct.pack("<Bff", quantized.bits, quantized.lo, quantized.hi),
+    ]
+    flags = 0
+    if quantized.table_mode == "table":
+        flags = 1
+        parts.append(quantized.bucket_values.astype(np.float32).tobytes())
+    parts.append(np.ascontiguousarray(quantized.packed).tobytes())
+    return _frame(_KIND_QUANT, b"".join(parts), flags=flags)
+
+
+def decode_quantized(frame: bytes) -> QuantizedMatrix:
+    payload, flags = _unframe(frame, _KIND_QUANT)
+    shape, offset = _unpack_shape(payload, 0)
+    bits, lo, hi = struct.unpack_from("<Bff", payload, offset)
+    offset += struct.calcsize("<Bff")
+    buckets = 1 << bits
+    if flags & 1:
+        table = np.frombuffer(
+            payload, dtype=np.float32, count=buckets, offset=offset
+        ).copy()
+        offset += buckets * 4
+        mode = "table"
+    else:
+        # Rebuild midpoints from the bounds.
+        width = (hi - lo) / buckets if hi > lo else 0.0
+        if width > 0:
+            table = (lo + (np.arange(buckets) + 0.5) * width).astype(np.float32)
+        else:
+            table = np.full(buckets, lo, dtype=np.float32)
+        mode = "bounds"
+    packed = np.frombuffer(payload, dtype=np.uint8, offset=offset).copy()
+    return QuantizedMatrix(
+        shape=shape, bits=bits, packed=packed, lo=lo, hi=hi,
+        bucket_values=table, table_mode=mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# EXACT (ReqEC-FP trend boundary)
+# ----------------------------------------------------------------------
+def encode_exact(rows: np.ndarray, changing_rate: np.ndarray) -> bytes:
+    """Frame the exact embeddings + M_cr of a trend boundary."""
+    if rows.shape != changing_rate.shape:
+        raise ValueError("rows and changing rate must share a shape")
+    data_rows = np.ascontiguousarray(rows, dtype=np.float32)
+    data_rate = np.ascontiguousarray(changing_rate, dtype=np.float32)
+    payload = _pack_shape(data_rows.shape) + data_rows.tobytes() + (
+        data_rate.tobytes()
+    )
+    return _frame(_KIND_EXACT, payload)
+
+
+def decode_exact(frame: bytes) -> tuple[np.ndarray, np.ndarray]:
+    payload, _ = _unframe(frame, _KIND_EXACT)
+    shape, offset = _unpack_shape(payload, 0)
+    count = int(np.prod(shape))
+    rows = np.frombuffer(
+        payload, dtype=np.float32, count=count, offset=offset
+    ).reshape(shape).copy()
+    offset += count * 4
+    rate = np.frombuffer(
+        payload, dtype=np.float32, count=count, offset=offset
+    ).reshape(shape).copy()
+    return rows, rate
+
+
+# ----------------------------------------------------------------------
+# SELECTOR (ReqEC-FP in-group message)
+# ----------------------------------------------------------------------
+def encode_selector(
+    selection: np.ndarray,
+    quantized: QuantizedMatrix,
+    proportion: float,
+) -> bytes:
+    """Frame a Selector message: 2-bit ids + quantized subset + stats."""
+    from repro.compression.quantization import pack_bits
+
+    flat = np.ascontiguousarray(selection, dtype=np.uint32).ravel()
+    packed_sel = pack_bits(flat, 2)
+    quant_frame = encode_quantized(quantized)
+    payload = (
+        _pack_shape(selection.shape)
+        + struct.pack("<fI", proportion, packed_sel.size)
+        + packed_sel.tobytes()
+        + quant_frame
+    )
+    return _frame(_KIND_SELECTOR, payload)
+
+
+def decode_selector(frame: bytes) -> tuple[np.ndarray, QuantizedMatrix, float]:
+    from repro.compression.quantization import unpack_bits
+
+    payload, _ = _unframe(frame, _KIND_SELECTOR)
+    shape, offset = _unpack_shape(payload, 0)
+    proportion, sel_bytes = struct.unpack_from("<fI", payload, offset)
+    offset += struct.calcsize("<fI")
+    packed_sel = np.frombuffer(
+        payload, dtype=np.uint8, count=sel_bytes, offset=offset
+    )
+    offset += sel_bytes
+    count = int(np.prod(shape))
+    selection = unpack_bits(packed_sel, 2, count).reshape(shape).astype(
+        np.uint8
+    )
+    quantized = decode_quantized(payload[offset:])
+    return selection, quantized, float(proportion)

@@ -1,0 +1,38 @@
+"""Message compression: the paper's B-bit bucket quantization plus the
+baseline codecs it is compared against (raw, float16, top-k, 1-bit).
+"""
+
+from repro.compression.codec import (
+    Codec,
+    EncodedMatrix,
+    Float16Codec,
+    IdentityCodec,
+    QuantizingCodec,
+)
+from repro.compression.onebit import OneBitCodec
+from repro.compression.quantization import (
+    SUPPORTED_BITS,
+    BucketQuantizer,
+    QuantizedMatrix,
+    pack_bits,
+    unpack_bits,
+)
+from repro.compression.stats import CompressionReport, compression_report
+from repro.compression.topk import TopKCodec
+
+__all__ = [
+    "Codec",
+    "EncodedMatrix",
+    "Float16Codec",
+    "IdentityCodec",
+    "QuantizingCodec",
+    "OneBitCodec",
+    "SUPPORTED_BITS",
+    "BucketQuantizer",
+    "QuantizedMatrix",
+    "pack_bits",
+    "unpack_bits",
+    "CompressionReport",
+    "compression_report",
+    "TopKCodec",
+]

@@ -1,0 +1,192 @@
+"""B-bit bucket quantization — the paper's ``C_bits`` operator (section IV-A).
+
+A matrix is compressed by dividing its value domain into ``2^B`` equal
+buckets; every element is replaced by the ``B``-bit id of the bucket that
+contains it, and the reply message carries the bucket representative
+values so the requesting end can decode. Bucket ids are bit-packed, so a
+``d``-dimensional float32 embedding shrinks from ``32 d`` bits to
+``B d + 2^B * 32`` bits (the table cost amortizes over the vertices in a
+message, as the paper notes).
+
+Two table modes are provided:
+
+* ``"table"`` (paper-faithful): the responder ships the ``2^B``
+  representative values explicitly, exactly as Fig. 3 describes;
+* ``"bounds"``: only ``(lo, hi)`` are shipped and the requester derives
+  the midpoints — an obvious engineering refinement used by the
+  ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_bits", "QuantizedMatrix", "BucketQuantizer"]
+
+SUPPORTED_BITS = (1, 2, 4, 8, 16)
+
+
+def pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
+    """Pack unsigned ``bits``-wide integers into a dense uint8 buffer.
+
+    Values are laid out little-endian-bit-first; :func:`unpack_bits`
+    inverts the layout exactly. Values must fit in ``bits`` bits.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    flat = np.ascontiguousarray(values, dtype=np.uint32).ravel()
+    if flat.size and int(flat.max()) >= (1 << bits):
+        raise ValueError(f"value {int(flat.max())} does not fit in {bits} bits")
+    shifts = np.arange(bits, dtype=np.uint32)
+    bit_matrix = ((flat[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel(), bitorder="little")
+
+
+def unpack_bits(buffer: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_bits`, recovering ``count`` integers."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    raw = np.unpackbits(
+        np.ascontiguousarray(buffer, dtype=np.uint8),
+        count=count * bits,
+        bitorder="little",
+    )
+    bit_matrix = raw.reshape(count, bits).astype(np.uint32)
+    powers = (np.uint32(1) << np.arange(bits, dtype=np.uint32))
+    return bit_matrix @ powers
+
+
+@dataclass
+class QuantizedMatrix:
+    """A bucket-quantized matrix ready for the wire.
+
+    Attributes:
+        shape: Original matrix shape.
+        bits: Bucket id width ``B``.
+        packed: Bit-packed bucket ids (uint8 buffer).
+        lo / hi: Value-domain bounds used by the quantizer.
+        bucket_values: ``(2^B,)`` representative values (bucket midpoints).
+        table_mode: ``"table"`` or ``"bounds"`` — what actually travels.
+    """
+
+    shape: tuple[int, ...]
+    bits: int
+    packed: np.ndarray
+    lo: float
+    hi: float
+    bucket_values: np.ndarray
+    table_mode: str = "table"
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the approximate matrix."""
+        ids = unpack_bits(self.packed, self.bits, self.num_elements)
+        return self.bucket_values[ids].reshape(self.shape).astype(np.float32)
+
+    def payload_bytes(self) -> int:
+        """Bytes this message occupies on the wire.
+
+        Matches :mod:`repro.cluster.serialize` exactly: a 16-byte frame
+        header, an 8-byte shape, 9 bytes of bits/lo/hi metadata, the
+        packed ids, and — in ``table`` mode — the ``2^B`` float32 bucket
+        representatives (``bounds`` mode derives them from lo/hi).
+        """
+        header = 16 + 8 + 9  # frame + shape + (bits, lo, hi)
+        ids = self.packed.size
+        table = self.bucket_values.size * 4 if self.table_mode == "table" else 0
+        return header + ids + table
+
+
+class BucketQuantizer:
+    """The paper's ``C_bits``: uniform bucket quantization with B bits.
+
+    The forward pass quantizes embeddings whose domain the paper treats as
+    ``[0, 1]``; gradients are not normalized, so the responding end first
+    computes ``(min, max)`` (Algorithm 6 lines 4-5). This implementation
+    always derives the domain from the data unless explicit bounds are
+    given, which covers both uses.
+    """
+
+    def __init__(self, bits: int, table_mode: str = "table"):
+        if bits not in SUPPORTED_BITS:
+            raise ValueError(
+                f"bits must be one of {SUPPORTED_BITS}, got {bits}"
+            )
+        if table_mode not in ("table", "bounds"):
+            raise ValueError(f"unknown table_mode {table_mode!r}")
+        self.bits = bits
+        self.table_mode = table_mode
+
+    @property
+    def num_buckets(self) -> int:
+        return 1 << self.bits
+
+    def encode(
+        self,
+        matrix: np.ndarray,
+        lo: float | None = None,
+        hi: float | None = None,
+    ) -> QuantizedMatrix:
+        """Quantize ``matrix`` into bucket ids plus representatives.
+
+        Args:
+            matrix: Any-shape float array.
+            lo / hi: Optional explicit domain; defaults to the data range.
+                A degenerate domain (``lo == hi``) still round-trips: all
+                elements land in bucket 0 whose representative is ``lo``.
+        """
+        data = np.asarray(matrix, dtype=np.float32)
+        if data.size == 0:
+            empty = np.zeros(0, dtype=np.uint8)
+            reps = np.zeros(self.num_buckets, dtype=np.float32)
+            return QuantizedMatrix(data.shape, self.bits, empty, 0.0, 0.0,
+                                   reps, self.table_mode)
+        domain_lo = float(data.min()) if lo is None else float(lo)
+        domain_hi = float(data.max()) if hi is None else float(hi)
+        if domain_hi < domain_lo:
+            raise ValueError(f"invalid domain: [{domain_lo}, {domain_hi}]")
+
+        buckets = self.num_buckets
+        span = domain_hi - domain_lo
+        if span <= 0.0:
+            ids = np.zeros(data.size, dtype=np.uint32)
+            reps = np.full(buckets, domain_lo, dtype=np.float32)
+        else:
+            width = span / buckets
+            scaled = (data.ravel() - domain_lo) / width
+            ids = np.clip(scaled.astype(np.int64), 0, buckets - 1).astype(
+                np.uint32
+            )
+            # Representative = midpoint of the bucket bounds (Fig. 3).
+            reps = (
+                domain_lo + (np.arange(buckets, dtype=np.float64) + 0.5) * width
+            ).astype(np.float32)
+        packed = pack_bits(ids, self.bits)
+        return QuantizedMatrix(
+            shape=data.shape,
+            bits=self.bits,
+            packed=packed,
+            lo=domain_lo,
+            hi=domain_hi,
+            bucket_values=reps,
+            table_mode=self.table_mode,
+        )
+
+    def quantize(self, matrix: np.ndarray, **kwargs) -> np.ndarray:
+        """Encode then immediately decode (the error operator ``C_bits``)."""
+        return self.encode(matrix, **kwargs).decode()
+
+    def max_error(self, lo: float, hi: float) -> float:
+        """Worst-case absolute error for a value inside ``[lo, hi]``.
+
+        With midpoint representatives this is half the bucket width.
+        """
+        return (hi - lo) / (2 * self.num_buckets)

@@ -1,0 +1,57 @@
+"""Compression quality metrics used in tests and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CompressionReport", "compression_report"]
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Error and size statistics for one compress/decompress round-trip.
+
+    Attributes:
+        l1_error: Mean absolute element error.
+        l2_error: Frobenius norm of the error matrix.
+        max_error: Largest absolute element error.
+        relative_l2: ``l2_error / ||original||_F`` (0 when original is 0).
+        original_bytes: Raw float32 size of the original matrix.
+        compressed_bytes: Wire size of the encoded message.
+        ratio: ``original_bytes / compressed_bytes``.
+    """
+
+    l1_error: float
+    l2_error: float
+    max_error: float
+    relative_l2: float
+    original_bytes: int
+    compressed_bytes: int
+    ratio: float
+
+
+def compression_report(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    compressed_bytes: int,
+) -> CompressionReport:
+    """Compare a reconstruction against its original."""
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    error = original.astype(np.float64) - reconstructed.astype(np.float64)
+    l2 = float(np.linalg.norm(error))
+    norm = float(np.linalg.norm(original))
+    original_bytes = original.size * 4
+    return CompressionReport(
+        l1_error=float(np.abs(error).mean()) if error.size else 0.0,
+        l2_error=l2,
+        max_error=float(np.abs(error).max()) if error.size else 0.0,
+        relative_l2=l2 / norm if norm > 0 else 0.0,
+        original_bytes=original_bytes,
+        compressed_bytes=compressed_bytes,
+        ratio=original_bytes / compressed_bytes if compressed_bytes else 0.0,
+    )

@@ -1,0 +1,60 @@
+"""EC-Graph core: the paper's contribution.
+
+Configuration, GCN math, halo-exchange policies (including ReqEC-FP with
+the adaptive Bit-Tuner and ResEC-BP), worker state, the NAC and the
+distributed trainers.
+"""
+
+from repro.core.bit_tuner import BIT_LADDER, BitTuner
+from repro.core.checkpoint import load_checkpoint, restore_trainer, save_checkpoint
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.messages import ChannelKey, ChannelMessage, RawPolicy, ReceiveResult
+from repro.core.models import GNNParameters, build_parameters
+from repro.core.policies import CodecPolicy, CompressPolicy, DelayedPolicy
+from repro.core.reqec_fp import (
+    SELECT_AVERAGE,
+    SELECT_COMPRESSED,
+    SELECT_PREDICTED,
+    ReqECPolicy,
+    TrendState,
+)
+from repro.core.resec_bp import ResECPolicy
+from repro.core.gat import GATTrainer
+from repro.core.sage import SAGETrainer
+from repro.core.results import ConvergenceRun, EpochResult
+from repro.core.sampling_trainer import SampledECGraphTrainer
+from repro.core.trainer import ECGraphTrainer
+from repro.core.worker import WorkerState, build_worker_states
+
+__all__ = [
+    "BIT_LADDER",
+    "BitTuner",
+    "ECGraphConfig",
+    "ModelConfig",
+    "ChannelKey",
+    "ChannelMessage",
+    "RawPolicy",
+    "ReceiveResult",
+    "GNNParameters",
+    "build_parameters",
+    "CodecPolicy",
+    "CompressPolicy",
+    "DelayedPolicy",
+    "SELECT_AVERAGE",
+    "SELECT_COMPRESSED",
+    "SELECT_PREDICTED",
+    "ReqECPolicy",
+    "TrendState",
+    "ResECPolicy",
+    "ConvergenceRun",
+    "EpochResult",
+    "ECGraphTrainer",
+    "GATTrainer",
+    "SAGETrainer",
+    "SampledECGraphTrainer",
+    "load_checkpoint",
+    "restore_trainer",
+    "save_checkpoint",
+    "WorkerState",
+    "build_worker_states",
+]

@@ -1,0 +1,141 @@
+"""Configuration objects for EC-Graph training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ModelConfig", "ECGraphConfig"]
+
+_FP_MODES = ("raw", "compress", "reqec", "delayed")
+_BP_MODES = ("raw", "compress", "resec", "delayed")
+_GRANULARITIES = ("vertex", "matrix", "element")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of the GNN being trained.
+
+    Attributes:
+        num_layers: ``L``; the paper sweeps 2-4.
+        hidden_dim: Width of every hidden layer (16 for the citation
+            graphs, 256 for the OGBN graphs in the paper).
+        activation: Hidden activation name (``relu`` in the paper).
+        model: ``gcn`` (symmetric normalization) or ``sage`` (row
+            normalization / mean aggregator).
+        use_bias: Add a learned bias after aggregation.
+    """
+
+    num_layers: int = 2
+    hidden_dim: int = 16
+    activation: str = "relu"
+    model: str = "gcn"
+    use_bias: bool = True
+
+    def __post_init__(self):
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.hidden_dim < 1:
+            raise ValueError("hidden_dim must be >= 1")
+        if self.model not in ("gcn", "sage"):
+            raise ValueError(f"unknown model {self.model!r}")
+
+    def layer_dims(self, input_dim: int, num_classes: int) -> list[int]:
+        """Dimensions ``[d0, hidden, ..., hidden, num_classes]``."""
+        return [input_dim] + [self.hidden_dim] * (self.num_layers - 1) + [
+            num_classes
+        ]
+
+
+@dataclass(frozen=True)
+class ECGraphConfig:
+    """Every knob of the EC-Graph training pipeline.
+
+    The defaults reproduce the paper's EC-Graph configuration: ReqEC-FP
+    with the adaptive Bit-Tuner in the forward direction and ResEC-BP in
+    the backward direction, ``T_tr = 10``, vertex-wise selection.
+
+    Attributes:
+        fp_mode: Forward halo exchange: ``raw`` (Non-cp), ``compress``
+            (Cp-fp), ``reqec`` (ReqEC-FP) or ``delayed`` (DistGNN-style
+            partial aggregation).
+        bp_mode: Backward halo exchange: ``raw``, ``compress`` (Cp-bp),
+            ``resec`` (ResEC-BP) or ``delayed``.
+        fp_bits / bp_bits: Initial quantization widths ``B``.
+        adaptive_bits: Enable the Bit-Tuner (only meaningful with
+            ``fp_mode == "reqec"``).
+        trend_period: ``T_tr`` — exact embeddings + changing rate shipped
+            every this many iterations.
+        selector_granularity: ``vertex`` (paper default), ``matrix`` or
+            ``element``.
+        tuner_raise / tuner_lower: Bit-Tuner thresholds on the predicted
+            proportion (paper: 0.6 / 0.4).
+        delayed_rounds: ``r`` for the delayed modes (DistGNN uses 5).
+        cache_first_hop: Cache remote 1-hop neighbour *features* at setup
+            (the paper's first basic optimization).
+        transform_first: Compute ``X W`` before aggregating when the input
+            dimension exceeds the output (the paper's second basic
+            optimization, borrowed from DGL).
+        table_mode: ``table`` ships bucket values explicitly (paper), or
+            ``bounds`` ships only (lo, hi).
+        learning_rate / optimizer: Server-side optimizer settings.
+        weight_decay: L2 regularization applied by the servers.
+        codec_speedup: Divide measured Python codec time by this factor to
+            emulate the paper's C++ compression kernels (see DESIGN.md).
+        seed: Seed for parameter initialization and sampling.
+    """
+
+    fp_mode: str = "reqec"
+    bp_mode: str = "resec"
+    fp_bits: int = 4
+    bp_bits: int = 4
+    adaptive_bits: bool = True
+    trend_period: int = 10
+    selector_granularity: str = "vertex"
+    tuner_raise: float = 0.6
+    tuner_lower: float = 0.4
+    delayed_rounds: int = 5
+    cache_first_hop: bool = True
+    transform_first: bool = True
+    table_mode: str = "table"
+    learning_rate: float = 0.01
+    optimizer: str = "adam"
+    weight_decay: float = 0.0
+    codec_speedup: float = 20.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.fp_mode not in _FP_MODES:
+            raise ValueError(f"fp_mode must be one of {_FP_MODES}")
+        if self.bp_mode not in _BP_MODES:
+            raise ValueError(f"bp_mode must be one of {_BP_MODES}")
+        if self.selector_granularity not in _GRANULARITIES:
+            raise ValueError(
+                f"selector_granularity must be one of {_GRANULARITIES}"
+            )
+        if self.trend_period < 2:
+            raise ValueError("trend_period must be >= 2")
+        if self.delayed_rounds < 1:
+            raise ValueError("delayed_rounds must be >= 1")
+        if not 0.0 <= self.tuner_lower < self.tuner_raise <= 1.0:
+            raise ValueError("need 0 <= tuner_lower < tuner_raise <= 1")
+        if self.codec_speedup <= 0:
+            raise ValueError("codec_speedup must be positive")
+
+    # Convenience presets matching the paper's named configurations.
+    def as_non_cp(self) -> "ECGraphConfig":
+        """Non-cp: raw float messages in both directions."""
+        return replace(self, fp_mode="raw", bp_mode="raw")
+
+    def as_cp_only(self) -> "ECGraphConfig":
+        """Cp-fp/Cp-bp: compression without compensation."""
+        return replace(
+            self, fp_mode="compress", bp_mode="compress", adaptive_bits=False
+        )
+
+    def as_reqec_only(self) -> "ECGraphConfig":
+        """ReqEC-FP on, backward direction raw."""
+        return replace(self, fp_mode="reqec", bp_mode="raw")
+
+    def as_resec_only(self) -> "ECGraphConfig":
+        """ResEC-BP on, forward direction raw."""
+        return replace(self, fp_mode="raw", bp_mode="resec")

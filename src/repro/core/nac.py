@@ -1,0 +1,193 @@
+"""The 1-hop Neighbor Access Controller (paper Fig. 2a).
+
+The NAC mediates every halo exchange: local neighbours come out of shared
+memory for free, remote neighbours go through an exchange policy, the
+traffic meter and the compute clocks. Since the simulator runs workers
+sequentially, responder and requester codec time is measured directly and
+charged to the right worker, scaled by the configured codec speedup
+(emulating the original C++ compression kernels; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.engine import ClusterRuntime
+from repro.core.messages import ChannelKey, ExchangePolicy
+from repro.core.worker import WorkerState
+
+__all__ = ["NeighborAccessController"]
+
+
+class NeighborAccessController:
+    """Runs one halo exchange across all worker pairs."""
+
+    def __init__(
+        self,
+        runtime: ClusterRuntime,
+        workers: list[WorkerState],
+        codec_speedup: float = 20.0,
+    ):
+        if codec_speedup <= 0:
+            raise ValueError("codec_speedup must be positive")
+        self.runtime = runtime
+        self.workers = workers
+        self.codec_speedup = codec_speedup
+        self._last_proportions: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        layer: int,
+        t: int,
+        rows_of: Callable[[WorkerState], np.ndarray],
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+        subset: dict[tuple[int, int], np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Fetch remote rows for every worker; returns halo matrices.
+
+        Args:
+            layer: Layer id baked into the channel keys.
+            t: Iteration number (policies schedule on it).
+            rows_of: Maps a *responding* worker's state to the local
+                matrix whose rows are being served (e.g. its ``H^{l-1}``).
+            policy: The exchange policy for this direction.
+            category: Traffic category for the meter.
+            dim: Row width, used to size the halo buffers.
+            subset: Optional per-(responder, requester) indices into the
+                channel's full vertex list (sampling mode); channels not
+                present exchange all rows.
+
+        Returns:
+            One ``(num_halo, dim)`` array per worker, rows scattered into
+            the worker's halo ordering. Vertices outside a subset keep 0.
+        """
+        halos = [
+            np.zeros((state.num_halo, dim), dtype=np.float32)
+            for state in self.workers
+        ]
+        self._last_proportions.clear()
+        for requester in self.workers:
+            i = requester.worker_id
+            for owner, slots in requester.halo_slots.items():
+                responder = self.workers[owner]
+                serve_rows = responder.serves[i]
+                key = ChannelKey(layer=layer, responder=owner, requester=i)
+
+                rows_idx = None
+                if subset is not None:
+                    rows_idx = subset.get((owner, i))
+                    if rows_idx is not None and rows_idx.size == 0:
+                        continue
+
+                source = rows_of(responder)
+                if rows_idx is None:
+                    served = source[serve_rows]
+                else:
+                    served = source[serve_rows[rows_idx]]
+
+                start = time.perf_counter()
+                message = policy.respond(key, served, t, rows_idx=rows_idx)
+                respond_wall = time.perf_counter() - start
+                self._charge_compute(owner, respond_wall, message.codec_seconds)
+
+                self.runtime.send_worker_to_worker(
+                    owner, i, message.nbytes, category
+                )
+
+                start = time.perf_counter()
+                result = policy.receive(key, message, t, rows_idx=rows_idx)
+                receive_wall = time.perf_counter() - start
+                self._charge_compute(i, receive_wall, result.codec_seconds)
+
+                if rows_idx is None:
+                    halos[i][slots] = result.rows
+                else:
+                    halos[i][slots[rows_idx]] = result.rows
+
+                proportion = result.meta.get("proportion")
+                if proportion is None:
+                    proportion = message.meta.get("proportion")
+                if proportion is not None:
+                    self._last_proportions[(owner, i)] = float(proportion)
+        return halos
+
+    def reverse_exchange(
+        self,
+        layer: int,
+        t: int,
+        halo_rows_of: Callable[[WorkerState], np.ndarray],
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+    ) -> list[np.ndarray]:
+        """Push halo-partial gradients back to their owners and sum them.
+
+        The mirror of :meth:`exchange`, needed by models with asymmetric
+        aggregation (GAT): each worker computed *partial* gradients for
+        the remote vertices it consumed; the owners must receive and sum
+        those partials. The paper describes this as fetching "embedding
+        gradients from out-neighbors" in the backward pass.
+
+        Args:
+            halo_rows_of: Maps a worker's state to its ``(num_halo, dim)``
+                partial-gradient matrix (halo ordering).
+
+        Returns:
+            One ``(num_local, dim)`` array per worker: the sum of the
+            partials every consumer computed for that worker's vertices.
+        """
+        accumulated = [
+            np.zeros((state.num_local, dim), dtype=np.float32)
+            for state in self.workers
+        ]
+        for consumer in self.workers:
+            i = consumer.worker_id
+            partials = halo_rows_of(consumer)
+            for owner, slots in consumer.halo_slots.items():
+                responder_rows = partials[slots]
+                owner_state = self.workers[owner]
+                local_rows = owner_state.serves[i]
+                # Channel direction: consumer responds, owner requests.
+                key = ChannelKey(layer=layer, responder=i, requester=owner)
+
+                start = time.perf_counter()
+                message = policy.respond(key, responder_rows, t)
+                respond_wall = time.perf_counter() - start
+                self._charge_compute(i, respond_wall, message.codec_seconds)
+
+                self.runtime.send_worker_to_worker(
+                    i, owner, message.nbytes, category
+                )
+
+                start = time.perf_counter()
+                result = policy.receive(key, message, t)
+                receive_wall = time.perf_counter() - start
+                self._charge_compute(owner, receive_wall, result.codec_seconds)
+
+                np.add.at(accumulated[owner], local_rows, result.rows)
+        return accumulated
+
+    def last_proportions(self) -> dict[tuple[int, int], float]:
+        """Predicted-selection proportions observed in the last exchange.
+
+        Keyed by (responder, requester); feeds the Bit-Tuner once per
+        iteration, after the final forward layer (Algorithm 3).
+        """
+        return dict(self._last_proportions)
+
+    # ------------------------------------------------------------------
+    def _charge_compute(
+        self, worker: int, wall_seconds: float, codec_seconds: float
+    ) -> None:
+        """Charge policy time, discounting codec work by the speedup."""
+        codec_seconds = min(codec_seconds, wall_seconds)
+        other = wall_seconds - codec_seconds
+        self.runtime.add_compute(
+            worker, other + codec_seconds / self.codec_speedup
+        )

@@ -1,0 +1,185 @@
+"""Baseline halo-exchange policies: plain compression and delayed
+aggregation.
+
+``CompressPolicy`` is the paper's ``Cp-fp``/``Cp-bp`` configuration —
+bucket quantization with *no* compensation. ``DelayedPolicy`` reproduces
+DistGNN's *delayed remote partial aggregation*: only one of ``r``
+round-robin blocks of each channel is refreshed per iteration; the
+requester aggregates stale rows for the rest, trading staleness for
+traffic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compression.quantization import BucketQuantizer
+from repro.core.messages import ChannelKey, ChannelMessage, ReceiveResult
+
+__all__ = ["CompressPolicy", "DelayedPolicy", "CodecPolicy"]
+
+_HEADER_BYTES = 24  # frame header + shape word (see cluster.serialize)
+
+
+class CompressPolicy:
+    """Bucket-quantize every message; no error compensation."""
+
+    def __init__(self, bits: int, table_mode: str = "table"):
+        self._quantizer = BucketQuantizer(bits, table_mode)
+
+    @property
+    def name(self) -> str:
+        return f"compress{self._quantizer.bits}"
+
+    @property
+    def bits(self) -> int:
+        return self._quantizer.bits
+
+    def respond(
+        self,
+        key: ChannelKey,
+        rows: np.ndarray,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ChannelMessage:
+        start = time.perf_counter()
+        quantized = self._quantizer.encode(rows)
+        elapsed = time.perf_counter() - start
+        return ChannelMessage(
+            payload=quantized,
+            nbytes=quantized.payload_bytes(),
+            codec_seconds=elapsed,
+        )
+
+    def receive(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ReceiveResult:
+        start = time.perf_counter()
+        rows = message.payload.decode()
+        elapsed = time.perf_counter() - start
+        return ReceiveResult(rows=rows, codec_seconds=elapsed)
+
+    def reset(self) -> None:
+        """Plain compression is stateless; nothing to clear."""
+
+
+class CodecPolicy:
+    """Adapt any :class:`repro.compression.codec.Codec` into an exchange
+    policy.
+
+    Lets the baseline compressors the paper cites — top-k sparsification
+    [32], 1-bit quantization [31], float16 — drive the halo exchange so
+    the codec-comparison benchmark can pit them against bucket
+    quantization on equal footing.
+    """
+
+    def __init__(self, codec):
+        self._codec = codec
+
+    @property
+    def name(self) -> str:
+        return f"codec:{self._codec.name}"
+
+    def respond(
+        self,
+        key: ChannelKey,
+        rows: np.ndarray,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ChannelMessage:
+        start = time.perf_counter()
+        encoded = self._codec.encode(np.ascontiguousarray(rows,
+                                                          dtype=np.float32))
+        elapsed = time.perf_counter() - start
+        return ChannelMessage(
+            payload=encoded,
+            nbytes=encoded.payload_bytes,
+            codec_seconds=elapsed,
+        )
+
+    def receive(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ReceiveResult:
+        start = time.perf_counter()
+        rows = self._codec.decode(message.payload)
+        return ReceiveResult(
+            rows=rows, codec_seconds=time.perf_counter() - start
+        )
+
+    def reset(self) -> None:
+        """Codec adapters are stateless; nothing to clear."""
+
+
+class DelayedPolicy:
+    """DistGNN-style delayed partial refresh of remote rows.
+
+    Channel state lives on the requesting end: a cache of the last rows
+    received per channel vertex. Iteration ``t`` refreshes only the block
+    of vertices with ``index % r == t % r`` (raw floats); iteration 0
+    ships everything so the cache starts exact.
+    """
+
+    def __init__(self, rounds: int):
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+        self._cache: dict[ChannelKey, np.ndarray] = {}
+
+    @property
+    def name(self) -> str:
+        return f"delayed{self.rounds}"
+
+    def _block(self, count: int, t: int) -> np.ndarray:
+        """Indices refreshed at iteration ``t`` for a ``count``-row channel."""
+        return np.arange(count)[np.arange(count) % self.rounds == t % self.rounds]
+
+    def respond(
+        self,
+        key: ChannelKey,
+        rows: np.ndarray,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ChannelMessage:
+        data = np.ascontiguousarray(rows, dtype=np.float32)
+        if t == 0 or key not in self._cache:
+            payload = ("full", data.copy())
+            nbytes = _HEADER_BYTES + data.nbytes
+        else:
+            block = self._block(data.shape[0], t)
+            payload = ("block", block, data[block].copy())
+            nbytes = _HEADER_BYTES + data[block].nbytes + block.size * 4
+        return ChannelMessage(payload=payload, nbytes=nbytes)
+
+    def receive(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ReceiveResult:
+        kind = message.payload[0]
+        if kind == "full":
+            self._cache[key] = message.payload[1].copy()
+        else:
+            _, block, rows = message.payload
+            cache = self._cache.get(key)
+            if cache is None:
+                raise RuntimeError(
+                    f"delayed channel {key} received a block before any "
+                    "full refresh"
+                )
+            cache[block] = rows
+        return ReceiveResult(rows=self._cache[key].copy())
+
+    def reset(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,287 @@
+"""ReqEC-FP: requesting-end error compensation for the forward pass
+(paper section IV-B, Algorithms 3 and 4).
+
+Every ``T_tr`` iterations (a *trend group*) the responding worker ships
+the exact embedding rows together with the per-coordinate changing-rate
+matrix ``M_cr = (H_now - H_last) / T_tr``. In between, both ends can form
+three approximations of the current rows:
+
+* ``compressed`` — bucket-quantized rows (id 0),
+* ``predicted`` — ``H_last + M_cr * (t mod T_tr + 1)`` (id 1), computable
+  on the requesting end with **no payload at all**,
+* ``average`` — the mean of the two (id 2).
+
+The responder evaluates the L1 error of each candidate against the truth
+it holds, selects per vertex (or per element / per matrix) the best one,
+and ships only the 2-bit selector plus the quantized rows the requester
+cannot predict. The proportion of predicted selections drives the
+adaptive :class:`~repro.core.bit_tuner.BitTuner`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.quantization import BucketQuantizer
+from repro.core.bit_tuner import BitTuner
+from repro.core.messages import ChannelKey, ChannelMessage, ReceiveResult
+
+__all__ = ["TrendState", "ReqECPolicy", "SELECT_COMPRESSED",
+           "SELECT_PREDICTED", "SELECT_AVERAGE"]
+
+SELECT_COMPRESSED = 0
+SELECT_PREDICTED = 1
+SELECT_AVERAGE = 2
+
+_HEADER_BYTES = 24  # frame header + shape word (see cluster.serialize)
+
+
+@dataclass
+class TrendState:
+    """Last exact snapshot and changing rate for one channel."""
+
+    h_last: np.ndarray
+    m_cr: np.ndarray
+    boundary_t: int
+
+
+class ReqECPolicy:
+    """Forward-pass exchange with requesting-end compensation.
+
+    One instance serves all channels of a training run; per-channel trend
+    state is kept for both ends (in the real system they are separate
+    processes whose states stay in sync through the boundary messages).
+    """
+
+    def __init__(
+        self,
+        tuner: BitTuner,
+        trend_period: int = 10,
+        granularity: str = "vertex",
+        table_mode: str = "table",
+    ):
+        if granularity not in ("vertex", "matrix", "element"):
+            raise ValueError(f"unknown granularity {granularity!r}")
+        self.tuner = tuner
+        self.trend_period = trend_period
+        self.granularity = granularity
+        self.table_mode = table_mode
+        self._responder_trend: dict[ChannelKey, TrendState] = {}
+        self._requester_trend: dict[ChannelKey, TrendState] = {}
+        self._quantizers: dict[int, BucketQuantizer] = {}
+
+    @property
+    def name(self) -> str:
+        return f"reqec(T={self.trend_period},{self.granularity})"
+
+    def _quantizer(self, bits: int) -> BucketQuantizer:
+        if bits not in self._quantizers:
+            self._quantizers[bits] = BucketQuantizer(bits, self.table_mode)
+        return self._quantizers[bits]
+
+    def _is_boundary(self, t: int) -> bool:
+        return (t + 1) % self.trend_period == 0
+
+    # ------------------------------------------------------------------
+    # Responding end (Algorithm 4)
+    # ------------------------------------------------------------------
+    def respond(
+        self,
+        key: ChannelKey,
+        rows: np.ndarray,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ChannelMessage:
+        if rows_idx is not None:
+            raise NotImplementedError(
+                "ReqEC-FP keeps dense per-channel trend state; sampled "
+                "training uses the compression or ResEC policies instead"
+            )
+        rows = np.ascontiguousarray(rows, dtype=np.float32)
+        state = self._responder_trend.get(key)
+
+        if self._is_boundary(t):
+            if state is not None and state.h_last.shape == rows.shape:
+                m_cr = (rows - state.h_last) / self.trend_period
+            else:
+                m_cr = np.zeros_like(rows)
+            self._responder_trend[key] = TrendState(
+                h_last=rows.copy(), m_cr=m_cr, boundary_t=t
+            )
+            return ChannelMessage(
+                payload=("exact", rows.copy(), m_cr.copy()),
+                nbytes=_HEADER_BYTES + 2 * rows.nbytes,
+            )
+
+        bits = self.tuner.bits(key.pair)
+        quantizer = self._quantizer(bits)
+        start = time.perf_counter()
+
+        if state is None:
+            # No trend snapshot yet (first trend group): compressed only.
+            quantized = quantizer.encode(rows)
+            elapsed = time.perf_counter() - start
+            return ChannelMessage(
+                payload=("cps_only", quantized),
+                nbytes=quantized.payload_bytes(),
+                codec_seconds=elapsed,
+                meta={"proportion": 0.0, "bits": bits},
+            )
+
+        steps = t % self.trend_period + 1
+        h_pdt = state.h_last + state.m_cr * steps
+        quantized = quantizer.encode(rows)
+        h_cps = quantized.decode()
+        h_avg = 0.5 * (h_pdt + h_cps)
+
+        selection, proportion = self._select(rows, h_cps, h_pdt, h_avg)
+        payload, nbytes = self._build_compressed_payload(
+            rows, selection, quantizer, quantized.lo, quantized.hi
+        )
+        elapsed = time.perf_counter() - start
+        return ChannelMessage(
+            payload=("cps", selection, payload, quantized.lo, quantized.hi,
+                     bits),
+            nbytes=nbytes,
+            codec_seconds=elapsed,
+            meta={"proportion": proportion, "bits": bits},
+        )
+
+    def _select(
+        self,
+        truth: np.ndarray,
+        h_cps: np.ndarray,
+        h_pdt: np.ndarray,
+        h_avg: np.ndarray,
+    ) -> tuple[np.ndarray, float]:
+        """Pick the best candidate at the configured granularity.
+
+        Returns the selection array (shape depends on granularity) and
+        the proportion of predicted selections.
+        """
+        err_cps = np.abs(h_cps - truth)
+        err_pdt = np.abs(h_pdt - truth)
+        err_avg = np.abs(h_avg - truth)
+        if self.granularity == "vertex":
+            s = np.stack(
+                [err_cps.sum(axis=1), err_pdt.sum(axis=1), err_avg.sum(axis=1)],
+                axis=1,
+            )
+            selection = s.argmin(axis=1).astype(np.uint8)
+        elif self.granularity == "matrix":
+            s = np.array([err_cps.sum(), err_pdt.sum(), err_avg.sum()])
+            selection = np.full(
+                truth.shape[0], int(s.argmin()), dtype=np.uint8
+            )
+        else:  # element
+            s = np.stack([err_cps, err_pdt, err_avg], axis=2)
+            selection = s.argmin(axis=2).astype(np.uint8)
+        proportion = float((selection == SELECT_PREDICTED).mean())
+        return selection, proportion
+
+    def _build_compressed_payload(
+        self,
+        rows: np.ndarray,
+        selection: np.ndarray,
+        quantizer: BucketQuantizer,
+        lo: float,
+        hi: float,
+    ):
+        """Quantize only what the requester cannot predict; size the wire.
+
+        Vertex/matrix granularity ships whole rows for non-predicted
+        vertices; element granularity ships individual elements.
+        """
+        mask = selection != SELECT_PREDICTED
+        if self.granularity == "element":
+            values = rows[mask]
+            selector_bits = 2 * selection.size
+        else:
+            values = rows[mask]
+            selector_bits = 2 * selection.shape[0]
+        quantized = quantizer.encode(values, lo=lo, hi=hi)
+        selector_bytes = -(-selector_bits // 8)
+        # Frame + shape + (proportion, selector length) + selector bits
+        # + the nested quantized frame — see cluster.serialize.
+        nbytes = 16 + 8 + 8 + selector_bytes + quantized.payload_bytes()
+        return quantized, nbytes
+
+    # ------------------------------------------------------------------
+    # Requesting end (Algorithm 3)
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        t: int,
+        rows_idx: np.ndarray | None = None,
+    ) -> ReceiveResult:
+        kind = message.payload[0]
+        if kind == "exact":
+            _, rows, m_cr = message.payload
+            self._requester_trend[key] = TrendState(
+                h_last=rows.copy(), m_cr=m_cr.copy(), boundary_t=t
+            )
+            return ReceiveResult(rows=rows.copy())
+
+        if kind == "cps_only":
+            start = time.perf_counter()
+            rows = message.payload[1].decode()
+            return ReceiveResult(
+                rows=rows,
+                codec_seconds=time.perf_counter() - start,
+                meta=dict(message.meta),
+            )
+
+        _, selection, quantized, lo, hi, bits = message.payload
+        state = self._requester_trend.get(key)
+        if state is None:
+            raise RuntimeError(
+                f"channel {key} received a selector message before any "
+                "exact trend snapshot"
+            )
+        start = time.perf_counter()
+        steps = t % self.trend_period + 1
+        h_pdt = state.h_last + state.m_cr * steps
+        rows = self._reconstruct(selection, quantized, h_pdt)
+        return ReceiveResult(
+            rows=rows,
+            codec_seconds=time.perf_counter() - start,
+            meta=dict(message.meta),
+        )
+
+    def _reconstruct(
+        self, selection: np.ndarray, quantized, h_pdt: np.ndarray
+    ) -> np.ndarray:
+        """Merge predicted rows with the shipped quantized payload."""
+        out = h_pdt.astype(np.float32).copy()
+        mask = selection != SELECT_PREDICTED
+        if not mask.any():
+            return out
+        decoded = quantized.decode()
+        if self.granularity == "element":
+            cps_values = decoded
+            avg_mask_flat = selection[mask] == SELECT_AVERAGE
+            merged = cps_values.copy()
+            merged[avg_mask_flat] = 0.5 * (
+                cps_values[avg_mask_flat] + h_pdt[mask][avg_mask_flat]
+            )
+            out[mask] = merged
+            return out
+        cps_rows = decoded
+        sub_selection = selection[mask]
+        merged = cps_rows.copy()
+        avg_rows = sub_selection == SELECT_AVERAGE
+        if avg_rows.any():
+            merged[avg_rows] = 0.5 * (cps_rows[avg_rows] + h_pdt[mask][avg_rows])
+        out[mask] = merged
+        return out
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all per-channel state (between independent runs)."""
+        self._responder_trend.clear()
+        self._requester_trend.clear()

@@ -1,0 +1,229 @@
+"""Sampling-based training (EC-Graph-S and the DistDGL baseline).
+
+The paper's sampling mode keeps the graph-centered architecture but caps
+each vertex's aggregation at a per-layer *fanout* (e.g. ``(10, 5)`` for a
+2-layer GCN), which shrinks both compute and the remote halo that must be
+fetched. Two sampling disciplines are modelled:
+
+* **offline** (EC-Graph-S, AGL): neighbours are sampled once during
+  preprocessing and reused every epoch — the sampling cost lands in the
+  Fig. 9 preprocessing bar;
+* **online** (DistDGL): neighbours are resampled every iteration, so the
+  sampling cost recurs in every epoch — the paper observes this dominates
+  DistDGL's time on constrained clusters.
+
+Kept edges are rescaled by ``degree / fanout`` so the sampled aggregation
+is an unbiased estimator of the full sum. ReqEC-FP keeps dense
+per-channel trend state and is therefore not offered in sampling mode
+(the paper describes it for full-batch training); EC-Graph-S runs plain
+quantization forward and ResEC-BP backward.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.resec_bp import ResECPolicy
+from repro.core.messages import ChannelKey
+from repro.core.trainer import ECGraphTrainer
+from repro.core.worker import WorkerState
+from repro.graph.attributed import AttributedGraph
+from repro.partition.base import Partition
+
+__all__ = ["SampledECGraphTrainer"]
+
+
+class SampledECGraphTrainer(ECGraphTrainer):
+    """Distributed GCN training with per-layer neighbour fanouts."""
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        model_config: ModelConfig,
+        cluster_spec: ClusterSpec,
+        fanouts: list[int],
+        config: ECGraphConfig | None = None,
+        online: bool = False,
+        sampling_speedup: float = 20.0,
+        partitioner: str = "hash",
+        partition: Partition | None = None,
+    ):
+        """Args:
+        fanouts: Per-layer neighbour caps, ``fanouts[l-1]`` for layer
+            ``l``; length must equal the model's layer count.
+        online: Resample every iteration (DistDGL) instead of once
+            (EC-Graph-S / AGL).
+        sampling_speedup: Divide measured Python sampling time by this to
+            emulate native sampling kernels (same rationale as the codec
+            speedup, see DESIGN.md).
+        """
+        config = config or ECGraphConfig(fp_mode="compress", bp_mode="resec")
+        if config.fp_mode == "reqec":
+            raise ValueError(
+                "ReqEC-FP is a full-batch mechanism; use fp_mode='compress' "
+                "or 'raw' in sampling mode"
+            )
+        if "delayed" in (config.fp_mode, config.bp_mode):
+            raise ValueError(
+                "delayed aggregation keeps dense per-channel caches and "
+                "cannot track per-iteration sampled subsets; use raw or "
+                "compress/resec in sampling mode"
+            )
+        if len(fanouts) != model_config.num_layers:
+            raise ValueError(
+                f"{len(fanouts)} fanouts for {model_config.num_layers} layers"
+            )
+        if any(f < 1 for f in fanouts):
+            raise ValueError("fanouts must be >= 1")
+        if sampling_speedup <= 0:
+            raise ValueError("sampling_speedup must be positive")
+        super().__init__(
+            graph, model_config, cluster_spec, config,
+            partitioner=partitioner, partition=partition,
+        )
+        self.fanouts = list(fanouts)
+        self.online = online
+        self.sampling_speedup = sampling_speedup
+        self._sampled_adj: list[dict[int, csr_matrix]] = []
+        self._subsets: dict[int, dict[tuple[int, int], np.ndarray]] = {}
+        self._rng = np.random.default_rng(config.seed + 1)
+        self._sampled_once = False
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        if self._setup_done:
+            return
+        super().setup()
+        if isinstance(self._bp_policy, ResECPolicy):
+            # Residual state spans each channel's full vertex list so
+            # sampled subsets stay aligned across iterations.
+            for layer in range(2, self.params.num_layers + 1):
+                for state in self.workers:
+                    for owner, wanted in state.requests.items():
+                        key = ChannelKey(
+                            layer=layer,
+                            responder=owner,
+                            requester=state.worker_id,
+                        )
+                        self._bp_policy.prime_residual(
+                            key, wanted.shape[0], self.params.dims[layer]
+                        )
+        if not self.online:
+            start = time.perf_counter()
+            self._resample()
+            self._preprocessing_seconds += (
+                time.perf_counter() - start
+            ) / self.sampling_speedup
+            self._sampled_once = True
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _resample(self) -> None:
+        """Draw a fresh per-layer sampled adjacency for every worker."""
+        self._sampled_adj = []
+        needed_halo: dict[int, list[np.ndarray]] = {
+            layer: [] for layer in range(1, self.params.num_layers + 1)
+        }
+        for state in self.workers:
+            per_layer: dict[int, csr_matrix] = {}
+            for layer in range(1, self.params.num_layers + 1):
+                sampled, used_halo = self._sample_rows(
+                    state, self.fanouts[layer - 1]
+                )
+                per_layer[layer] = sampled
+                needed_halo[layer].append(used_halo)
+            self._sampled_adj.append(per_layer)
+
+        self._subsets = {}
+        for layer, per_worker in needed_halo.items():
+            layer_subsets: dict[tuple[int, int], np.ndarray] = {}
+            for state, used in zip(self.workers, per_worker):
+                for owner, slots in state.halo_slots.items():
+                    rows_idx = np.flatnonzero(used[slots]).astype(np.int64)
+                    layer_subsets[(owner, state.worker_id)] = rows_idx
+            self._subsets[layer] = layer_subsets
+
+    def _sample_rows(
+        self, state: WorkerState, fanout: int
+    ) -> tuple[csr_matrix, np.ndarray]:
+        """Sample one worker's adjacency rows down to ``fanout`` entries.
+
+        Returns the sampled matrix and a boolean mask over the worker's
+        halo (which remote rows the sampled matrix references).
+        """
+        sub = state.sub
+        indptr = sub.indptr
+        indices = sub.indices
+        weights = (
+            sub.weights
+            if sub.weights is not None
+            else np.ones(sub.num_edges, dtype=np.float32)
+        )
+        out_indices: list[np.ndarray] = []
+        out_weights: list[np.ndarray] = []
+        out_counts = np.zeros(sub.num_local, dtype=np.int64)
+        for row in range(sub.num_local):
+            lo, hi = indptr[row], indptr[row + 1]
+            degree = hi - lo
+            if degree <= fanout:
+                out_indices.append(indices[lo:hi])
+                out_weights.append(weights[lo:hi])
+                out_counts[row] = degree
+            else:
+                pick = self._rng.choice(degree, size=fanout, replace=False)
+                scale = degree / fanout  # unbiased row-sum estimator
+                out_indices.append(indices[lo + pick])
+                out_weights.append(weights[lo + pick] * scale)
+                out_counts[row] = fanout
+        new_indptr = np.zeros(sub.num_local + 1, dtype=np.int64)
+        np.cumsum(out_counts, out=new_indptr[1:])
+        new_indices = (
+            np.concatenate(out_indices)
+            if out_indices
+            else np.empty(0, dtype=np.int64)
+        )
+        new_weights = (
+            np.concatenate(out_weights)
+            if out_weights
+            else np.empty(0, dtype=np.float32)
+        )
+        sampled = csr_matrix(
+            (new_weights.astype(np.float32), new_indices, new_indptr),
+            shape=(sub.num_local, sub.num_local + sub.num_remote),
+        )
+        used_halo = np.zeros(sub.num_remote, dtype=bool)
+        remote_cols = new_indices[new_indices >= sub.num_local] - sub.num_local
+        used_halo[remote_cols] = True
+        return sampled, used_halo
+
+    # ------------------------------------------------------------------
+    # Trainer hooks
+    # ------------------------------------------------------------------
+    def _on_epoch_start(self, t: int) -> None:
+        if self.online or not self._sampled_once:
+            start = time.perf_counter()
+            self._resample()
+            elapsed = (time.perf_counter() - start) / self.sampling_speedup
+            self._sampled_once = True
+            # Online sampling is coordinated by per-worker samplers; the
+            # cost is per-worker compute plus request messages.
+            per_worker = elapsed / max(self.spec.num_workers, 1)
+            for state in self.workers:
+                self.runtime.add_compute(state.worker_id, per_worker)
+                for owner in state.requests:
+                    self.runtime.send_worker_to_worker(
+                        state.worker_id, owner, 64, "sampling"
+                    )
+
+    def _adjacency(self, state: WorkerState, layer: int):
+        return self._sampled_adj[state.worker_id][layer]
+
+    def _exchange_subset(self, layer: int, direction: str):
+        del direction  # forward and backward touch the same sampled halo
+        return self._subsets.get(layer)

@@ -1,0 +1,554 @@
+"""The EC-Graph distributed full-batch trainer (paper Algorithms 1-2).
+
+One trainer object runs the whole simulated cluster: it partitions the
+graph, builds the per-worker states, registers the model on the parameter
+servers, and then drives synchronous training iterations:
+
+* forward: per layer, workers pull the layer's parameters, exchange halo
+  embeddings through the configured forward policy (raw / compressed /
+  ReqEC-FP / delayed), and run the local GCN kernel;
+* backward: per layer, workers exchange halo embedding-gradients through
+  the backward policy (raw / compressed / ResEC-BP / delayed), accumulate
+  weight/bias gradient shares and push them; servers apply Adam.
+
+The same class also covers the baselines that differ only in exchange
+policy (Non-cp, Cp-fp/Cp-bp, DistGNN's delayed aggregation) and the
+single-machine standalone configuration (one worker = no halo at all).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster.engine import ClusterRuntime
+from repro.cluster.param_server import ParameterServerGroup
+from repro.cluster.topology import ClusterSpec
+from repro.core.bit_tuner import BitTuner
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.gcn_math import (
+    bias_gradient,
+    layer_backward_inputs,
+    layer_forward,
+    weight_gradient,
+)
+from repro.core.messages import RawPolicy
+from repro.core.models import GNNParameters, bias_name, build_parameters, weight_name
+from repro.core.nac import NeighborAccessController
+from repro.core.policies import CompressPolicy, DelayedPolicy
+from repro.core.reqec_fp import ReqECPolicy
+from repro.core.resec_bp import ResECPolicy
+from repro.core.results import ConvergenceRun, EpochResult
+from repro.core.worker import WorkerState, build_worker_states
+from repro.graph.attributed import AttributedGraph
+from repro.graph.normalize import normalized_adjacency
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import make_optimizer
+from repro.partition import make_partitioner
+from repro.partition.base import Partition
+
+__all__ = ["ECGraphTrainer"]
+
+
+def _make_fp_policy(config: ECGraphConfig, tuner: BitTuner):
+    if config.fp_mode == "raw":
+        return RawPolicy()
+    if config.fp_mode == "compress":
+        return CompressPolicy(config.fp_bits, config.table_mode)
+    if config.fp_mode == "reqec":
+        return ReqECPolicy(
+            tuner,
+            trend_period=config.trend_period,
+            granularity=config.selector_granularity,
+            table_mode=config.table_mode,
+        )
+    return DelayedPolicy(config.delayed_rounds)
+
+
+def _make_bp_policy(config: ECGraphConfig):
+    if config.bp_mode == "raw":
+        return RawPolicy()
+    if config.bp_mode == "compress":
+        return CompressPolicy(config.bp_bits, config.table_mode)
+    if config.bp_mode == "resec":
+        return ResECPolicy(config.bp_bits, config.table_mode)
+    return DelayedPolicy(config.delayed_rounds)
+
+
+class ECGraphTrainer:
+    """Distributed full-batch GCN/GraphSAGE training on a simulated cluster."""
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        model_config: ModelConfig,
+        cluster_spec: ClusterSpec,
+        config: ECGraphConfig | None = None,
+        partitioner: str = "hash",
+        partition: Partition | None = None,
+        fp_policy=None,
+        bp_policy=None,
+    ):
+        """Args:
+        graph: Attributed input graph.
+        model_config: GNN architecture.
+        cluster_spec: Simulated cluster shape.
+        config: EC-Graph pipeline settings (defaults reproduce the
+            paper's full configuration).
+        partitioner: Partitioner name used when ``partition`` is None.
+        partition: Pre-computed partition (reused across benchmark runs).
+        fp_policy / bp_policy: Explicit exchange-policy objects that
+            override the config's ``fp_mode``/``bp_mode`` (used to plug
+            in baseline codecs via :class:`~repro.core.policies.CodecPolicy`).
+        """
+        self.graph = graph
+        self.model_config = model_config
+        self.spec = cluster_spec
+        self.config = config or ECGraphConfig()
+        self._partitioner_name = partitioner
+        self._given_partition = partition
+
+        self.runtime: ClusterRuntime | None = None
+        self.servers: ParameterServerGroup | None = None
+        self.workers: list[WorkerState] = []
+        self.params: GNNParameters | None = None
+        self.tuner: BitTuner | None = None
+        self.nac: NeighborAccessController | None = None
+        self.partition: Partition | None = None
+        self._fp_policy = fp_policy
+        self._bp_policy = bp_policy
+        self._fp_policy_override = fp_policy is not None
+        self._bp_policy_override = bp_policy is not None
+        self._preprocessing_seconds = 0.0
+        self._global_train_count = 0
+        self._setup_done = False
+        self._lr_schedule = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Partition, build workers, register parameters, prime caches."""
+        if self._setup_done:
+            return
+        start = time.perf_counter()
+
+        if self._given_partition is not None:
+            self.partition = self._given_partition
+        else:
+            partitioner = make_partitioner(
+                self._partitioner_name, seed=self.config.seed
+            )
+            self.partition = partitioner.partition(
+                self.graph.adjacency, self.spec.num_workers
+            )
+        if self.partition.num_parts != self.spec.num_workers:
+            raise ValueError(
+                f"partition has {self.partition.num_parts} parts but the "
+                f"cluster has {self.spec.num_workers} workers"
+            )
+
+        scheme = "gcn" if self.model_config.model == "gcn" else "row"
+        normalized = normalized_adjacency(self.graph.adjacency, scheme)
+        self.workers = build_worker_states(self.graph, normalized, self.partition)
+
+        self.runtime = ClusterRuntime(self.spec)
+        self.servers = ParameterServerGroup(
+            self.runtime,
+            lambda: make_optimizer(
+                self.config.optimizer,
+                self.config.learning_rate,
+                weight_decay=self.config.weight_decay,
+            ),
+            reduce="sum",
+        )
+        self.params = build_parameters(
+            self.model_config,
+            self.graph.feature_dim,
+            self.graph.num_classes,
+            seed=self.config.seed,
+        )
+        for name, tensor in self.params.tensors.items():
+            self.servers.register(name, tensor.copy())
+
+        self.tuner = BitTuner(
+            initial_bits=self.config.fp_bits,
+            raise_threshold=self.config.tuner_raise,
+            lower_threshold=self.config.tuner_lower,
+            enabled=self.config.adaptive_bits,
+        )
+        if not self._fp_policy_override:
+            self._fp_policy = _make_fp_policy(self.config, self.tuner)
+        if not self._bp_policy_override:
+            self._bp_policy = _make_bp_policy(self.config)
+        self.nac = NeighborAccessController(
+            self.runtime, self.workers, self.config.codec_speedup
+        )
+
+        self._global_train_count = int(self.graph.train_mask.sum())
+        if self._global_train_count == 0:
+            raise ValueError("graph has no training vertices")
+
+        if self.config.cache_first_hop:
+            self._cache_halo_features()
+
+        self._preprocessing_seconds = (
+            time.perf_counter() - start + self.partition.seconds
+        )
+        # Feature-cache traffic happens once, in preprocessing: convert
+        # the charged bytes into time and fold them in.
+        cache_bytes = self.runtime.meter.epoch_bytes()
+        if cache_bytes:
+            self._preprocessing_seconds += self.runtime.meter.epoch_comm_seconds(
+                self.spec.network, self.spec.num_machines
+            )
+            self.runtime.end_epoch()  # drain the setup epoch
+            self.runtime._epoch_history.clear()
+        self._setup_done = True
+
+    def _cache_halo_features(self) -> None:
+        """The paper's first basic optimization: cache remote 1-hop
+        neighbour features on each worker once, before training."""
+        for state in self.workers:
+            halo = np.zeros(
+                (state.num_halo, self.graph.feature_dim), dtype=np.float32
+            )
+            for owner, slots in state.halo_slots.items():
+                responder = self.workers[owner]
+                rows = responder.features[responder.serves[state.worker_id]]
+                halo[slots] = rows
+                self.runtime.send_worker_to_worker(
+                    owner, state.worker_id, rows.nbytes + 16, "feature_cache"
+                )
+            state.halo_features = halo
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by the sampling trainer
+    # ------------------------------------------------------------------
+    def _adjacency(self, state: WorkerState, layer: int):
+        """Adjacency rows used by ``state`` at ``layer`` (1-based)."""
+        return state.a_local
+
+    def _exchange_subset(
+        self, layer: int, direction: str
+    ) -> dict[tuple[int, int], np.ndarray] | None:
+        """Per-channel row subsets for a sampled exchange (None = all)."""
+        del layer, direction
+        return None
+
+    def _on_epoch_start(self, t: int) -> None:
+        """Called before each iteration (sampling hooks)."""
+        del t
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def _forward(self, t: int) -> tuple[float, dict[str, tuple[int, int]]]:
+        """Run the forward pass; returns (loss, per-mask correct/count)."""
+        num_layers = self.params.num_layers
+        for state in self.workers:
+            state.reset_iteration(num_layers)
+
+        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
+        total_loss = 0.0
+
+        for layer in range(1, num_layers + 1):
+            weight_key = weight_name(layer - 1)
+            bias_key = bias_name(layer - 1)
+            pulled: dict[int, dict[str, np.ndarray]] = {}
+            names = self.params.layer_param_names(layer - 1)
+            for state in self.workers:
+                pulled[state.worker_id] = self.servers.pull(
+                    state.worker_id, names
+                )
+
+            halos = self._forward_halos(layer, t)
+
+            for state in self.workers:
+                i = state.worker_id
+                weight = pulled[i][weight_key]
+                bias = pulled[i].get(bias_key)
+                prev = (
+                    state.features
+                    if layer == 1
+                    else state.local_output(layer - 1)
+                )
+                with self.runtime.worker_compute(i):
+                    h_cat = np.concatenate([prev, halos[i]], axis=0)
+                    cache = layer_forward(
+                        self._adjacency(state, layer),
+                        h_cat,
+                        weight,
+                        bias,
+                        self.params.activation,
+                        is_last=(layer == num_layers),
+                        transform_first=(
+                            None if self.config.transform_first else False
+                        ),
+                    )
+                state.caches[layer] = cache
+
+        # Loss and metrics from the final logits; gradients are scaled by
+        # the *global* train count so server-side summation is exact.
+        for state in self.workers:
+            logits = state.caches[num_layers].output
+            with self.runtime.worker_compute(state.worker_id):
+                result = softmax_cross_entropy(
+                    logits, state.labels, state.train_mask
+                )
+                local = int(state.train_mask.sum())
+                scale = local / self._global_train_count if local else 0.0
+                # result.grad is a mean over local train vertices; rescale
+                # to a global mean so summing worker pushes is exact.
+                state.grad_rows[num_layers] = (result.grad * scale).astype(
+                    np.float32
+                )
+                total_loss += result.loss * scale
+                counters["train"][0] += result.correct
+                counters["train"][1] += result.count
+                predictions = logits.argmax(axis=1)
+                for split, mask in (
+                    ("val", state.val_mask),
+                    ("test", state.test_mask),
+                ):
+                    counters[split][0] += int(
+                        (predictions[mask] == state.labels[mask]).sum()
+                    )
+                    counters[split][1] += int(mask.sum())
+
+        if self.config.fp_mode == "reqec":
+            for pair, proportion in self.nac.last_proportions().items():
+                self.tuner.update(pair, proportion)
+
+        summary = {
+            split: (correct, count)
+            for split, (correct, count) in counters.items()
+        }
+        return total_loss, summary
+
+    def _forward_halos(self, layer: int, t: int) -> list[np.ndarray]:
+        """Halo embeddings feeding ``layer`` (H^{layer-1} remote rows)."""
+        if layer == 1:
+            if self.config.cache_first_hop:
+                return [state.halo_features for state in self.workers]
+            return self.nac.exchange(
+                layer=0,
+                t=t,
+                rows_of=lambda s: s.features,
+                policy=self._fp_policy,
+                category="fp_embeddings",
+                dim=self.graph.feature_dim,
+                subset=self._exchange_subset(1, "fp"),
+            )
+        return self.nac.exchange(
+            layer=layer - 1,
+            t=t,
+            rows_of=lambda s, _l=layer: s.local_output(_l - 1),
+            policy=self._fp_policy,
+            category="fp_embeddings",
+            dim=self.params.dims[layer - 1],
+            subset=self._exchange_subset(layer, "fp"),
+        )
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def _backward(self, t: int) -> None:
+        num_layers = self.params.num_layers
+        grads: dict[int, dict[str, np.ndarray]] = {
+            state.worker_id: {} for state in self.workers
+        }
+
+        for layer in range(num_layers, 0, -1):
+            weight_key = weight_name(layer - 1)
+            for state in self.workers:
+                i = state.worker_id
+                g_local = state.grad_rows[layer]
+                cache = state.caches[layer]
+                with self.runtime.worker_compute(i):
+                    grads[i][weight_key] = weight_gradient(
+                        cache, self._adjacency(state, layer), g_local
+                    )
+                    if self.params.use_bias:
+                        grads[i][bias_name(layer - 1)] = bias_gradient(g_local)
+
+            if layer > 1:
+                halos = self.nac.exchange(
+                    layer=layer,
+                    t=t,
+                    rows_of=lambda s, _l=layer: s.grad_rows[_l],
+                    policy=self._bp_policy,
+                    category="bp_gradients",
+                    dim=self.params.dims[layer],
+                    subset=self._exchange_subset(layer, "bp"),
+                )
+                weight = self.servers.get(weight_name(layer - 1))
+                for state in self.workers:
+                    i = state.worker_id
+                    with self.runtime.worker_compute(i):
+                        g_cat = np.concatenate(
+                            [state.grad_rows[layer], halos[i]], axis=0
+                        )
+                        state.grad_rows[layer - 1] = layer_backward_inputs(
+                            self._adjacency(state, layer),
+                            g_cat,
+                            weight,
+                            state.caches[layer - 1].pre_activation,
+                            self.params.activation,
+                        )
+
+        for state in self.workers:
+            self.servers.push(state.worker_id, grads[state.worker_id])
+        self.servers.apply_updates()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_epoch(self, t: int) -> EpochResult:
+        """One synchronous training iteration (forward + backward)."""
+        self.setup()
+        if self._lr_schedule is not None:
+            self.servers.set_learning_rate(self._lr_schedule(t))
+        self._on_epoch_start(t)
+        loss, counters = self._forward(t)
+        self._backward(t)
+        breakdown = self.runtime.end_epoch()
+
+        def _ratio(split: str) -> float:
+            correct, count = counters[split]
+            return correct / count if count else 0.0
+
+        return EpochResult(
+            epoch=t,
+            loss=loss,
+            train_accuracy=_ratio("train"),
+            val_accuracy=_ratio("val"),
+            test_accuracy=_ratio("test"),
+            breakdown=breakdown,
+        )
+
+    def train(
+        self,
+        num_epochs: int,
+        patience: int | None = None,
+        target_accuracy: float | None = None,
+        name: str | None = None,
+        lr_schedule=None,
+    ) -> ConvergenceRun:
+        """Train for up to ``num_epochs`` iterations.
+
+        Args:
+            num_epochs: Maximum iterations ``T``.
+            patience: Stop when validation accuracy has not improved for
+                this many epochs (None disables early stopping).
+            target_accuracy: Stop as soon as test accuracy reaches this.
+            name: Run label for reports.
+            lr_schedule: Optional ``epoch -> learning rate`` callable
+                (see :mod:`repro.nn.lr_schedule`); ``None`` keeps the
+                configured constant rate, the paper's setting.
+        """
+        self._lr_schedule = lr_schedule
+        self.setup()
+        run = ConvergenceRun(
+            name=name or f"ecgraph[{self.config.fp_mode}/{self.config.bp_mode}]",
+            preprocessing_seconds=self._preprocessing_seconds,
+            meta={
+                "fp_mode": self.config.fp_mode,
+                "bp_mode": self.config.bp_mode,
+                "fp_bits": self.config.fp_bits,
+                "bp_bits": self.config.bp_bits,
+                "num_workers": self.spec.num_workers,
+                "dataset": self.graph.name,
+                "num_layers": self.model_config.num_layers,
+            },
+        )
+        best_val = -1.0
+        stale = 0
+        for t in range(num_epochs):
+            result = self.run_epoch(t)
+            run.epochs.append(result)
+            if target_accuracy is not None and (
+                result.test_accuracy >= target_accuracy
+            ):
+                break
+            if patience is not None:
+                if result.val_accuracy > best_val + 1e-6:
+                    best_val = result.val_accuracy
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= patience:
+                        break
+        run.final_test_accuracy = self.evaluate_exact()["test"]
+        return run
+
+    def evaluate_exact(self) -> dict[str, float]:
+        """Accuracy of the current parameters with exact communication.
+
+        Runs one raw-policy forward pass on a scratch runtime so neither
+        traffic accounting nor compensation state is disturbed — this is
+        the Table V measurement.
+        """
+        self.setup()
+        scratch_runtime = ClusterRuntime(self.spec)
+        scratch_nac = NeighborAccessController(
+            scratch_runtime, self.workers, self.config.codec_speedup
+        )
+        raw = RawPolicy()
+        num_layers = self.params.num_layers
+
+        outputs: list[np.ndarray] = [state.features for state in self.workers]
+        for layer in range(1, num_layers + 1):
+            weight = self.servers.get(weight_name(layer - 1))
+            bias = (
+                self.servers.get(bias_name(layer - 1))
+                if self.params.use_bias
+                else None
+            )
+            if layer == 1 and self.config.cache_first_hop:
+                halos = [state.halo_features for state in self.workers]
+            else:
+                halos = scratch_nac.exchange(
+                    layer=layer - 1,
+                    t=0,
+                    rows_of=lambda s: outputs[s.worker_id],
+                    policy=raw,
+                    category="eval",
+                    dim=outputs[0].shape[1],
+                )
+            new_outputs = []
+            for state in self.workers:
+                h_cat = np.concatenate(
+                    [outputs[state.worker_id], halos[state.worker_id]], axis=0
+                )
+                cache = layer_forward(
+                    state.a_local,
+                    h_cat,
+                    weight,
+                    bias,
+                    self.params.activation,
+                    is_last=(layer == num_layers),
+                )
+                new_outputs.append(cache.output)
+            outputs = new_outputs
+
+        metrics = {}
+        for split, mask_of in (
+            ("train", lambda s: s.train_mask),
+            ("val", lambda s: s.val_mask),
+            ("test", lambda s: s.test_mask),
+        ):
+            correct = count = 0
+            for state in self.workers:
+                mask = mask_of(state)
+                predictions = outputs[state.worker_id].argmax(axis=1)
+                correct += int((predictions[mask] == state.labels[mask]).sum())
+                count += int(mask.sum())
+            metrics[split] = correct / count if count else 0.0
+        return metrics
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        """Setup cost: partitioning, worker build, feature caching."""
+        return self._preprocessing_seconds

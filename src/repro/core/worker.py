@@ -1,0 +1,156 @@
+"""Per-worker state for distributed full-batch training.
+
+Each worker owns a partition of the vertices and keeps:
+
+* its rows of the *globally normalized* adjacency, with columns in a
+  compact local space (owned vertices first, then the halo of remote
+  1-hop neighbours),
+* local slices of features, labels and split masks,
+* the request plan: which vertex rows it needs from each remote owner and
+  where they scatter into its halo buffer, plus the serve plan for the
+  symmetric direction,
+* the forward caches (``H``, ``Z``, ``A H``) needed by the backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.core.gcn_math import LayerForwardCache
+from repro.graph.attributed import AttributedGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.subgraph import LocalSubgraph, induced_subgraph
+from repro.partition.base import Partition
+
+__all__ = ["WorkerState", "build_worker_states"]
+
+
+@dataclass
+class WorkerState:
+    """Everything one worker holds between communication steps.
+
+    Attributes:
+        worker_id: This worker's index.
+        sub: The worker's :class:`LocalSubgraph` over the normalized
+            adjacency.
+        a_local: ``(n_local, n_local + n_halo)`` sparse adjacency rows.
+        features / labels / masks: Local slices, in local-vertex order.
+        requests: owner -> global ids this worker fetches each layer.
+        halo_slots: owner -> positions of those ids in the halo buffer.
+        serves: requester -> local row indices this worker ships to it.
+        caches: Forward caches per layer (index 0 unused).
+        grad_rows: ``G^l`` rows for the local vertices, per layer.
+    """
+
+    worker_id: int
+    sub: LocalSubgraph
+    a_local: csr_matrix
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    requests: dict[int, np.ndarray]
+    halo_slots: dict[int, np.ndarray]
+    serves: dict[int, np.ndarray]
+    caches: list[LayerForwardCache | None] = field(default_factory=list)
+    grad_rows: list[np.ndarray | None] = field(default_factory=list)
+    halo_features: np.ndarray | None = None
+
+    @property
+    def num_local(self) -> int:
+        return self.sub.num_local
+
+    @property
+    def num_halo(self) -> int:
+        return self.sub.num_remote
+
+    def local_output(self, layer: int) -> np.ndarray:
+        """``H^layer`` rows for the local vertices (layer >= 1)."""
+        cache = self.caches[layer]
+        if cache is None:
+            raise RuntimeError(f"layer {layer} has not run forward yet")
+        return cache.output
+
+    def reset_iteration(self, num_layers: int) -> None:
+        """Clear per-iteration caches before a new forward pass."""
+        self.caches = [None] * (num_layers + 1)
+        self.grad_rows = [None] * (num_layers + 1)
+
+
+def build_worker_states(
+    graph: AttributedGraph,
+    normalized: CSRGraph,
+    partition: Partition,
+) -> list[WorkerState]:
+    """Construct all worker states for a partitioned training run.
+
+    Args:
+        graph: The attributed input graph (features/labels/masks).
+        normalized: The *globally* normalized adjacency (GCN or row
+            normalization must happen before partitioning so degrees are
+            global).
+        partition: Vertex-to-worker assignment.
+    """
+    if partition.num_vertices != graph.num_vertices:
+        raise ValueError("partition does not match the graph")
+    states: list[WorkerState] = []
+    subs: list[LocalSubgraph] = []
+    for worker in range(partition.num_parts):
+        local = partition.part_vertices(worker)
+        subs.append(induced_subgraph(normalized, local))
+
+    assignment = partition.assignment
+    # Local row index of every vertex on its owner (owners list vertices
+    # in ascending global order, so searchsorted gives the row).
+    owner_vertex_lists = [subs[w].local_vertices for w in range(partition.num_parts)]
+
+    for worker in range(partition.num_parts):
+        sub = subs[worker]
+        n_cols = sub.num_local + sub.num_remote
+        a_local = csr_matrix(
+            (
+                sub.weights
+                if sub.weights is not None
+                else np.ones(sub.num_edges, dtype=np.float32),
+                sub.indices,
+                sub.indptr,
+            ),
+            shape=(sub.num_local, n_cols),
+        )
+
+        requests: dict[int, np.ndarray] = {}
+        halo_slots: dict[int, np.ndarray] = {}
+        if sub.num_remote:
+            owners = assignment[sub.remote_vertices]
+            for owner in np.unique(owners):
+                mask = owners == owner
+                requests[int(owner)] = sub.remote_vertices[mask]
+                halo_slots[int(owner)] = np.flatnonzero(mask).astype(np.int64)
+
+        states.append(
+            WorkerState(
+                worker_id=worker,
+                sub=sub,
+                a_local=a_local,
+                features=graph.features[sub.local_vertices],
+                labels=graph.labels[sub.local_vertices],
+                train_mask=graph.train_mask[sub.local_vertices],
+                val_mask=graph.val_mask[sub.local_vertices],
+                test_mask=graph.test_mask[sub.local_vertices],
+                requests=requests,
+                halo_slots=halo_slots,
+                serves={},
+            )
+        )
+
+    # Serve plans are the mirror of the request plans.
+    for state in states:
+        for owner, wanted in state.requests.items():
+            rows = np.searchsorted(owner_vertex_lists[owner], wanted)
+            states[owner].serves[state.worker_id] = rows.astype(np.int64)
+
+    return states

@@ -1,0 +1,121 @@
+"""Attributed graphs: adjacency + features + labels + split masks.
+
+This mirrors the paper's input ``G = <V, E, X_V>`` for vertex
+classification: a directed adjacency, a float feature matrix, integer class
+labels and boolean train/val/test masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["AttributedGraph", "make_split_masks"]
+
+
+@dataclass
+class AttributedGraph:
+    """An attributed, labelled graph ready for GNN training.
+
+    Attributes:
+        adjacency: Directed :class:`CSRGraph`; for the GCN experiments the
+            graphs are symmetric (both arcs stored).
+        features: ``(n, d0)`` float32 feature matrix ``X_V``.
+        labels: ``(n,)`` int64 class ids.
+        train_mask / val_mask / test_mask: Boolean ``(n,)`` split masks.
+        num_classes: Number of distinct classes.
+        name: Human-readable dataset name (used in reports).
+        meta: Free-form provenance (generator parameters, scale factor, ...).
+    """
+
+    adjacency: CSRGraph
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    num_classes: int
+    name: str = "unnamed"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        n = self.adjacency.num_vertices
+        self.features = np.ascontiguousarray(self.features, dtype=np.float32)
+        self.labels = np.ascontiguousarray(self.labels, dtype=np.int64)
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = np.ascontiguousarray(getattr(self, mask_name), dtype=bool)
+            setattr(self, mask_name, mask)
+            if mask.shape != (n,):
+                raise ValueError(f"{mask_name} shape {mask.shape} != ({n},)")
+        if self.features.shape[0] != n:
+            raise ValueError(
+                f"features rows {self.features.shape[0]} != vertices {n}"
+            )
+        if self.labels.shape != (n,):
+            raise ValueError(f"labels shape {self.labels.shape} != ({n},)")
+        if self.num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        labelled = self.labels[self.train_mask | self.val_mask | self.test_mask]
+        if labelled.size and (labelled.min() < 0 or labelled.max() >= self.num_classes):
+            raise ValueError("labelled vertex has class id out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.adjacency.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.adjacency.num_edges
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+    def split_sizes(self) -> tuple[int, int, int]:
+        """``(train, val, test)`` vertex counts."""
+        return (
+            int(self.train_mask.sum()),
+            int(self.val_mask.sum()),
+            int(self.test_mask.sum()),
+        )
+
+    def summary(self) -> str:
+        """One-line description matching the paper's Table III columns."""
+        train, val, test = self.split_sizes()
+        return (
+            f"{self.name}: |V|={self.num_vertices:,} |E|={self.num_edges:,} "
+            f"d0={self.feature_dim} classes={self.num_classes} "
+            f"avg_degree={self.adjacency.average_degree:.2f} "
+            f"split={train}/{val}/{test}"
+        )
+
+
+def make_split_masks(
+    num_vertices: int,
+    train: int,
+    val: int,
+    test: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw disjoint train/val/test masks of the requested sizes.
+
+    Raises :class:`ValueError` if the sizes exceed the vertex count, instead
+    of silently truncating a split.
+    """
+    total = train + val + test
+    if total > num_vertices:
+        raise ValueError(
+            f"split sizes {train}+{val}+{test}={total} exceed {num_vertices} vertices"
+        )
+    perm = rng.permutation(num_vertices)
+    train_mask = np.zeros(num_vertices, dtype=bool)
+    val_mask = np.zeros(num_vertices, dtype=bool)
+    test_mask = np.zeros(num_vertices, dtype=bool)
+    train_mask[perm[:train]] = True
+    val_mask[perm[train:train + val]] = True
+    test_mask[perm[train + val:total]] = True
+    return train_mask, val_mask, test_mask

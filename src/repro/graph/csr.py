@@ -1,0 +1,261 @@
+"""Compressed sparse row (CSR) adjacency storage.
+
+Every subsystem in this repository — partitioners, the cluster engine, the
+GNN math and the baselines — shares this one adjacency representation. The
+graph is directed; an undirected graph stores both arcs. ``indptr`` and
+``indices`` follow the scipy convention: the in/out-neighbours of vertex
+``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
+
+The GCN aggregation in the paper (Eq. 2) multiplies by the *transpose* of
+the normalized adjacency, so :class:`CSRGraph` keeps optional per-edge
+weights and supports cheap transposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph", "from_edge_list", "from_scipy"]
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Attributes:
+        indptr: ``(n + 1,)`` int64 row pointers.
+        indices: ``(m,)`` int32/int64 column ids (edge targets per row).
+        weights: Optional ``(m,)`` float32 edge weights aligned with
+            ``indices``; ``None`` means all edges weigh 1.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+    _sorted_rows: bool = field(default=False, repr=False)
+
+    def __post_init__(self):
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError(
+                f"indptr[-1]={self.indptr[-1]} does not match "
+                f"{self.indices.shape[0]} stored edges"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_vertices
+        ):
+            raise ValueError("edge target out of range")
+        if self.weights is not None:
+            self.weights = np.ascontiguousarray(self.weights, dtype=np.float32)
+            if self.weights.shape != self.indices.shape:
+                raise ValueError("weights must align with indices")
+
+    # ------------------------------------------------------------------
+    # Basic shape queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.shape[0] - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def average_degree(self) -> float:
+        n = self.num_vertices
+        return self.num_edges / n if n else 0.0
+
+    def degree(self, vertex: int | None = None) -> np.ndarray | int:
+        """Out-degree of one vertex, or the full degree vector."""
+        if vertex is None:
+            return np.diff(self.indptr)
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """View of the neighbour ids of ``vertex`` (do not mutate)."""
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def edge_weights(self, vertex: int) -> np.ndarray:
+        """Weights of the edges leaving ``vertex`` (ones if unweighted)."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        if self.weights is None:
+            return np.ones(hi - lo, dtype=np.float32)
+        return self.weights[lo:hi]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(src, dst)`` pairs in row order."""
+        for v in range(self.num_vertices):
+            for u in self.neighbors(v):
+                yield v, int(u)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRGraph":
+        """Return the reverse graph (in-neighbour lists), weights carried."""
+        n, m = self.num_vertices, self.num_edges
+        counts = np.bincount(self.indices, minlength=n)
+        indptr_t = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr_t[1:])
+        indices_t = np.empty(m, dtype=np.int64)
+        weights_t = None if self.weights is None else np.empty(m, dtype=np.float32)
+        cursor = indptr_t[:-1].copy()
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        order = np.argsort(self.indices, kind="stable")
+        indices_t[:] = src[order]
+        if weights_t is not None:
+            weights_t[:] = self.weights[order]
+        del cursor
+        return CSRGraph(indptr_t, indices_t, weights_t)
+
+    def with_self_loops(self) -> "CSRGraph":
+        """Return a copy with a self-loop added to every vertex.
+
+        Vertices that already have a self-loop are left as-is so repeated
+        application is idempotent. Existing weights are kept; new loops get
+        weight 1.
+        """
+        n = self.num_vertices
+        has_loop = np.zeros(n, dtype=bool)
+        for v in range(n):
+            if np.any(self.neighbors(v) == v):
+                has_loop[v] = True
+        extra = np.count_nonzero(~has_loop)
+        if extra == 0:
+            return CSRGraph(
+                self.indptr.copy(),
+                self.indices.copy(),
+                None if self.weights is None else self.weights.copy(),
+            )
+        new_counts = np.diff(self.indptr) + (~has_loop)
+        indptr_new = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=indptr_new[1:])
+        indices_new = np.empty(self.num_edges + extra, dtype=np.int64)
+        weights_new = (
+            None
+            if self.weights is None
+            else np.empty(self.num_edges + extra, dtype=np.float32)
+        )
+        for v in range(n):
+            lo_old, hi_old = self.indptr[v], self.indptr[v + 1]
+            lo_new = indptr_new[v]
+            span = hi_old - lo_old
+            indices_new[lo_new:lo_new + span] = self.indices[lo_old:hi_old]
+            if weights_new is not None:
+                weights_new[lo_new:lo_new + span] = self.weights[lo_old:hi_old]
+            if not has_loop[v]:
+                indices_new[lo_new + span] = v
+                if weights_new is not None:
+                    weights_new[lo_new + span] = 1.0
+        return CSRGraph(indptr_new, indices_new, weights_new)
+
+    def to_scipy(self):
+        """Export as a :class:`scipy.sparse.csr_matrix`."""
+        from scipy.sparse import csr_matrix
+
+        data = (
+            np.ones(self.num_edges, dtype=np.float32)
+            if self.weights is None
+            else self.weights
+        )
+        n = self.num_vertices
+        return csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    def sorted_rows(self) -> "CSRGraph":
+        """Return a copy whose neighbour lists are sorted ascending."""
+        indices = self.indices.copy()
+        weights = None if self.weights is None else self.weights.copy()
+        for v in range(self.num_vertices):
+            lo, hi = self.indptr[v], self.indptr[v + 1]
+            order = np.argsort(indices[lo:hi], kind="stable")
+            indices[lo:hi] = indices[lo:hi][order]
+            if weights is not None:
+                weights[lo:hi] = weights[lo:hi][order]
+        out = CSRGraph(self.indptr.copy(), indices, weights)
+        out._sorted_rows = True
+        return out
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the arc ``src -> dst`` exists."""
+        row = self.neighbors(src)
+        if self._sorted_rows:
+            pos = np.searchsorted(row, dst)
+            return bool(pos < row.size and row[pos] == dst)
+        return bool(np.any(row == dst))
+
+
+def from_edge_list(
+    edges: Iterable[tuple[int, int]] | np.ndarray,
+    num_vertices: int,
+    weights: Sequence[float] | np.ndarray | None = None,
+    deduplicate: bool = False,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from an edge list.
+
+    Args:
+        edges: Iterable of ``(src, dst)`` pairs or an ``(m, 2)`` array.
+        num_vertices: Total number of vertices ``n``; every endpoint must be
+            in ``[0, n)``.
+        weights: Optional per-edge weights aligned with ``edges``.
+        deduplicate: Drop duplicate arcs, keeping the first occurrence.
+    """
+    edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if edge_array.size == 0:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+    edge_array = edge_array.astype(np.int64, copy=False)
+    if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+        raise ValueError(f"edges must be (m, 2), got {edge_array.shape}")
+    if edge_array.size and (
+        edge_array.min() < 0 or edge_array.max() >= num_vertices
+    ):
+        raise ValueError("edge endpoint out of range")
+
+    weight_array = None
+    if weights is not None:
+        weight_array = np.asarray(weights, dtype=np.float32)
+        if weight_array.shape != (edge_array.shape[0],):
+            raise ValueError("weights must align with edges")
+
+    if deduplicate and edge_array.shape[0]:
+        keys = edge_array[:, 0].astype(np.int64) * num_vertices + edge_array[:, 1]
+        _, keep = np.unique(keys, return_index=True)
+        keep.sort()
+        edge_array = edge_array[keep]
+        if weight_array is not None:
+            weight_array = weight_array[keep]
+
+    order = np.argsort(edge_array[:, 0], kind="stable")
+    edge_array = edge_array[order]
+    if weight_array is not None:
+        weight_array = weight_array[order]
+
+    counts = np.bincount(edge_array[:, 0], minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, edge_array[:, 1].astype(np.int64), weight_array)
+
+
+def from_scipy(matrix) -> CSRGraph:
+    """Build a :class:`CSRGraph` from any scipy sparse matrix."""
+    csr = matrix.tocsr()
+    if csr.shape[0] != csr.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    weights = np.asarray(csr.data, dtype=np.float32)
+    if np.allclose(weights, 1.0):
+        weights = None
+    return CSRGraph(
+        np.asarray(csr.indptr, dtype=np.int64),
+        np.asarray(csr.indices, dtype=np.int64),
+        weights,
+    )

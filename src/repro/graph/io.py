@@ -1,0 +1,69 @@
+"""Save/load attributed graphs as ``.npz`` archives.
+
+In the paper, workers load their subgraphs from NFS after partitioning.
+The simulated NFS (:mod:`repro.cluster.nfs`) stores graphs in this format,
+and examples use it to cache generated datasets between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.attributed import AttributedGraph
+from repro.graph.csr import CSRGraph
+
+__all__ = ["save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: AttributedGraph, path: str | Path) -> None:
+    """Serialize ``graph`` to a compressed ``.npz`` archive at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "indptr": graph.adjacency.indptr,
+        "indices": graph.adjacency.indices,
+        "features": graph.features,
+        "labels": graph.labels,
+        "train_mask": graph.train_mask,
+        "val_mask": graph.val_mask,
+        "test_mask": graph.test_mask,
+        "num_classes": np.int64(graph.num_classes),
+        "name": np.str_(graph.name),
+        "meta_json": np.str_(json.dumps(graph.meta, default=str)),
+    }
+    if graph.adjacency.weights is not None:
+        payload["weights"] = graph.adjacency.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: str | Path) -> AttributedGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"graph archive not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph archive version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        weights = archive["weights"] if "weights" in archive.files else None
+        adjacency = CSRGraph(archive["indptr"], archive["indices"], weights)
+        return AttributedGraph(
+            adjacency=adjacency,
+            features=archive["features"],
+            labels=archive["labels"],
+            train_mask=archive["train_mask"],
+            val_mask=archive["val_mask"],
+            test_mask=archive["test_mask"],
+            num_classes=int(archive["num_classes"]),
+            name=str(archive["name"]),
+            meta=json.loads(str(archive["meta_json"])),
+        )

@@ -1,0 +1,186 @@
+"""Subgraph extraction utilities.
+
+Two operations back the two system families in the paper:
+
+* :func:`induced_subgraph` — the *graph-centered* path: each worker holds
+  exactly the vertices a partitioner assigned to it, plus the cut edges
+  that point at remote vertices (the remote endpoints stay remote).
+* :func:`khop_neighborhood` — the *ML-centered* path (AliGraph/AGL): a
+  target vertex pulls its entire L-hop neighbourhood so the worker can run
+  the GNN without communicating; this is the memory/computation redundancy
+  the paper's Table II quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["LocalSubgraph", "induced_subgraph", "khop_neighborhood",
+           "khop_sampled_neighborhood"]
+
+
+@dataclass
+class LocalSubgraph:
+    """A worker-local view of a partitioned graph.
+
+    The subgraph keeps the *global* structure relevant to its local
+    vertices: local rows of the adjacency, with columns relabelled into a
+    compact space ``[0, num_local + num_remote)`` where local vertices come
+    first, then remote (halo) vertices in sorted global order.
+
+    Attributes:
+        local_vertices: Global ids of the vertices owned by this worker.
+        remote_vertices: Global ids of remote 1-hop neighbours (the halo).
+        indptr / indices / weights: CSR rows for the local vertices, with
+            column ids in the compact space.
+        global_to_compact: Mapping from global vertex id to compact id for
+            all vertices appearing in this subgraph.
+    """
+
+    local_vertices: np.ndarray
+    remote_vertices: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None
+    global_to_compact: dict[int, int]
+
+    @property
+    def num_local(self) -> int:
+        return self.local_vertices.shape[0]
+
+    @property
+    def num_remote(self) -> int:
+        return self.remote_vertices.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.shape[0]
+
+    def compact_ids(self, global_ids: np.ndarray) -> np.ndarray:
+        """Translate global vertex ids into this worker's compact space."""
+        return np.fromiter(
+            (self.global_to_compact[int(g)] for g in global_ids),
+            dtype=np.int64,
+            count=len(global_ids),
+        )
+
+
+def induced_subgraph(graph: CSRGraph, local_vertices: np.ndarray) -> LocalSubgraph:
+    """Extract the worker-local subgraph for a set of owned vertices.
+
+    All edges leaving the owned vertices are kept; edges pointing at
+    non-owned vertices make those targets part of the remote halo.
+    """
+    local_vertices = np.asarray(local_vertices, dtype=np.int64)
+    if local_vertices.size != np.unique(local_vertices).size:
+        raise ValueError("local vertex set contains duplicates")
+    local_set = set(int(v) for v in local_vertices)
+
+    remote: set[int] = set()
+    for v in local_vertices:
+        for u in graph.neighbors(int(v)):
+            u = int(u)
+            if u not in local_set:
+                remote.add(u)
+    remote_vertices = np.array(sorted(remote), dtype=np.int64)
+
+    mapping: dict[int, int] = {}
+    for compact, g in enumerate(local_vertices):
+        mapping[int(g)] = compact
+    offset = local_vertices.shape[0]
+    for compact, g in enumerate(remote_vertices):
+        mapping[int(g)] = offset + compact
+
+    counts = np.array(
+        [graph.degree(int(v)) for v in local_vertices], dtype=np.int64
+    )
+    indptr = np.zeros(local_vertices.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(int(counts.sum()), dtype=np.int64)
+    weights = None if graph.weights is None else np.empty(
+        int(counts.sum()), dtype=np.float32
+    )
+    for row, v in enumerate(local_vertices):
+        lo, hi = indptr[row], indptr[row + 1]
+        nbrs = graph.neighbors(int(v))
+        indices[lo:hi] = [mapping[int(u)] for u in nbrs]
+        if weights is not None:
+            indices_slice = graph.indptr[int(v)]
+            weights[lo:hi] = graph.weights[
+                indices_slice:indices_slice + (hi - lo)
+            ]
+    return LocalSubgraph(
+        local_vertices=local_vertices,
+        remote_vertices=remote_vertices,
+        indptr=indptr,
+        indices=indices,
+        weights=weights,
+        global_to_compact=mapping,
+    )
+
+
+def khop_neighborhood(
+    graph: CSRGraph, targets: np.ndarray, hops: int
+) -> np.ndarray:
+    """Global ids of all vertices within ``hops`` of ``targets``.
+
+    This is the vertex set an ML-centered worker must cache to train a
+    ``hops``-layer GNN on ``targets`` without communication. The result
+    includes the targets themselves and is sorted.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    frontier = set(int(v) for v in np.asarray(targets).ravel())
+    visited = set(frontier)
+    for _ in range(hops):
+        next_frontier: set[int] = set()
+        for v in frontier:
+            for u in graph.neighbors(v):
+                u = int(u)
+                if u not in visited:
+                    visited.add(u)
+                    next_frontier.add(u)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return np.array(sorted(visited), dtype=np.int64)
+
+
+def khop_sampled_neighborhood(
+    graph: CSRGraph,
+    targets: np.ndarray,
+    fanouts: list[int],
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Layer-wise sampled neighbourhoods (DistDGL/AGL style).
+
+    ``fanouts[i]`` bounds how many neighbours each frontier vertex keeps at
+    hop ``i``. Returns one array of *new* vertex ids per hop, so the union
+    of targets and all returned arrays is the sampled computation graph.
+    """
+    frontier = np.unique(np.asarray(targets, dtype=np.int64).ravel())
+    visited = set(int(v) for v in frontier)
+    layers: list[np.ndarray] = []
+    for fanout in fanouts:
+        if fanout <= 0:
+            raise ValueError("fanouts must be positive")
+        new_ids: set[int] = set()
+        for v in frontier:
+            nbrs = graph.neighbors(int(v))
+            if nbrs.size > fanout:
+                nbrs = rng.choice(nbrs, size=fanout, replace=False)
+            for u in nbrs:
+                u = int(u)
+                if u not in visited:
+                    visited.add(u)
+                    new_ids.add(u)
+        layer = np.array(sorted(new_ids), dtype=np.int64)
+        layers.append(layer)
+        frontier = layer
+        if frontier.size == 0:
+            frontier = np.empty(0, dtype=np.int64)
+    return layers

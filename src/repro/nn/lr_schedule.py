@@ -1,0 +1,69 @@
+"""Learning-rate schedules.
+
+The paper uses a fixed learning rate shared by all systems, but schedules
+are a standard knob when tuning the compression/accuracy trade-off, so the
+trainer accepts any callable ``epoch -> lr``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ConstantLR", "StepDecayLR", "ExponentialDecayLR", "CosineAnnealingLR"]
+
+
+@dataclass(frozen=True)
+class ConstantLR:
+    """Always return the base learning rate (the paper's setting)."""
+
+    base_lr: float
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr
+
+
+@dataclass(frozen=True)
+class StepDecayLR:
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    base_lr: float
+    step_size: int
+    gamma: float = 0.5
+
+    def __post_init__(self):
+        if self.step_size <= 0:
+            raise ValueError("step_size must be positive")
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+@dataclass(frozen=True)
+class ExponentialDecayLR:
+    """Smooth exponential decay ``base_lr * gamma**epoch``."""
+
+    base_lr: float
+    gamma: float = 0.99
+
+    def __call__(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+@dataclass(frozen=True)
+class CosineAnnealingLR:
+    """Cosine annealing from ``base_lr`` down to ``min_lr`` over ``t_max``."""
+
+    base_lr: float
+    t_max: int
+    min_lr: float = 0.0
+
+    def __post_init__(self):
+        if self.t_max <= 0:
+            raise ValueError("t_max must be positive")
+
+    def __call__(self, epoch: int) -> float:
+        phase = min(epoch, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * phase)
+        )

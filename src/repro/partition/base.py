@@ -1,0 +1,77 @@
+"""Partition results and the partitioner interface.
+
+The Graph Engine calls a partitioner to divide the input graph into one
+part per worker (paper section III-A). A :class:`Partition` is simply the
+assignment vector plus convenience accessors, validated on construction so
+every downstream consumer can rely on the invariants:
+
+* every vertex is assigned to exactly one part,
+* part ids are dense in ``[0, num_parts)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Partition", "Partitioner"]
+
+
+@dataclass
+class Partition:
+    """An assignment of vertices to ``num_parts`` workers.
+
+    Attributes:
+        assignment: ``(n,)`` int array; ``assignment[v]`` is the owning part.
+        num_parts: Number of parts (workers).
+        method: Name of the algorithm that produced the partition.
+        seconds: Wall-clock partitioning time (Fig. 9 charges preprocessing).
+    """
+
+    assignment: np.ndarray
+    num_parts: int
+    method: str = "unknown"
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        self.assignment = np.ascontiguousarray(self.assignment, dtype=np.int64)
+        if self.assignment.ndim != 1:
+            raise ValueError("assignment must be 1-D")
+        if self.num_parts <= 0:
+            raise ValueError("num_parts must be positive")
+        if self.assignment.size and (
+            self.assignment.min() < 0 or self.assignment.max() >= self.num_parts
+        ):
+            raise ValueError("part id out of range")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.assignment.shape[0]
+
+    def part_vertices(self, part: int) -> np.ndarray:
+        """Global vertex ids owned by ``part`` (sorted ascending)."""
+        if not 0 <= part < self.num_parts:
+            raise IndexError(f"part {part} out of range [0, {self.num_parts})")
+        return np.flatnonzero(self.assignment == part).astype(np.int64)
+
+    def part_sizes(self) -> np.ndarray:
+        """Vertex count per part."""
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+    def owner(self, vertex: int) -> int:
+        """The part owning ``vertex``."""
+        return int(self.assignment[vertex])
+
+
+class Partitioner(Protocol):
+    """Common interface for all partitioning algorithms."""
+
+    name: str
+
+    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+        """Divide ``graph`` into ``num_parts`` parts."""
+        ...

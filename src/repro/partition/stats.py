@@ -1,0 +1,114 @@
+"""Partition quality statistics.
+
+These quantities drive the communication cost model: the number of *cut*
+edges determines how many embedding messages cross machine boundaries each
+layer, and ``avg_remote_neighbors`` is the paper's ``g_rmt`` in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import Partition
+
+__all__ = ["PartitionStats", "partition_stats", "remote_neighbor_lists"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Quality metrics for one partition of one graph.
+
+    Attributes:
+        num_parts: Number of parts.
+        edge_cut: Number of edges whose endpoints live on different parts.
+        edge_cut_ratio: ``edge_cut / num_edges``.
+        max_part_size / min_part_size: Extremes of the part sizes.
+        balance: ``max_part_size / ideal`` where ideal is ``n / num_parts``.
+        avg_remote_neighbors: Mean number of *distinct* remote 1-hop
+            neighbours per vertex (the paper's ``g_rmt``).
+        total_halo: Sum over parts of the distinct remote vertices each
+            part must fetch per layer.
+    """
+
+    num_parts: int
+    edge_cut: int
+    edge_cut_ratio: float
+    max_part_size: int
+    min_part_size: int
+    balance: float
+    avg_remote_neighbors: float
+    total_halo: int
+
+
+def partition_stats(graph: CSRGraph, partition: Partition) -> PartitionStats:
+    """Compute :class:`PartitionStats` for ``partition`` over ``graph``."""
+    if partition.num_vertices != graph.num_vertices:
+        raise ValueError("partition and graph vertex counts differ")
+    assignment = partition.assignment
+    src = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), np.diff(graph.indptr)
+    )
+    cut_mask = assignment[src] != assignment[graph.indices]
+    edge_cut = int(cut_mask.sum())
+
+    sizes = partition.part_sizes()
+    ideal = graph.num_vertices / partition.num_parts
+
+    remote_per_vertex = np.zeros(graph.num_vertices, dtype=np.int64)
+    total_halo = 0
+    for part in range(partition.num_parts):
+        halo: set[int] = set()
+        for v in partition.part_vertices(part):
+            count = 0
+            seen: set[int] = set()
+            for u in graph.neighbors(int(v)):
+                u = int(u)
+                if assignment[u] != part and u not in seen:
+                    seen.add(u)
+                    count += 1
+                    halo.add(u)
+            remote_per_vertex[v] = count
+        total_halo += len(halo)
+
+    return PartitionStats(
+        num_parts=partition.num_parts,
+        edge_cut=edge_cut,
+        edge_cut_ratio=edge_cut / graph.num_edges if graph.num_edges else 0.0,
+        max_part_size=int(sizes.max()) if sizes.size else 0,
+        min_part_size=int(sizes.min()) if sizes.size else 0,
+        balance=float(sizes.max() / ideal) if ideal else 0.0,
+        avg_remote_neighbors=float(remote_per_vertex.mean()),
+        total_halo=total_halo,
+    )
+
+
+def remote_neighbor_lists(
+    graph: CSRGraph, partition: Partition
+) -> list[dict[int, np.ndarray]]:
+    """Per-part map: remote part id -> sorted vertex ids needed from it.
+
+    ``result[i][j]`` lists the global vertex ids owned by part ``j`` whose
+    embeddings part ``i`` needs each layer. This is exactly the request
+    pattern the Neighbor Access Controller issues.
+    """
+    assignment = partition.assignment
+    requests: list[dict[int, set[int]]] = [
+        {} for _ in range(partition.num_parts)
+    ]
+    for part in range(partition.num_parts):
+        for v in partition.part_vertices(part):
+            for u in graph.neighbors(int(v)):
+                u = int(u)
+                owner = int(assignment[u])
+                if owner != part:
+                    requests[part].setdefault(owner, set()).add(u)
+    return [
+        {
+            owner: np.array(sorted(vertices), dtype=np.int64)
+            for owner, vertices in part_requests.items()
+        }
+        for part_requests in requests
+    ]

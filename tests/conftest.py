@@ -1,0 +1,86 @@
+"""Shared fixtures: small deterministic graphs and cluster specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.graph.attributed import AttributedGraph
+from repro.graph.csr import CSRGraph, from_edge_list
+from repro.graph.generators import GraphSpec, generate_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def tiny_csr() -> CSRGraph:
+    """A 5-vertex directed graph with a known edge list.
+
+    Edges: 0->1, 0->2, 1->2, 2->0, 3->4, 4->3 (vertex order preserved).
+    """
+    edges = [(0, 1), (0, 2), (1, 2), (2, 0), (3, 4), (4, 3)]
+    return from_edge_list(edges, num_vertices=5)
+
+
+@pytest.fixture
+def ring_graph() -> CSRGraph:
+    """A symmetric 8-cycle (both arcs stored)."""
+    n = 8
+    edges = []
+    for v in range(n):
+        edges.append((v, (v + 1) % n))
+        edges.append(((v + 1) % n, v))
+    return from_edge_list(edges, num_vertices=n, deduplicate=True)
+
+
+@pytest.fixture
+def small_graph() -> AttributedGraph:
+    """A 96-vertex planted-partition graph that GCN learns quickly."""
+    spec = GraphSpec(
+        name="unit-small",
+        num_vertices=96,
+        avg_degree=6.0,
+        feature_dim=12,
+        num_classes=3,
+        homophily=0.9,
+        feature_noise=0.8,
+        train=40,
+        val=16,
+        test=32,
+        seed=7,
+    )
+    return generate_graph(spec)
+
+
+@pytest.fixture
+def medium_graph() -> AttributedGraph:
+    """A 256-vertex, higher-degree graph for integration tests."""
+    spec = GraphSpec(
+        name="unit-medium",
+        num_vertices=256,
+        avg_degree=14.0,
+        feature_dim=16,
+        num_classes=4,
+        homophily=0.88,
+        feature_noise=1.0,
+        power_law=2.0,
+        train=100,
+        val=40,
+        test=80,
+        seed=11,
+    )
+    return generate_graph(spec)
+
+
+@pytest.fixture
+def cluster3() -> ClusterSpec:
+    return ClusterSpec(num_workers=3, num_servers=1)
+
+
+@pytest.fixture
+def cluster2() -> ClusterSpec:
+    return ClusterSpec(num_workers=2, num_servers=2)

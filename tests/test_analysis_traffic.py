@@ -1,0 +1,105 @@
+"""Tests for traffic breakdowns and the trainer's LR-schedule hook."""
+
+import pytest
+
+from repro.analysis.traffic import (
+    dominant_category,
+    traffic_by_category,
+    traffic_table,
+)
+from repro.cluster.engine import EpochBreakdown
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.results import ConvergenceRun, EpochResult
+from repro.core.trainer import ECGraphTrainer
+from repro.nn.lr_schedule import StepDecayLR
+
+
+def _run_with_categories(name, per_epoch):
+    run = ConvergenceRun(name=name)
+    for i, categories in enumerate(per_epoch):
+        run.epochs.append(EpochResult(
+            epoch=i, loss=0.5, train_accuracy=0.5, val_accuracy=0.5,
+            test_accuracy=0.5,
+            breakdown=EpochBreakdown(
+                0.0, 0.0, 0.0, sum(categories.values()), categories,
+            ),
+        ))
+    return run
+
+
+class TestTrafficBreakdown:
+    def test_totals_accumulate_over_epochs(self):
+        run = _run_with_categories("a", [
+            {"fp": 100, "bp": 50},
+            {"fp": 200},
+        ])
+        assert traffic_by_category(run) == {"fp": 300, "bp": 50}
+
+    def test_dominant(self):
+        run = _run_with_categories("a", [{"fp": 10, "bp": 90}])
+        assert dominant_category(run) == "bp"
+
+    def test_dominant_empty_run(self):
+        assert dominant_category(ConvergenceRun(name="x")) is None
+
+    def test_table_orders_by_grand_total(self):
+        runs = [
+            _run_with_categories("a", [{"fp": 1 << 21, "bp": 1024}]),
+            _run_with_categories("b", [{"bp": 2048}]),
+        ]
+        table = traffic_table(runs)
+        assert table.index("fp") < table.index("bp")
+        assert "2.0MB" in table
+        assert "2.0KB" in table
+
+    def test_real_run_categories(self, small_graph):
+        trainer = ECGraphTrainer(
+            small_graph, ModelConfig(num_layers=2, hidden_dim=4),
+            ClusterSpec(num_workers=3),
+            ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        run = trainer.train(3)
+        totals = traffic_by_category(run)
+        assert set(totals) >= {"fp_embeddings", "bp_gradients",
+                               "param_pull", "param_push"}
+        assert dominant_category(run) in totals
+
+
+class TestLRScheduleHook:
+    def test_schedule_applied_each_epoch(self, small_graph):
+        trainer = ECGraphTrainer(
+            small_graph, ModelConfig(num_layers=2, hidden_dim=4),
+            ClusterSpec(num_workers=2),
+            ECGraphConfig(fp_mode="raw", bp_mode="raw",
+                          learning_rate=1.0, optimizer="sgd"),
+        )
+        seen = []
+        trainer.train(
+            6, lr_schedule=lambda t: seen.append(t) or 0.1 * (t + 1)
+        )
+        assert seen == list(range(6))
+        # Last applied rate is visible on the server optimizers.
+        assert trainer.servers._optimizers[0].lr == pytest.approx(0.6)
+
+    def test_step_decay_improves_stability(self, medium_graph):
+        """A decaying schedule must at least train successfully."""
+        trainer = ECGraphTrainer(
+            medium_graph, ModelConfig(num_layers=2, hidden_dim=8),
+            ClusterSpec(num_workers=2),
+            ECGraphConfig(fp_mode="raw", bp_mode="raw", learning_rate=0.05),
+        )
+        run = trainer.train(
+            30, lr_schedule=StepDecayLR(base_lr=0.05, step_size=10,
+                                        gamma=0.5),
+        )
+        assert run.best_test_accuracy() > 0.5
+
+    def test_invalid_rate_rejected(self, small_graph):
+        trainer = ECGraphTrainer(
+            small_graph, ModelConfig(num_layers=2, hidden_dim=4),
+            ClusterSpec(num_workers=2),
+            ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        with pytest.raises(ValueError):
+            trainer.train(2, lr_schedule=lambda t: 0.0)

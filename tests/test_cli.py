@@ -1,0 +1,61 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.system == "ecgraph"
+        assert args.dataset == "cora"
+        assert args.workers == 6
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--system", "spark"])
+
+    def test_profile_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--profile", "huge", "datasets"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["--profile", "tiny", "datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "ogbn-papers" in out
+        assert "111,059,956" in out  # paper statistics shown
+
+    def test_train(self, capsys):
+        code = main([
+            "--profile", "tiny", "train", "--dataset", "cora",
+            "--workers", "2", "--epochs", "5", "--hidden", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best acc" in out
+
+    def test_compare(self, capsys):
+        code = main([
+            "--profile", "tiny", "compare", "--dataset", "cora",
+            "--systems", "ecgraph", "noncp",
+            "--workers", "2", "--epochs", "5", "--hidden", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ecgraph" in out and "noncp" in out
+
+    def test_partition(self, capsys):
+        code = main([
+            "--profile", "tiny", "partition", "--dataset", "cora",
+            "--workers", "3", "--methods", "hash", "metis",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edge-cut" in out

@@ -1,0 +1,119 @@
+"""Unit tests for the cluster runtime's epoch accounting."""
+
+import time
+
+import pytest
+
+from repro.cluster.engine import ClusterRuntime
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import ClusterSpec
+
+
+def _runtime(workers=3, bandwidth=100.0, latency=0.0, speed=1.0):
+    spec = ClusterSpec(
+        num_workers=workers,
+        network=NetworkModel(bandwidth_bytes_per_s=bandwidth,
+                             latency_s=latency),
+        compute_speed=speed,
+    )
+    return ClusterRuntime(spec)
+
+
+class TestComputeAccounting:
+    def test_epoch_compute_is_max_over_workers(self):
+        runtime = _runtime()
+        runtime.add_compute(0, 0.5)
+        runtime.add_compute(1, 2.0)
+        runtime.add_compute(2, 1.0)
+        breakdown = runtime.end_epoch()
+        assert breakdown.compute_seconds == pytest.approx(2.0)
+
+    def test_compute_speed_scales(self):
+        runtime = _runtime(speed=4.0)
+        runtime.add_compute(0, 2.0)
+        assert runtime.end_epoch().compute_seconds == pytest.approx(0.5)
+
+    def test_context_manager_measures(self):
+        runtime = _runtime()
+        with runtime.worker_compute(1):
+            time.sleep(0.01)
+        breakdown = runtime.end_epoch()
+        assert breakdown.compute_seconds >= 0.009
+
+    def test_negative_compute_rejected(self):
+        runtime = _runtime()
+        with pytest.raises(ValueError):
+            runtime.add_compute(0, -1.0)
+
+    def test_epoch_resets_compute(self):
+        runtime = _runtime()
+        runtime.add_compute(0, 1.0)
+        runtime.end_epoch()
+        assert runtime.end_epoch().compute_seconds == 0.0
+
+
+class TestCommAccounting:
+    def test_worker_to_worker_charges_bytes(self):
+        runtime = _runtime(bandwidth=100.0)
+        runtime.send_worker_to_worker(0, 1, 500, "fp_embeddings")
+        breakdown = runtime.end_epoch()
+        assert breakdown.bytes_sent == 500
+        assert breakdown.comm_seconds == pytest.approx(5.0)
+
+    def test_same_machine_workers_free(self):
+        spec = ClusterSpec(
+            num_workers=4,
+            workers_per_machine=2,
+            network=NetworkModel(bandwidth_bytes_per_s=100.0, latency_s=0),
+        )
+        runtime = ClusterRuntime(spec)
+        runtime.send_worker_to_worker(0, 1, 10_000, "x")  # same machine
+        assert runtime.end_epoch().bytes_sent == 0
+
+    def test_server_traffic(self):
+        runtime = _runtime()
+        runtime.send_worker_to_server(1, 0, 100, "param_push")  # w1->m0
+        runtime.send_server_to_worker(0, 2, 100, "param_pull")  # m0->w2
+        breakdown = runtime.end_epoch()
+        assert breakdown.bytes_sent == 200
+        assert breakdown.category_bytes == {
+            "param_push": 100,
+            "param_pull": 100,
+        }
+
+    def test_colocated_server_free(self):
+        runtime = _runtime()
+        runtime.send_worker_to_server(0, 0, 100, "param_push")  # both m0
+        assert runtime.end_epoch().bytes_sent == 0
+
+
+class TestEpochLifecycle:
+    def test_total_is_compute_plus_comm(self):
+        runtime = _runtime(bandwidth=100.0)
+        runtime.add_compute(0, 1.0)
+        runtime.send_worker_to_worker(0, 1, 100, "x")
+        breakdown = runtime.end_epoch()
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.compute_seconds + breakdown.comm_seconds
+        )
+
+    def test_overlap_mode_takes_max(self):
+        spec = ClusterSpec(
+            num_workers=2,
+            network=NetworkModel(bandwidth_bytes_per_s=100.0, latency_s=0),
+            overlap_comm=True,
+        )
+        runtime = ClusterRuntime(spec)
+        runtime.add_compute(0, 1.0)
+        runtime.send_worker_to_worker(0, 1, 500, "x")  # 5 s of comm
+        breakdown = runtime.end_epoch()
+        assert breakdown.total_seconds == pytest.approx(5.0)
+
+    def test_history_accumulates(self):
+        runtime = _runtime()
+        runtime.add_compute(0, 1.0)
+        runtime.end_epoch()
+        runtime.add_compute(0, 2.0)
+        runtime.end_epoch()
+        assert len(runtime.epoch_history) == 2
+        assert runtime.total_seconds() == pytest.approx(3.0)

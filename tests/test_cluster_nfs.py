@@ -1,0 +1,56 @@
+"""Unit tests for the simulated shared store (NFS)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.nfs import SharedStore
+
+
+class TestMemoryStore:
+    def test_roundtrip(self):
+        store = SharedStore()
+        store.put("arr", np.arange(5))
+        np.testing.assert_array_equal(store.get("arr"), np.arange(5))
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            SharedStore().get("nope")
+
+    def test_size_tracking(self):
+        store = SharedStore()
+        small = store.put("small", np.zeros(2))
+        large = store.put("large", np.zeros(2000))
+        assert large > small
+        assert store.size_of("large") == large
+
+    def test_read_byte_accounting(self):
+        store = SharedStore()
+        size = store.put("x", list(range(100)))
+        store.get("x")
+        store.get("x")
+        assert store.total_read_bytes() == 2 * size
+
+    def test_keys(self):
+        store = SharedStore()
+        store.put("a", 1)
+        store.put("b", 2)
+        assert sorted(store.keys()) == ["a", "b"]
+
+    def test_overwrite(self):
+        store = SharedStore()
+        store.put("k", 1)
+        store.put("k", [1, 2, 3])
+        assert store.get("k") == [1, 2, 3]
+
+
+class TestSpillStore:
+    def test_roundtrip_via_disk(self, tmp_path):
+        store = SharedStore(spill_dir=tmp_path / "nfs")
+        store.put("part/0", {"vertices": [1, 2]})
+        assert store.get("part/0") == {"vertices": [1, 2]}
+        assert list((tmp_path / "nfs").iterdir())
+
+    def test_unsafe_key_characters_sanitized(self, tmp_path):
+        store = SharedStore(spill_dir=tmp_path)
+        store.put("a/b:c d", 42)
+        assert store.get("a/b:c d") == 42

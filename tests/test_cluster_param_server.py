@@ -1,0 +1,145 @@
+"""Unit tests for the parameter servers and range sharding."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import ClusterRuntime
+from repro.cluster.param_server import ParameterServerGroup, range_shards
+from repro.cluster.topology import ClusterSpec
+from repro.nn.optim import SGD, Adam
+
+
+def _group(num_workers=2, num_servers=2, reduce="mean", lr=1.0):
+    runtime = ClusterRuntime(ClusterSpec(num_workers=num_workers,
+                                         num_servers=num_servers))
+    return ParameterServerGroup(runtime, lambda: SGD(lr=lr), reduce=reduce), runtime
+
+
+class TestRangeShards:
+    def test_even_split(self):
+        shards = range_shards("w", 10, 2)
+        assert [(s.start, s.stop) for s in shards] == [(0, 5), (5, 10)]
+
+    def test_uneven_split_front_loads(self):
+        shards = range_shards("w", 7, 3)
+        assert [(s.start, s.stop) for s in shards] == [(0, 3), (3, 5), (5, 7)]
+
+    def test_fewer_rows_than_servers(self):
+        shards = range_shards("w", 2, 4)
+        assert len(shards) == 2
+        assert all(s.stop - s.start == 1 for s in shards)
+
+    def test_covers_all_rows(self):
+        shards = range_shards("w", 13, 5)
+        covered = sorted(
+            (row for s in shards for row in range(s.start, s.stop))
+        )
+        assert covered == list(range(13))
+
+
+class TestPushPullUpdate:
+    def test_pull_returns_copy(self):
+        group, _ = _group()
+        group.register("w", np.ones((4, 2), dtype=np.float32))
+        pulled = group.pull(0, ["w"])["w"]
+        pulled[:] = 0.0
+        assert group.get("w").sum() == 8.0
+
+    def test_mean_reduce(self):
+        group, _ = _group(reduce="mean", lr=1.0)
+        group.register("w", np.zeros(4, dtype=np.float32))
+        group.push(0, {"w": np.full(4, 2.0, dtype=np.float32)})
+        group.push(1, {"w": np.full(4, 4.0, dtype=np.float32)})
+        group.apply_updates()
+        # SGD with lr=1 on the mean gradient 3.0.
+        np.testing.assert_allclose(group.get("w"), -3.0)
+
+    def test_sum_reduce(self):
+        group, _ = _group(reduce="sum", lr=1.0)
+        group.register("w", np.zeros(4, dtype=np.float32))
+        group.push(0, {"w": np.full(4, 2.0, dtype=np.float32)})
+        group.push(1, {"w": np.full(4, 4.0, dtype=np.float32)})
+        group.apply_updates()
+        np.testing.assert_allclose(group.get("w"), -6.0)
+
+    def test_sharded_update_equals_global(self):
+        """Per-server Adam over shards == one global Adam (element-wise)."""
+        rng = np.random.default_rng(0)
+        w0 = rng.standard_normal((9, 3)).astype(np.float32)
+        grads = [rng.standard_normal((9, 3)).astype(np.float32)
+                 for _ in range(5)]
+
+        runtime = ClusterRuntime(ClusterSpec(num_workers=1, num_servers=3))
+        group = ParameterServerGroup(runtime, lambda: Adam(lr=0.05),
+                                     reduce="sum")
+        group.register("w", w0.copy())
+        for g in grads:
+            group.push(0, {"w": g})
+            group.apply_updates()
+
+        reference = Adam(lr=0.05)
+        w_ref = {"w": w0.copy()}
+        for g in grads:
+            reference.step(w_ref, {"w": g})
+
+        np.testing.assert_allclose(group.get("w"), w_ref["w"], atol=1e-5)
+
+    def test_pending_cleared_after_update(self):
+        group, _ = _group(lr=1.0)
+        group.register("w", np.zeros(2, dtype=np.float32))
+        group.push(0, {"w": np.ones(2, dtype=np.float32)})
+        group.apply_updates()
+        group.apply_updates()  # no pending grads: no further change
+        np.testing.assert_allclose(group.get("w"), -1.0)
+
+    def test_traffic_charged_for_remote_server(self):
+        runtime = ClusterRuntime(ClusterSpec(num_workers=2, num_servers=2))
+        group = ParameterServerGroup(runtime, lambda: SGD(lr=1.0))
+        group.register("w", np.zeros((8, 4), dtype=np.float32))
+        group.pull(0, ["w"])  # shard 0 local to worker 0, shard 1 remote
+        assert runtime.meter.total_bytes > 0
+
+    def test_bias_vector_sharding(self):
+        group, _ = _group(num_servers=3, lr=1.0, reduce="sum")
+        group.register("b", np.zeros(5, dtype=np.float32))
+        group.push(0, {"b": np.arange(5, dtype=np.float32)})
+        group.apply_updates()
+        np.testing.assert_allclose(group.get("b"), -np.arange(5))
+
+
+class TestValidation:
+    def test_duplicate_register_rejected(self):
+        group, _ = _group()
+        group.register("w", np.zeros(2, dtype=np.float32))
+        with pytest.raises(ValueError):
+            group.register("w", np.zeros(2, dtype=np.float32))
+
+    def test_unknown_grad_rejected(self):
+        group, _ = _group()
+        with pytest.raises(KeyError):
+            group.push(0, {"nope": np.zeros(2)})
+
+    def test_shape_mismatch_rejected(self):
+        group, _ = _group()
+        group.register("w", np.zeros(2, dtype=np.float32))
+        with pytest.raises(ValueError):
+            group.push(0, {"w": np.zeros(3)})
+
+    def test_invalid_reduce_rejected(self):
+        with pytest.raises(ValueError):
+            _group(reduce="max")
+
+    def test_state_dict_is_copy(self):
+        group, _ = _group()
+        group.register("w", np.ones(2, dtype=np.float32))
+        state = group.state_dict()
+        state["w"][:] = 0
+        assert group.get("w").sum() == 2.0
+
+    def test_set_restores(self):
+        group, _ = _group()
+        group.register("w", np.ones(2, dtype=np.float32))
+        group.set("w", np.full(2, 5.0, dtype=np.float32))
+        assert group.get("w")[0] == 5.0
+        with pytest.raises(ValueError):
+            group.set("w", np.zeros(3, dtype=np.float32))

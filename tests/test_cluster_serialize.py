@@ -1,0 +1,168 @@
+"""Unit tests for the binary wire format — and validation that the
+policies' *computed* message sizes agree with real encoded bytes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cluster.serialize import (
+    HEADER_BYTES,
+    decode_exact,
+    decode_quantized,
+    decode_raw,
+    decode_selector,
+    encode_exact,
+    encode_quantized,
+    encode_raw,
+    encode_selector,
+)
+from repro.compression.quantization import BucketQuantizer
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((17, 9)).astype(np.float32)
+
+
+class TestRawFrames:
+    def test_roundtrip(self, matrix):
+        np.testing.assert_array_equal(decode_raw(encode_raw(matrix)), matrix)
+
+    def test_vector_roundtrip(self):
+        v = np.arange(5, dtype=np.float32)
+        np.testing.assert_array_equal(decode_raw(encode_raw(v)), v)
+
+    def test_frame_size_matches_policy_accounting(self, matrix):
+        from repro.core.messages import ChannelKey, RawPolicy
+
+        frame = encode_raw(matrix)
+        message = RawPolicy().respond(
+            ChannelKey(1, 0, 1), matrix, t=0
+        )
+        assert len(frame) == message.nbytes
+
+    def test_bad_magic_rejected(self, matrix):
+        frame = bytearray(encode_raw(matrix))
+        frame[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            decode_raw(bytes(frame))
+
+    def test_truncated_frame_rejected(self, matrix):
+        frame = encode_raw(matrix)
+        with pytest.raises(ValueError, match="truncated"):
+            decode_raw(frame[:-4])
+
+    def test_wrong_kind_rejected(self, matrix):
+        frame = encode_raw(matrix)
+        with pytest.raises(ValueError, match="kind"):
+            decode_quantized(frame)
+
+
+class TestQuantFrames:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    @pytest.mark.parametrize("mode", ["table", "bounds"])
+    def test_roundtrip(self, matrix, bits, mode):
+        quantized = BucketQuantizer(bits, mode).encode(matrix)
+        decoded = decode_quantized(encode_quantized(quantized))
+        np.testing.assert_allclose(
+            decoded.decode(), quantized.decode(), atol=1e-6
+        )
+        assert decoded.bits == bits
+        assert decoded.table_mode == mode
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    @pytest.mark.parametrize("mode", ["table", "bounds"])
+    def test_computed_size_close_to_real(self, matrix, bits, mode):
+        """payload_bytes() is what the traffic meter charges; it must
+        track the real wire size to within a few header bytes."""
+        quantized = BucketQuantizer(bits, mode).encode(matrix)
+        real = len(encode_quantized(quantized))
+        computed = quantized.payload_bytes()
+        assert abs(real - computed) <= 16
+
+    def test_bounds_mode_rebuilds_midpoints(self, matrix):
+        quantized = BucketQuantizer(4, "bounds").encode(matrix)
+        decoded = decode_quantized(encode_quantized(quantized))
+        np.testing.assert_allclose(
+            decoded.bucket_values, quantized.bucket_values, atol=1e-5
+        )
+
+
+class TestExactFrames:
+    def test_roundtrip(self, matrix):
+        rate = matrix * 0.1
+        rows_out, rate_out = decode_exact(encode_exact(matrix, rate))
+        np.testing.assert_array_equal(rows_out, matrix)
+        np.testing.assert_array_equal(rate_out, rate)
+
+    def test_size_matches_reqec_accounting(self, matrix):
+        frame = encode_exact(matrix, matrix * 0.1)
+        assert len(frame) == HEADER_BYTES + 8 + 2 * matrix.nbytes
+        # The ReqEC policy charges header + 2x raw (shape words inside
+        # its 16-byte header allowance).
+        from repro.core.bit_tuner import BitTuner
+        from repro.core.messages import ChannelKey
+        from repro.core.reqec_fp import ReqECPolicy
+
+        policy = ReqECPolicy(BitTuner(initial_bits=2, enabled=False),
+                             trend_period=2)
+        message = policy.respond(ChannelKey(1, 0, 1), matrix, t=1)
+        assert abs(message.nbytes - len(frame)) <= 16
+
+    def test_shape_mismatch_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            encode_exact(matrix, matrix[:-1])
+
+
+class TestSelectorFrames:
+    def test_roundtrip(self, matrix):
+        rng = np.random.default_rng(1)
+        selection = rng.integers(0, 3, size=matrix.shape[0]).astype(np.uint8)
+        quantized = BucketQuantizer(4).encode(matrix[selection != 1])
+        frame = encode_selector(selection, quantized, proportion=0.42)
+        sel_out, quant_out, proportion = decode_selector(frame)
+        np.testing.assert_array_equal(sel_out, selection)
+        np.testing.assert_allclose(
+            quant_out.decode(), quantized.decode(), atol=1e-6
+        )
+        assert proportion == pytest.approx(0.42)
+
+    def test_size_matches_reqec_accounting(self, matrix):
+        """The selector-message size charged by ReqEC-FP tracks the real
+        frame length."""
+        from repro.core.bit_tuner import BitTuner
+        from repro.core.messages import ChannelKey
+        from repro.core.reqec_fp import ReqECPolicy
+
+        policy = ReqECPolicy(BitTuner(initial_bits=4, enabled=False),
+                             trend_period=4)
+        key = ChannelKey(1, 0, 1)
+        policy.respond(key, matrix, t=3)  # boundary primes the trend
+        message = policy.respond(key, matrix + 0.05, t=4)
+        assert message.payload[0] == "cps"
+        _, selection, quantized, lo, hi, bits = message.payload
+        frame = encode_selector(
+            selection, quantized, message.meta["proportion"]
+        )
+        assert abs(len(frame) - message.nbytes) <= 32
+
+
+class TestPropertyRoundTrips:
+    @given(
+        data=arrays(
+            np.float32,
+            st.tuples(st.integers(1, 12), st.integers(1, 6)),
+            elements=st.floats(-50, 50, width=32),
+        ),
+        bits=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quant_frame_roundtrip_property(self, data, bits):
+        quantized = BucketQuantizer(bits).encode(data)
+        decoded = decode_quantized(encode_quantized(quantized))
+        np.testing.assert_allclose(
+            decoded.decode(), quantized.decode(), atol=1e-6
+        )

@@ -1,0 +1,53 @@
+"""Unit tests for cluster topology."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+
+
+class TestClusterSpec:
+    def test_one_worker_per_machine_default(self):
+        spec = ClusterSpec(num_workers=6)
+        assert spec.num_machines == 6
+        assert spec.worker_machine(3) == 3
+
+    def test_packed_workers(self):
+        spec = ClusterSpec(num_workers=6, workers_per_machine=2)
+        assert spec.num_machines == 3
+        assert spec.worker_machine(0) == 0
+        assert spec.worker_machine(1) == 0
+        assert spec.worker_machine(2) == 1
+
+    def test_uneven_packing_rounds_up(self):
+        spec = ClusterSpec(num_workers=5, workers_per_machine=2)
+        assert spec.num_machines == 3
+
+    def test_colocated_servers(self):
+        spec = ClusterSpec(num_workers=4, num_servers=6)
+        assert spec.server_machine(0) == 0
+        assert spec.server_machine(5) == 1  # 5 % 4
+
+    def test_dedicated_servers(self):
+        spec = ClusterSpec(num_workers=2, num_servers=2, colocate_servers=False)
+        assert spec.server_machine(0) == 2
+        assert spec.server_machine(1) == 3
+
+    def test_worker_out_of_range(self):
+        spec = ClusterSpec(num_workers=2)
+        with pytest.raises(IndexError):
+            spec.worker_machine(2)
+
+    def test_server_out_of_range(self):
+        spec = ClusterSpec(num_workers=2, num_servers=1)
+        with pytest.raises(IndexError):
+            spec.server_machine(1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_workers": 0},
+        {"num_workers": 1, "num_servers": 0},
+        {"num_workers": 1, "workers_per_machine": 0},
+        {"num_workers": 1, "compute_speed": 0.0},
+    ])
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)

@@ -1,0 +1,136 @@
+"""Unit tests for the codec layer (identity/float16/quant/top-k/1-bit)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.codec import Float16Codec, IdentityCodec, QuantizingCodec
+from repro.compression.onebit import OneBitCodec
+from repro.compression.stats import compression_report
+from repro.compression.topk import TopKCodec
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((30, 16)).astype(np.float32)
+
+
+class TestIdentity:
+    def test_lossless(self, matrix):
+        codec = IdentityCodec()
+        encoded = codec.encode(matrix)
+        np.testing.assert_array_equal(codec.decode(encoded), matrix)
+
+    def test_size_is_raw_plus_header(self, matrix):
+        encoded = IdentityCodec().encode(matrix)
+        assert encoded.payload_bytes == matrix.nbytes + 24
+
+    def test_wrong_payload_rejected(self, matrix):
+        identity = IdentityCodec()
+        other = Float16Codec().encode(matrix)
+        with pytest.raises(ValueError):
+            identity.decode(other)
+
+
+class TestFloat16:
+    def test_half_size(self, matrix):
+        encoded = Float16Codec().encode(matrix)
+        assert encoded.payload_bytes == matrix.nbytes // 2 + 24
+
+    def test_small_error(self, matrix):
+        codec = Float16Codec()
+        decoded = codec.decode(codec.encode(matrix))
+        assert np.abs(decoded - matrix).max() < 0.01
+        assert decoded.dtype == np.float32
+
+
+class TestQuantizingCodec:
+    def test_roundtrip_error_bounded(self, matrix):
+        codec = QuantizingCodec(bits=8)
+        decoded = codec.decode(codec.encode(matrix))
+        span = matrix.max() - matrix.min()
+        assert np.abs(decoded - matrix).max() <= span / 512 + 1e-5
+
+    def test_bits_mutable_for_tuner(self, matrix):
+        codec = QuantizingCodec(bits=2)
+        assert codec.name == "quant2"
+        small = codec.encode(matrix).payload_bytes
+        codec.bits = 8
+        assert codec.name == "quant8"
+        assert codec.encode(matrix).payload_bytes > small
+
+    def test_explicit_bounds_forwarded(self, matrix):
+        codec = QuantizingCodec(bits=4)
+        encoded = codec.encode(matrix, lo=-10.0, hi=10.0)
+        assert encoded.payload.lo == -10.0
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        x = np.array([[0.1, -5.0, 0.3, 2.0]], dtype=np.float32)
+        codec = TopKCodec(k=2)
+        decoded = codec.decode(codec.encode(x))
+        np.testing.assert_allclose(decoded, [[0.0, -5.0, 0.0, 2.0]])
+
+    def test_k_at_least_cols_is_lossless(self, matrix):
+        codec = TopKCodec(k=64)
+        decoded = codec.decode(codec.encode(matrix))
+        np.testing.assert_allclose(decoded, matrix, atol=1e-6)
+
+    def test_size_scales_with_k(self, matrix):
+        small = TopKCodec(k=2).encode(matrix).payload_bytes
+        large = TopKCodec(k=8).encode(matrix).payload_bytes
+        assert large > small
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKCodec(k=0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            TopKCodec(k=1).encode(np.zeros(5, dtype=np.float32))
+
+
+class TestOneBit:
+    def test_signs_preserved(self, matrix):
+        codec = OneBitCodec()
+        decoded = codec.decode(codec.encode(matrix))
+        np.testing.assert_array_equal(
+            np.sign(decoded), np.where(matrix >= 0, 1.0, -1.0)
+        )
+
+    def test_mean_magnitude_reconstruction(self):
+        x = np.array([1.0, 3.0, -2.0, -4.0], dtype=np.float32)
+        codec = OneBitCodec()
+        decoded = codec.decode(codec.encode(x))
+        np.testing.assert_allclose(decoded, [2.0, 2.0, -3.0, -3.0])
+
+    def test_extreme_compression_ratio(self, matrix):
+        encoded = OneBitCodec().encode(matrix)
+        assert encoded.payload_bytes < matrix.nbytes / 20
+
+    def test_all_positive(self):
+        x = np.ones(8, dtype=np.float32)
+        decoded = OneBitCodec().decode(OneBitCodec().encode(x))
+        np.testing.assert_allclose(decoded, 1.0)
+
+
+class TestCompressionReport:
+    def test_ratio_and_errors(self, matrix):
+        codec = QuantizingCodec(bits=2)
+        encoded = codec.encode(matrix)
+        report = compression_report(
+            matrix, codec.decode(encoded), encoded.payload_bytes
+        )
+        assert report.ratio > 5
+        assert report.l1_error > 0
+        assert 0 < report.relative_l2 < 1
+
+    def test_lossless_report(self, matrix):
+        report = compression_report(matrix, matrix.copy(), matrix.nbytes)
+        assert report.l2_error == 0.0
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_shape_mismatch(self, matrix):
+        with pytest.raises(ValueError):
+            compression_report(matrix, matrix[:-1], 10)

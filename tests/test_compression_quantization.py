@@ -1,0 +1,163 @@
+"""Unit + property tests for bucket quantization (the paper's C_bits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.quantization import (
+    SUPPORTED_BITS,
+    BucketQuantizer,
+    pack_bits,
+    unpack_bits,
+)
+
+
+class TestPackBits:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 7, 8, 11, 16])
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        values = rng.integers(0, 1 << bits, size=100, dtype=np.uint32)
+        packed = pack_bits(values, bits)
+        recovered = unpack_bits(packed, bits, 100)
+        np.testing.assert_array_equal(recovered, values)
+
+    def test_packed_size(self):
+        values = np.arange(16, dtype=np.uint32) % 4
+        packed = pack_bits(values, 2)
+        assert packed.size == 4  # 16 values * 2 bits = 32 bits = 4 bytes
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            pack_bits(np.array([4], dtype=np.uint32), 2)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0], dtype=np.uint32), 0)
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 17, 1)
+
+    def test_empty(self):
+        packed = pack_bits(np.array([], dtype=np.uint32), 4)
+        assert unpack_bits(packed, 4, 0).size == 0
+
+    @given(
+        values=st.lists(st.integers(0, 255), min_size=0, max_size=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property_8bit(self, values):
+        arr = np.array(values, dtype=np.uint32)
+        np.testing.assert_array_equal(
+            unpack_bits(pack_bits(arr, 8), 8, arr.size), arr
+        )
+
+
+class TestBucketQuantizer:
+    @pytest.mark.parametrize("bits", SUPPORTED_BITS)
+    def test_error_bounded_by_half_bucket(self, bits):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-3, 5, size=(40, 16)).astype(np.float32)
+        q = BucketQuantizer(bits)
+        decoded = q.quantize(x)
+        bound = q.max_error(float(x.min()), float(x.max())) + 1e-5
+        assert np.abs(decoded - x).max() <= bound
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((50, 8)).astype(np.float32)
+        errors = [
+            np.abs(BucketQuantizer(b).quantize(x) - x).mean()
+            for b in (1, 2, 4, 8)
+        ]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+
+    def test_constant_matrix_exact(self):
+        x = np.full((3, 3), 0.7, dtype=np.float32)
+        decoded = BucketQuantizer(2).quantize(x)
+        np.testing.assert_allclose(decoded, 0.7, atol=1e-6)
+
+    def test_explicit_domain(self):
+        x = np.array([[0.5]], dtype=np.float32)
+        q = BucketQuantizer(1)
+        encoded = q.encode(x, lo=0.0, hi=1.0)
+        assert encoded.lo == 0.0 and encoded.hi == 1.0
+        # 0.5 lands in bucket 1 of [0, 0.5)[0.5, 1); midpoint 0.75.
+        assert encoded.decode()[0, 0] == pytest.approx(0.75)
+
+    def test_same_domain_same_ids_for_subsets(self):
+        """Re-encoding a row subset with the full-matrix domain must give
+        the same decoded values (the ReqEC selector depends on this)."""
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(10, 4)).astype(np.float32)
+        q = BucketQuantizer(4)
+        full = q.encode(x)
+        subset = q.encode(x[3:6], lo=full.lo, hi=full.hi)
+        np.testing.assert_array_equal(full.decode()[3:6], subset.decode())
+
+    def test_empty_matrix(self):
+        q = BucketQuantizer(4)
+        encoded = q.encode(np.zeros((0, 8), dtype=np.float32))
+        assert encoded.decode().shape == (0, 8)
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BucketQuantizer(3)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError):
+            BucketQuantizer(2).encode(np.ones((2, 2)), lo=1.0, hi=0.0)
+
+    def test_payload_smaller_than_raw(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((200, 64)).astype(np.float32)
+        for bits in (1, 2, 4, 8):
+            encoded = BucketQuantizer(bits).encode(x)
+            assert encoded.payload_bytes() < x.nbytes
+
+    def test_bounds_mode_smaller_than_table_mode(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((50, 32)).astype(np.float32)
+        table = BucketQuantizer(8, "table").encode(x)
+        bounds = BucketQuantizer(8, "bounds").encode(x)
+        assert bounds.payload_bytes() < table.payload_bytes()
+
+    @given(
+        x=arrays(
+            np.float32,
+            st.tuples(st.integers(1, 20), st.integers(1, 8)),
+            elements=st.floats(-100, 100, width=32),
+        ),
+        bits=st.sampled_from(SUPPORTED_BITS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_error_bound(self, x, bits):
+        q = BucketQuantizer(bits)
+        decoded = q.quantize(x)
+        span = float(x.max() - x.min())
+        bound = span / (2 * (1 << bits)) + 1e-4 * max(1.0, span)
+        assert np.abs(decoded - x).max() <= bound
+
+    @given(
+        x=arrays(
+            np.float32,
+            st.tuples(st.integers(1, 12), st.integers(1, 6)),
+            elements=st.floats(-10, 10, width=32),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_decode_within_domain(self, x):
+        q = BucketQuantizer(4)
+        decoded = q.quantize(x)
+        assert decoded.min() >= x.min() - 1e-4
+        assert decoded.max() <= x.max() + 1e-4
+
+    def test_quantization_idempotent(self):
+        """Quantizing an already-quantized matrix is a fixed point when
+        the domain is unchanged (values sit at bucket midpoints)."""
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 1, size=(20, 5)).astype(np.float32)
+        q = BucketQuantizer(4)
+        once = q.quantize(x, lo=0.0, hi=1.0)
+        twice = q.quantize(once, lo=0.0, hi=1.0)
+        np.testing.assert_allclose(once, twice, atol=1e-6)

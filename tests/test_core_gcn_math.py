@@ -1,0 +1,177 @@
+"""Unit tests for the GCN forward/backward kernels (paper Eqs. 2-6).
+
+The backward formulas are verified against finite differences of a full
+single-machine forward pass — an error here silently corrupts training,
+so these are the most load-bearing tests in the suite.
+"""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.core.gcn_math import (
+    bias_gradient,
+    layer_backward_inputs,
+    layer_forward,
+    weight_gradient,
+)
+from repro.graph.normalize import gcn_normalize
+from repro.nn.activations import relu, tanh
+from repro.nn.losses import softmax_cross_entropy
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(0)
+    n, d_in, d_hidden, classes = 12, 6, 5, 3
+    from repro.graph.generators import GraphSpec, generate_graph
+
+    graph = generate_graph(
+        GraphSpec(
+            name="grad",
+            num_vertices=n,
+            avg_degree=3.0,
+            feature_dim=d_in,
+            num_classes=classes,
+            train=6,
+            val=3,
+            test=3,
+            seed=1,
+        )
+    )
+    a = gcn_normalize(graph.adjacency).to_scipy()
+    x = graph.features.astype(np.float64)
+    w1 = rng.standard_normal((d_in, d_hidden)) * 0.3
+    w2 = rng.standard_normal((d_hidden, classes)) * 0.3
+    b1 = rng.standard_normal(d_hidden) * 0.1
+    b2 = rng.standard_normal(classes) * 0.1
+    labels = graph.labels
+    mask = graph.train_mask
+    return a, x, w1, b1, w2, b2, labels, mask
+
+
+def _loss(a, x, w1, b1, w2, b2, labels, mask, activation=tanh):
+    """Reference 2-layer GCN loss (dense path)."""
+    z1 = a @ x @ w1 + b1
+    h1 = activation(z1)
+    z2 = a @ h1 @ w2 + b2
+    return softmax_cross_entropy(
+        z2.astype(np.float32), labels, mask
+    ).loss
+
+
+class TestForward:
+    def test_aggregate_first_equals_transform_first(self, setup):
+        a, x, w1, b1, *_ = setup
+        agg = layer_forward(csr_matrix(a), x.astype(np.float32),
+                            w1.astype(np.float32), b1.astype(np.float32),
+                            relu, is_last=False, transform_first=False)
+        tr = layer_forward(csr_matrix(a), x.astype(np.float32),
+                           w1.astype(np.float32), b1.astype(np.float32),
+                           relu, is_last=False, transform_first=True)
+        np.testing.assert_allclose(agg.output, tr.output, atol=1e-4)
+
+    def test_last_layer_skips_activation(self, setup):
+        a, x, w1, b1, *_ = setup
+        cache = layer_forward(csr_matrix(a), x.astype(np.float32),
+                              w1.astype(np.float32), None, relu, is_last=True)
+        np.testing.assert_array_equal(cache.output, cache.pre_activation)
+
+    def test_auto_ordering_picks_cheaper(self, setup):
+        a, x, w1, b1, *_ = setup
+        # d_in=6 > d_out=5 -> transform first.
+        cache = layer_forward(csr_matrix(a), x.astype(np.float32),
+                              w1.astype(np.float32), None, relu, is_last=False)
+        assert cache.transform_first
+        assert cache.aggregated is None
+
+    def test_dim_mismatch_rejected(self, setup):
+        a, x, w1, *_ = setup
+        with pytest.raises(ValueError):
+            layer_forward(csr_matrix(a), x[:, :3].astype(np.float32),
+                          w1.astype(np.float32), None, relu, is_last=False)
+
+
+class TestBackwardAgainstFiniteDifferences:
+    def test_weight2_gradient(self, setup):
+        a, x, w1, b1, w2, b2, labels, mask = setup
+        a_sp = csr_matrix(a)
+        c1 = layer_forward(a_sp, x.astype(np.float32), w1.astype(np.float32),
+                           b1.astype(np.float32), tanh, is_last=False,
+                           transform_first=False)
+        c2 = layer_forward(a_sp, c1.output, w2.astype(np.float32),
+                           b2.astype(np.float32), tanh, is_last=True,
+                           transform_first=False)
+        result = softmax_cross_entropy(c2.output, labels, mask)
+        grad_w2 = weight_gradient(c2, a_sp, result.grad)
+        grad_b2 = bias_gradient(result.grad)
+
+        eps = 1e-4
+        for i in range(w2.shape[0]):
+            for j in range(w2.shape[1]):
+                bumped = w2.copy()
+                bumped[i, j] += eps
+                up = _loss(a, x, w1, b1, bumped, b2, labels, mask)
+                bumped[i, j] -= 2 * eps
+                down = _loss(a, x, w1, b1, bumped, b2, labels, mask)
+                assert grad_w2[i, j] == pytest.approx(
+                    (up - down) / (2 * eps), abs=2e-3
+                )
+        for j in range(b2.shape[0]):
+            bumped = b2.copy()
+            bumped[j] += eps
+            up = _loss(a, x, w1, b1, w2, bumped, labels, mask)
+            bumped[j] -= 2 * eps
+            down = _loss(a, x, w1, b1, w2, bumped, labels, mask)
+            assert grad_b2[j] == pytest.approx((up - down) / (2 * eps), abs=2e-3)
+
+    def test_weight1_gradient_through_propagation(self, setup):
+        a, x, w1, b1, w2, b2, labels, mask = setup
+        a_sp = csr_matrix(a)
+        c1 = layer_forward(a_sp, x.astype(np.float32), w1.astype(np.float32),
+                           b1.astype(np.float32), tanh, is_last=False,
+                           transform_first=False)
+        c2 = layer_forward(a_sp, c1.output, w2.astype(np.float32),
+                           b2.astype(np.float32), tanh, is_last=True,
+                           transform_first=False)
+        result = softmax_cross_entropy(c2.output, labels, mask)
+        # Propagate G^2 -> G^1 (Eq. 5; symmetric a plays A^T).
+        g1 = layer_backward_inputs(
+            a_sp, result.grad, w2.astype(np.float32),
+            c1.pre_activation, tanh,
+        )
+        grad_w1 = weight_gradient(c1, a_sp, g1)
+
+        eps = 1e-4
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            i = rng.integers(0, w1.shape[0])
+            j = rng.integers(0, w1.shape[1])
+            bumped = w1.copy()
+            bumped[i, j] += eps
+            up = _loss(a, x, bumped, b1, w2, b2, labels, mask)
+            bumped[i, j] -= 2 * eps
+            down = _loss(a, x, bumped, b1, w2, b2, labels, mask)
+            assert grad_w1[i, j] == pytest.approx(
+                (up - down) / (2 * eps), abs=2e-3
+            )
+
+    def test_weight_gradient_transform_first_matches(self, setup):
+        """Transform-first drops the aggregated cache; the gradient must
+        be recomputed identically."""
+        a, x, w1, b1, w2, b2, labels, mask = setup
+        a_sp = csr_matrix(a)
+        kwargs = dict(weight=w1.astype(np.float32),
+                      bias=b1.astype(np.float32))
+        agg = layer_forward(a_sp, x.astype(np.float32), activation=tanh,
+                            is_last=False, transform_first=False, **kwargs)
+        tr = layer_forward(a_sp, x.astype(np.float32), activation=tanh,
+                           is_last=False, transform_first=True, **kwargs)
+        g = np.random.default_rng(1).standard_normal(
+            agg.output.shape
+        ).astype(np.float32)
+        np.testing.assert_allclose(
+            weight_gradient(agg, a_sp, g),
+            weight_gradient(tr, a_sp, g),
+            atol=1e-3,
+        )

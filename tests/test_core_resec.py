@@ -1,0 +1,139 @@
+"""Unit + property tests for ResEC-BP error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.quantization import BucketQuantizer
+from repro.core.messages import ChannelKey
+from repro.core.resec_bp import ResECPolicy
+
+KEY = ChannelKey(layer=2, responder=0, requester=1)
+
+
+class TestErrorFeedback:
+    def test_single_roundtrip_close(self):
+        policy = ResECPolicy(bits=8)
+        rows = np.random.default_rng(0).standard_normal((10, 4)).astype(np.float32)
+        result = policy.receive(KEY, policy.respond(KEY, rows, t=0), t=0)
+        span = rows.max() - rows.min()
+        assert np.abs(result.rows - rows).max() <= span / 512 + 1e-5
+
+    def test_residual_carries_into_next_iteration(self):
+        """Eq. 11/12: what was lost at t is added back at t+1, so the
+        *cumulative* delivered sum tracks the cumulative true sum."""
+        policy = ResECPolicy(bits=2)
+        rng = np.random.default_rng(1)
+        true_sum = np.zeros((6, 3), dtype=np.float64)
+        sent_sum = np.zeros((6, 3), dtype=np.float64)
+        for t in range(30):
+            rows = rng.standard_normal((6, 3)).astype(np.float32)
+            result = policy.receive(KEY, policy.respond(KEY, rows, t), t)
+            true_sum += rows
+            sent_sum += result.rows
+        # Telescoping: |sum difference| == |last residual|, bounded by
+        # the one-step quantization error, NOT growing with T.
+        residual = policy.residual_norm(KEY)
+        gap = np.linalg.norm(true_sum - sent_sum)
+        assert gap == pytest.approx(residual, rel=1e-3)
+
+    def test_without_feedback_errors_accumulate(self):
+        """Plain quantization drifts; error feedback does not."""
+        rng = np.random.default_rng(2)
+        quantizer = BucketQuantizer(1)
+        rows_stream = [
+            rng.standard_normal((8, 4)).astype(np.float32) for _ in range(40)
+        ]
+
+        policy = ResECPolicy(bits=1)
+        fed_gap = np.zeros((8, 4), dtype=np.float64)
+        plain_gap = np.zeros((8, 4), dtype=np.float64)
+        for t, rows in enumerate(rows_stream):
+            delivered = policy.receive(
+                KEY, policy.respond(KEY, rows, t), t
+            ).rows
+            fed_gap += rows - delivered
+            plain_gap += rows - quantizer.quantize(rows)
+        assert np.linalg.norm(fed_gap) < np.linalg.norm(plain_gap)
+
+    def test_constant_gradient_converges_in_mean(self):
+        """For a constant input the delivered average approaches the truth."""
+        policy = ResECPolicy(bits=1)
+        rows = np.full((4, 4), 0.37, dtype=np.float32)
+        delivered = np.zeros_like(rows, dtype=np.float64)
+        steps = 64
+        for t in range(steps):
+            delivered += policy.receive(
+                KEY, policy.respond(KEY, rows, t), t
+            ).rows
+        np.testing.assert_allclose(delivered / steps, 0.37, atol=0.02)
+
+    def test_channels_independent(self):
+        policy = ResECPolicy(bits=2)
+        other = ChannelKey(layer=3, responder=0, requester=1)
+        rows = np.ones((4, 2), dtype=np.float32)
+        policy.respond(KEY, rows, t=0)
+        assert policy.residual_norm(other) == 0.0
+
+    def test_reset(self):
+        policy = ResECPolicy(bits=2)
+        rows = np.random.default_rng(3).random((4, 2)).astype(np.float32)
+        policy.respond(KEY, rows, t=0)
+        policy.reset()
+        assert policy.residual_norm(KEY) == 0.0
+
+
+class TestSampledMode:
+    def test_prime_then_subset_respond(self):
+        policy = ResECPolicy(bits=4)
+        policy.prime_residual(KEY, num_rows=10, dim=3)
+        rng = np.random.default_rng(4)
+        idx = np.array([1, 4, 7])
+        rows = rng.standard_normal((3, 3)).astype(np.float32)
+        result = policy.receive(
+            KEY, policy.respond(KEY, rows, t=0, rows_idx=idx), t=0,
+            rows_idx=idx,
+        )
+        assert result.rows.shape == (3, 3)
+
+    def test_unprimed_subset_raises(self):
+        policy = ResECPolicy(bits=4)
+        with pytest.raises(RuntimeError, match="prime_residual"):
+            policy.respond(
+                KEY, np.zeros((2, 3), dtype=np.float32), t=0,
+                rows_idx=np.array([0, 1]),
+            )
+
+    def test_subset_residual_rows_updated_only(self):
+        policy = ResECPolicy(bits=1)
+        policy.prime_residual(KEY, num_rows=6, dim=2)
+        idx = np.array([0, 1])
+        rows = np.full((2, 2), 0.9, dtype=np.float32)
+        policy.respond(KEY, rows, t=0, rows_idx=idx)
+        residual = policy._residual[KEY]
+        assert residual[2:].sum() == 0.0
+
+
+@given(
+    bits=st.sampled_from([1, 2, 4]),
+    steps=st.integers(5, 25),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_telescoping_gap_equals_residual(bits, steps, seed):
+    """Invariant: sum(true) - sum(delivered) == current residual, exactly
+    (up to float32 accumulation)."""
+    policy = ResECPolicy(bits=bits)
+    key = ChannelKey(layer=2, responder=0, requester=1)
+    rng = np.random.default_rng(seed)
+    gap = np.zeros((5, 3), dtype=np.float64)
+    for t in range(steps):
+        rows = rng.standard_normal((5, 3)).astype(np.float32)
+        delivered = policy.receive(
+            key, policy.respond(key, rows, t), t
+        ).rows
+        gap += rows.astype(np.float64) - delivered.astype(np.float64)
+    assert np.linalg.norm(gap) == pytest.approx(
+        policy.residual_norm(key), rel=1e-2, abs=1e-3
+    )

@@ -1,0 +1,127 @@
+"""Integration tests for the sampling-mode trainer (EC-Graph-S / DistDGL)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.sampling_trainer import SampledECGraphTrainer
+from repro.core.trainer import ECGraphTrainer
+
+
+def _sampled(graph, fanouts, workers=3, online=False, config=None,
+             epochs=10, layers=2):
+    trainer = SampledECGraphTrainer(
+        graph,
+        ModelConfig(num_layers=layers, hidden_dim=8),
+        ClusterSpec(num_workers=workers),
+        fanouts=fanouts,
+        config=config or ECGraphConfig(fp_mode="compress", bp_mode="resec"),
+        online=online,
+    )
+    return trainer, trainer.train(epochs)
+
+
+class TestValidation:
+    def test_fanout_count_must_match_layers(self, small_graph):
+        with pytest.raises(ValueError, match="fanouts"):
+            _sampled(small_graph, fanouts=[5])
+
+    def test_reqec_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="full-batch"):
+            SampledECGraphTrainer(
+                small_graph, ModelConfig(num_layers=2),
+                ClusterSpec(num_workers=2), fanouts=[5, 5],
+                config=ECGraphConfig(fp_mode="reqec"),
+            )
+
+    def test_zero_fanout_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            _sampled(small_graph, fanouts=[5, 0])
+
+
+class TestSampling:
+    def test_trains_to_reasonable_accuracy(self, medium_graph):
+        _, run = _sampled(medium_graph, fanouts=[8, 4], epochs=40)
+        assert run.best_test_accuracy() > 0.6
+
+    def test_sampling_reduces_traffic(self, medium_graph):
+        full = ECGraphTrainer(
+            medium_graph, ModelConfig(num_layers=2, hidden_dim=8),
+            ClusterSpec(num_workers=3),
+            ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        full_run = full.train(5)
+        config = ECGraphConfig(fp_mode="raw", bp_mode="raw")
+        _, sampled_run = _sampled(
+            medium_graph, fanouts=[3, 3], config=config, epochs=5
+        )
+        assert sampled_run.total_bytes() < full_run.total_bytes()
+
+    def test_huge_fanout_equals_full_batch_traffic_shape(self, small_graph):
+        """With fanouts above the max degree, sampling keeps every edge,
+        so per-epoch loss matches the full-batch trainer exactly."""
+        config = ECGraphConfig(fp_mode="raw", bp_mode="raw", seed=4)
+        full = ECGraphTrainer(
+            small_graph, ModelConfig(num_layers=2, hidden_dim=8),
+            ClusterSpec(num_workers=3), config,
+        )
+        full_run = full.train(5)
+        _, sampled_run = _sampled(
+            small_graph, fanouts=[10_000, 10_000], config=config, epochs=5
+        )
+        for a, b in zip(full_run.epochs, sampled_run.epochs):
+            assert a.loss == pytest.approx(b.loss, rel=1e-4, abs=1e-5)
+
+    def test_online_resamples_each_epoch(self, medium_graph):
+        trainer, _ = _sampled(
+            medium_graph, fanouts=[4, 4], online=True, epochs=2,
+            config=ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        first = [m.copy() for m in
+                 [trainer._sampled_adj[0][1].indices]]
+        trainer.run_epoch(2)
+        second = trainer._sampled_adj[0][1].indices
+        assert not np.array_equal(first[0], second)
+
+    def test_offline_keeps_sample_fixed(self, medium_graph):
+        trainer, _ = _sampled(
+            medium_graph, fanouts=[4, 4], online=False, epochs=2,
+            config=ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        first = trainer._sampled_adj[0][1].indices.copy()
+        trainer.run_epoch(2)
+        np.testing.assert_array_equal(first, trainer._sampled_adj[0][1].indices)
+
+    def test_online_charges_sampling_traffic(self, medium_graph):
+        _, online_run = _sampled(
+            medium_graph, fanouts=[4, 4], online=True, epochs=5,
+            config=ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        sampled_categories = online_run.epochs[0].breakdown.category_bytes
+        assert "sampling" in sampled_categories
+
+    def test_row_scaling_unbiased(self, medium_graph):
+        """Sampled aggregation row sums approximate the full row sums."""
+        trainer, _ = _sampled(
+            medium_graph, fanouts=[5, 5], epochs=1,
+            config=ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        state = trainer.workers[0]
+        full_sums = np.asarray(state.a_local.sum(axis=1)).ravel()
+        trials = []
+        for _ in range(30):
+            trainer._resample()
+            sampled = trainer._sampled_adj[0][1]
+            trials.append(np.asarray(sampled.sum(axis=1)).ravel())
+        mean_sums = np.mean(trials, axis=0)
+        # Unbiased estimator: mean over resamples tracks the full sums.
+        np.testing.assert_allclose(mean_sums, full_sums, rtol=0.35, atol=0.05)
+
+    def test_resec_with_sampling_converges(self, medium_graph):
+        config = ECGraphConfig(
+            fp_mode="compress", bp_mode="resec", fp_bits=4, bp_bits=4
+        )
+        _, run = _sampled(medium_graph, fanouts=[8, 4], config=config,
+                          epochs=40)
+        assert run.best_test_accuracy() > 0.6

@@ -1,0 +1,137 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph, from_edge_list, from_scipy
+
+
+class TestConstruction:
+    def test_from_edge_list_basic(self, tiny_csr):
+        assert tiny_csr.num_vertices == 5
+        assert tiny_csr.num_edges == 6
+        np.testing.assert_array_equal(tiny_csr.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(tiny_csr.neighbors(3), [4])
+
+    def test_empty_graph(self):
+        g = from_edge_list([], num_vertices=3)
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list([(0, 5)], num_vertices=3)
+
+    def test_deduplicate(self):
+        g = from_edge_list([(0, 1), (0, 1), (1, 0)], 2, deduplicate=True)
+        assert g.num_edges == 2
+
+    def test_weights_preserved_through_sorting(self):
+        # Edges given out of source order; weights must follow them.
+        edges = [(2, 0), (0, 1), (1, 2)]
+        weights = [0.3, 0.1, 0.2]
+        g = from_edge_list(edges, 3, weights=weights)
+        assert g.edge_weights(0)[0] == pytest.approx(0.1)
+        assert g.edge_weights(2)[0] == pytest.approx(0.3)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            from_edge_list([(0, 1)], 2, weights=[0.5, 0.5])
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_indptr_tail_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+
+
+class TestQueries:
+    def test_degree_vector(self, tiny_csr):
+        np.testing.assert_array_equal(tiny_csr.degree(), [2, 1, 1, 1, 1])
+
+    def test_average_degree(self, tiny_csr):
+        assert tiny_csr.average_degree == pytest.approx(6 / 5)
+
+    def test_iter_edges_matches_neighbors(self, tiny_csr):
+        edges = set(tiny_csr.iter_edges())
+        assert (0, 1) in edges and (4, 3) in edges
+        assert len(edges) == 6
+
+    def test_has_edge(self, tiny_csr):
+        assert tiny_csr.has_edge(0, 2)
+        assert not tiny_csr.has_edge(2, 1)
+
+    def test_has_edge_sorted_rows(self, tiny_csr):
+        sorted_g = tiny_csr.sorted_rows()
+        assert sorted_g.has_edge(0, 2)
+        assert not sorted_g.has_edge(1, 0)
+
+    def test_edge_weights_default_ones(self, tiny_csr):
+        np.testing.assert_array_equal(tiny_csr.edge_weights(0), [1.0, 1.0])
+
+
+class TestTranspose:
+    def test_transpose_reverses_edges(self, tiny_csr):
+        t = tiny_csr.transpose()
+        forward = set(tiny_csr.iter_edges())
+        backward = set(t.iter_edges())
+        assert backward == {(v, u) for u, v in forward}
+
+    def test_double_transpose_identity(self, tiny_csr):
+        tt = tiny_csr.transpose().transpose()
+        assert set(tt.iter_edges()) == set(tiny_csr.iter_edges())
+
+    def test_transpose_carries_weights(self):
+        g = from_edge_list([(0, 1), (1, 2)], 3, weights=[0.5, 0.9])
+        t = g.transpose()
+        # Edge 1->0 in transpose corresponds to 0->1 with weight 0.5.
+        assert t.edge_weights(1)[0] == pytest.approx(0.5)
+        assert t.edge_weights(2)[0] == pytest.approx(0.9)
+
+    def test_symmetric_graph_fixed_point(self, ring_graph):
+        t = ring_graph.transpose()
+        assert set(t.iter_edges()) == set(ring_graph.iter_edges())
+
+
+class TestSelfLoops:
+    def test_adds_missing_loops(self, tiny_csr):
+        g = tiny_csr.with_self_loops()
+        assert g.num_edges == tiny_csr.num_edges + 5
+        for v in range(5):
+            assert g.has_edge(v, v)
+
+    def test_idempotent(self, tiny_csr):
+        once = tiny_csr.with_self_loops()
+        twice = once.with_self_loops()
+        assert twice.num_edges == once.num_edges
+
+    def test_existing_loop_kept_once(self):
+        g = from_edge_list([(0, 0), (0, 1)], 2)
+        with_loops = g.with_self_loops()
+        assert with_loops.num_edges == 3  # adds only vertex 1's loop
+
+    def test_new_loops_weight_one(self):
+        g = from_edge_list([(0, 1)], 2, weights=[0.25])
+        looped = g.with_self_loops()
+        row0 = dict(zip(looped.neighbors(0), looped.edge_weights(0)))
+        assert row0[0] == pytest.approx(1.0)
+        assert row0[1] == pytest.approx(0.25)
+
+
+class TestScipyInterop:
+    def test_roundtrip(self, tiny_csr):
+        back = from_scipy(tiny_csr.to_scipy())
+        assert set(back.iter_edges()) == set(tiny_csr.iter_edges())
+
+    def test_weighted_roundtrip(self):
+        g = from_edge_list([(0, 1), (1, 0)], 2, weights=[0.5, 2.0])
+        back = from_scipy(g.to_scipy())
+        assert back.edge_weights(0)[0] == pytest.approx(0.5)
+
+    def test_nonsquare_rejected(self):
+        from scipy.sparse import csr_matrix
+
+        with pytest.raises(ValueError):
+            from_scipy(csr_matrix((2, 3)))

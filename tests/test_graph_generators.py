@@ -1,0 +1,161 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    GraphSpec,
+    class_features,
+    generate_graph,
+    planted_partition_edges,
+    power_law_degrees,
+)
+
+
+def _spec(**overrides):
+    fields = dict(
+        name="t",
+        num_vertices=300,
+        avg_degree=8.0,
+        feature_dim=10,
+        num_classes=3,
+        seed=5,
+    )
+    fields.update(overrides)
+    return GraphSpec(**fields)
+
+
+class TestSpecValidation:
+    def test_bad_homophily(self):
+        with pytest.raises(ValueError):
+            _spec(homophily=1.5)
+
+    def test_too_few_classes(self):
+        with pytest.raises(ValueError):
+            _spec(num_classes=1)
+
+    def test_bad_label_noise(self):
+        with pytest.raises(ValueError):
+            _spec(label_noise=1.0)
+
+    def test_nonpositive_degree(self):
+        with pytest.raises(ValueError):
+            _spec(avg_degree=0.0)
+
+
+class TestPowerLawDegrees:
+    def test_mean_close_to_target(self):
+        rng = np.random.default_rng(0)
+        degrees = power_law_degrees(5000, 20.0, 2.0, rng)
+        assert abs(degrees.mean() - 20.0) < 4.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        degrees = power_law_degrees(100, 10.0, 1.5, rng)
+        assert degrees.min() >= 1
+        assert degrees.max() <= 99
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        degrees = power_law_degrees(5000, 20.0, 1.5, rng)
+        assert degrees.max() > 5 * degrees.mean()
+
+
+class TestPlantedPartition:
+    def test_homophily_respected(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 600)
+        degrees = np.full(600, 10, dtype=np.int64)
+        edges = planted_partition_edges(labels, degrees, 0.9, rng)
+        same = (labels[edges[:, 0]] == labels[edges[:, 1]]).mean()
+        assert same > 0.75
+
+    def test_low_homophily(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 600)
+        degrees = np.full(600, 10, dtype=np.int64)
+        edges = planted_partition_edges(labels, degrees, 0.1, rng)
+        same = (labels[edges[:, 0]] == labels[edges[:, 1]]).mean()
+        assert same < 0.6
+
+    def test_no_self_loops_or_duplicates(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 100)
+        degrees = np.full(100, 6, dtype=np.int64)
+        edges = planted_partition_edges(labels, degrees, 0.8, rng)
+        assert (edges[:, 0] != edges[:, 1]).all()
+        keys = edges[:, 0] * 100 + edges[:, 1]
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_canonical_orientation(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 50)
+        degrees = np.full(50, 4, dtype=np.int64)
+        edges = planted_partition_edges(labels, degrees, 0.8, rng)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+
+class TestClassFeatures:
+    def test_same_class_closer_than_cross_class(self):
+        rng = np.random.default_rng(0)
+        labels = np.array([0] * 50 + [1] * 50)
+        x = class_features(labels, 32, noise=0.5, rng=rng)
+        within = np.linalg.norm(x[:50] - x[:50].mean(0), axis=1).mean()
+        centroid_gap = np.linalg.norm(x[:50].mean(0) - x[50:].mean(0))
+        assert centroid_gap > within * 0.5
+
+    def test_dtype(self):
+        rng = np.random.default_rng(0)
+        x = class_features(np.zeros(4, dtype=np.int64) , 8, 1.0, rng)
+        assert x.dtype == np.float32
+
+
+class TestGenerateGraph:
+    def test_symmetric_adjacency(self):
+        g = generate_graph(_spec())
+        edges = set(g.adjacency.iter_edges())
+        assert all((v, u) in edges for u, v in edges)
+
+    def test_degree_near_target(self):
+        g = generate_graph(_spec(num_vertices=2000, avg_degree=12.0))
+        assert abs(g.adjacency.average_degree - 12.0) < 4.0
+
+    def test_deterministic(self):
+        a = generate_graph(_spec())
+        b = generate_graph(_spec())
+        np.testing.assert_array_equal(a.adjacency.indices, b.adjacency.indices)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_graph(self):
+        a = generate_graph(_spec(seed=1))
+        b = generate_graph(_spec(seed=2))
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_all_classes_inhabited(self):
+        g = generate_graph(_spec(num_classes=5))
+        assert len(np.unique(g.labels)) == 5
+
+    def test_masks_disjoint(self):
+        g = generate_graph(_spec())
+        assert not (g.train_mask & g.val_mask).any()
+        assert not (g.train_mask & g.test_mask).any()
+
+    def test_label_noise_flips_some_labels(self):
+        clean = generate_graph(_spec(label_noise=0.0))
+        noisy = generate_graph(_spec(label_noise=0.4))
+        differ = (clean.labels != noisy.labels).mean()
+        assert 0.2 < differ < 0.5  # ~0.4 * (1 - 1/3)
+
+    def test_small_graph_split_shrinks(self):
+        g = generate_graph(
+            _spec(num_vertices=30, train=20, val=20, test=20, num_classes=2)
+        )
+        train, val, test = g.split_sizes()
+        assert train + val + test <= 30
+        assert min(train, val, test) >= 1
+
+    def test_meta_records_generator(self):
+        g = generate_graph(_spec(homophily=0.77))
+        assert g.meta["homophily"] == 0.77
+        assert g.meta["generator"] == "planted_partition"

@@ -1,0 +1,82 @@
+"""Unit tests for graph (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import GraphSpec, generate_graph
+from repro.graph.io import load_graph, save_graph
+
+
+@pytest.fixture
+def graph():
+    return generate_graph(
+        GraphSpec(
+            name="io-test",
+            num_vertices=60,
+            avg_degree=4.0,
+            feature_dim=8,
+            num_classes=2,
+            seed=1,
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(
+            loaded.adjacency.indptr, graph.adjacency.indptr
+        )
+        np.testing.assert_array_equal(
+            loaded.adjacency.indices, graph.adjacency.indices
+        )
+
+    def test_attributes_preserved(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.features, graph.features)
+        np.testing.assert_array_equal(loaded.labels, graph.labels)
+        np.testing.assert_array_equal(loaded.train_mask, graph.train_mask)
+        assert loaded.num_classes == graph.num_classes
+        assert loaded.name == graph.name
+
+    def test_meta_preserved(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.meta["generator"] == "planted_partition"
+
+    def test_weighted_adjacency_roundtrip(self, graph, tmp_path):
+        from repro.graph.normalize import gcn_normalize
+
+        graph.adjacency = gcn_normalize(graph.adjacency)
+        path = tmp_path / "weighted.npz"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_allclose(
+            loaded.adjacency.weights, graph.adjacency.weights
+        )
+
+    def test_creates_parent_dirs(self, graph, tmp_path):
+        path = tmp_path / "deep" / "nested" / "g.npz"
+        save_graph(graph, path)
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "missing.npz")
+
+    def test_wrong_version_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.int64(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)

@@ -1,0 +1,75 @@
+"""Unit tests for GCN/row adjacency normalization."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import from_edge_list
+from repro.graph.normalize import gcn_normalize, normalized_adjacency, row_normalize
+
+
+def _dense(graph):
+    return graph.to_scipy().toarray()
+
+
+class TestGCNNormalize:
+    def test_matches_dense_formula(self, ring_graph):
+        normalized = gcn_normalize(ring_graph)
+        a = _dense(ring_graph.with_self_loops())
+        d = a.sum(axis=1)
+        expected = a / np.sqrt(np.outer(d, d))
+        np.testing.assert_allclose(_dense(normalized), expected, atol=1e-6)
+
+    def test_symmetric_input_gives_symmetric_output(self, ring_graph):
+        dense = _dense(gcn_normalize(ring_graph))
+        np.testing.assert_allclose(dense, dense.T, atol=1e-6)
+
+    def test_isolated_vertex_keeps_unit_self_loop(self):
+        g = from_edge_list([(0, 1), (1, 0)], num_vertices=3)
+        normalized = gcn_normalize(g)
+        dense = _dense(normalized)
+        assert dense[2, 2] == pytest.approx(1.0)
+
+    def test_row_sums_at_most_one(self, ring_graph):
+        dense = _dense(gcn_normalize(ring_graph))
+        assert dense.sum(axis=1).max() <= 1.0 + 1e-6
+
+    def test_without_self_loops(self, ring_graph):
+        normalized = gcn_normalize(ring_graph, add_self_loops=False)
+        dense = _dense(normalized)
+        assert np.diag(dense).max() == 0.0
+
+    def test_spectral_radius_at_most_one(self, ring_graph):
+        dense = _dense(gcn_normalize(ring_graph))
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert np.abs(eigenvalues).max() <= 1.0 + 1e-6
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, ring_graph):
+        dense = _dense(row_normalize(ring_graph))
+        np.testing.assert_allclose(dense.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_zero_degree_row_stays_zero(self):
+        g = from_edge_list([(0, 1)], num_vertices=3)
+        dense = _dense(row_normalize(g))
+        assert not dense[2].any()
+
+    def test_self_loops_optional(self, ring_graph):
+        with_loops = row_normalize(ring_graph, add_self_loops=True)
+        assert np.diag(_dense(with_loops)).min() > 0
+
+
+class TestRegistry:
+    def test_gcn_scheme(self, ring_graph):
+        a = _dense(normalized_adjacency(ring_graph, "gcn"))
+        b = _dense(gcn_normalize(ring_graph))
+        np.testing.assert_allclose(a, b)
+
+    def test_row_scheme_includes_loops(self, ring_graph):
+        dense = _dense(normalized_adjacency(ring_graph, "row"))
+        np.testing.assert_allclose(dense.sum(axis=1), 1.0, atol=1e-6)
+        assert np.diag(dense).min() > 0
+
+    def test_unknown_scheme(self, ring_graph):
+        with pytest.raises(KeyError, match="gcn"):
+            normalized_adjacency(ring_graph, "laplacian")

@@ -1,0 +1,81 @@
+"""Tests for heterogeneous-cluster modelling (per-worker compute speeds).
+
+The paper's related-work section notes All-Reduce "is inapplicable to
+the heterogeneous cluster"; EC-Graph's parameter-server architecture
+runs there, paying for stragglers in epoch time. These tests check the
+engine's straggler accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import ClusterRuntime
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.trainer import ECGraphTrainer
+
+
+class TestSpecValidation:
+    def test_speed_count_must_match(self):
+        with pytest.raises(ValueError, match="worker speeds"):
+            ClusterSpec(num_workers=3, worker_speeds=(1.0, 1.0))
+
+    def test_speeds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_workers=2, worker_speeds=(1.0, 0.0))
+
+    def test_speed_of_combines_global_and_local(self):
+        spec = ClusterSpec(num_workers=2, compute_speed=2.0,
+                           worker_speeds=(1.0, 0.5))
+        assert spec.speed_of(0) == 2.0
+        assert spec.speed_of(1) == 1.0
+
+
+class TestStragglerAccounting:
+    def test_slow_worker_gates_the_epoch(self):
+        spec = ClusterSpec(num_workers=3, worker_speeds=(1.0, 1.0, 0.25))
+        runtime = ClusterRuntime(spec)
+        for worker in range(3):
+            runtime.add_compute(worker, 1.0)
+        breakdown = runtime.end_epoch()
+        # Worker 2 runs at quarter speed: 1.0 / 0.25 = 4 s.
+        assert breakdown.compute_seconds == pytest.approx(4.0)
+
+    def test_homogeneous_matches_plain_path(self):
+        uniform = ClusterSpec(num_workers=2, worker_speeds=(1.0, 1.0))
+        plain = ClusterSpec(num_workers=2)
+        for spec in (uniform, plain):
+            runtime = ClusterRuntime(spec)
+            runtime.add_compute(0, 2.0)
+            runtime.add_compute(1, 1.0)
+            assert runtime.end_epoch().compute_seconds == pytest.approx(2.0)
+
+    def test_training_epoch_time_grows_with_straggler(self, small_graph):
+        def compute_time(speeds):
+            trainer = ECGraphTrainer(
+                small_graph, ModelConfig(num_layers=2, hidden_dim=8),
+                ClusterSpec(num_workers=3, worker_speeds=speeds),
+                ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+            )
+            run = trainer.train(3)
+            # Compare the compute component: tiny unit graphs are
+            # latency-dominated, which would mask the straggler in the
+            # epoch total.
+            return sum(e.breakdown.compute_seconds for e in run.epochs)
+
+        balanced = compute_time((1.0, 1.0, 1.0))
+        straggler = compute_time((1.0, 1.0, 0.1))
+        assert straggler > 2 * balanced
+
+    def test_accuracy_unaffected_by_speeds(self, small_graph):
+        """Heterogeneity is a timing property only — results identical."""
+        losses = []
+        for speeds in (None, (1.0, 0.2, 3.0)):
+            trainer = ECGraphTrainer(
+                small_graph, ModelConfig(num_layers=2, hidden_dim=8),
+                ClusterSpec(num_workers=3, worker_speeds=speeds),
+                ECGraphConfig(fp_mode="raw", bp_mode="raw", seed=2),
+            )
+            run = trainer.train(5)
+            losses.append([e.loss for e in run.epochs])
+        np.testing.assert_allclose(losses[0], losses[1], rtol=1e-6)

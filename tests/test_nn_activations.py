@@ -1,0 +1,106 @@
+"""Unit tests for activations and their derivatives.
+
+Each derivative is checked against a central finite difference — these
+derivatives gate the distributed backward pass, so an error here corrupts
+every gradient in the system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    elu,
+    get_activation,
+    identity,
+    leaky_relu,
+    relu,
+    sigmoid,
+    tanh,
+)
+
+ALL = [relu, leaky_relu, tanh, sigmoid, identity, elu]
+
+
+@pytest.mark.parametrize("act", ALL, ids=lambda a: a.name)
+def test_derivative_matches_finite_difference(act):
+    rng = np.random.default_rng(1)
+    # Stay away from the ReLU kink at 0 where the derivative jumps.
+    z = rng.uniform(0.2, 3.0, size=(40,)) * rng.choice([-1.0, 1.0], size=40)
+    eps = 1e-4
+    numeric = (act.forward(z + eps) - act.forward(z - eps)) / (2 * eps)
+    analytic = act.derivative(z)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-3)
+
+
+class TestRelu:
+    def test_forward_clamps_negatives(self):
+        z = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        np.testing.assert_array_equal(relu(z), [0.0, 0.0, 0.0, 0.5, 2.0])
+
+    def test_derivative_is_indicator(self):
+        z = np.array([-1.0, 1.0])
+        np.testing.assert_array_equal(relu.derivative(z), [0.0, 1.0])
+
+    def test_preserves_dtype(self):
+        z = np.ones(4, dtype=np.float32)
+        assert relu(z).dtype == np.float32
+
+
+class TestSigmoid:
+    def test_range(self):
+        z = np.linspace(-30, 30, 101)
+        s = sigmoid(z)
+        assert np.all(s > 0) and np.all(s < 1)
+
+    def test_extreme_values_stable(self):
+        z = np.array([-1000.0, 1000.0])
+        s = sigmoid(z)
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s, [0.0, 1.0], atol=1e-12)
+
+    def test_symmetry(self):
+        z = np.array([0.7, -0.7])
+        s = sigmoid(z)
+        assert abs(s[0] + s[1] - 1.0) < 1e-6
+
+
+class TestTanh:
+    def test_odd_function(self):
+        z = np.array([0.3, 1.5])
+        np.testing.assert_allclose(tanh(z), -tanh(-z))
+
+
+class TestLeakyRelu:
+    def test_negative_slope(self):
+        z = np.array([-10.0])
+        np.testing.assert_allclose(leaky_relu(z), [-0.1])
+
+
+class TestElu:
+    def test_continuous_at_zero(self):
+        eps = 1e-6
+        assert abs(elu(np.array([eps]))[0] - elu(np.array([-eps]))[0]) < 1e-5
+
+    def test_saturates_at_minus_alpha(self):
+        assert elu(np.array([-100.0]))[0] == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        z = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(identity(z), z)
+        np.testing.assert_array_equal(identity.derivative(z), [1.0, 1.0])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", [a.name for a in ALL])
+    def test_lookup(self, name):
+        assert get_activation(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="relu"):
+            get_activation("swish")
+
+    def test_callable_interface(self):
+        z = np.array([-1.0, 2.0])
+        np.testing.assert_array_equal(relu(z), relu.forward(z))

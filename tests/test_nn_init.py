@@ -1,0 +1,100 @@
+"""Unit tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    get_initializer,
+    glorot_normal,
+    glorot_uniform,
+    he_normal,
+    he_uniform,
+    uniform,
+    zeros,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGlorotUniform:
+    def test_shape_and_dtype(self, rng):
+        w = glorot_uniform((64, 32), rng)
+        assert w.shape == (64, 32)
+        assert w.dtype == np.float32
+
+    def test_bounds(self, rng):
+        w = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(w >= -limit)
+        assert np.all(w <= limit)
+
+    def test_deterministic_given_seed(self):
+        a = glorot_uniform((8, 8), np.random.default_rng(3))
+        b = glorot_uniform((8, 8), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = glorot_uniform((8, 8), np.random.default_rng(1))
+        b = glorot_uniform((8, 8), np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_variance_scales_with_fan(self, rng):
+        small = glorot_uniform((10, 10), rng)
+        large = glorot_uniform((1000, 1000), rng)
+        assert small.std() > large.std()
+
+
+class TestGlorotNormal:
+    def test_std_close_to_formula(self, rng):
+        w = glorot_normal((500, 500), rng)
+        expected = np.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected) < 0.1 * expected
+
+    def test_mean_near_zero(self, rng):
+        w = glorot_normal((200, 200), rng)
+        assert abs(w.mean()) < 0.005
+
+
+class TestHe:
+    def test_he_uniform_bounds(self, rng):
+        w = he_uniform((64, 16), rng)
+        limit = np.sqrt(6.0 / 64)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_normal_std(self, rng):
+        w = he_normal((400, 100), rng)
+        expected = np.sqrt(2.0 / 400)
+        assert abs(w.std() - expected) < 0.1 * expected
+
+
+class TestZerosAndUniform:
+    def test_zeros(self):
+        b = zeros((17,))
+        assert b.shape == (17,)
+        assert not b.any()
+        assert b.dtype == np.float32
+
+    def test_uniform_custom_range(self, rng):
+        w = uniform((50, 50), rng, low=-2.0, high=3.0)
+        assert w.min() >= -2.0
+        assert w.max() < 3.0
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert get_initializer("glorot_uniform") is glorot_uniform
+
+    def test_lookup_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="glorot_uniform"):
+            get_initializer("nope")
+
+    def test_1d_shape_supported(self, rng):
+        w = glorot_uniform((16,), rng)
+        assert w.shape == (16,)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            glorot_uniform((), rng)

@@ -1,0 +1,59 @@
+"""Unit tests for learning-rate schedules."""
+
+import pytest
+
+from repro.nn.lr_schedule import (
+    ConstantLR,
+    CosineAnnealingLR,
+    ExponentialDecayLR,
+    StepDecayLR,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        sched = ConstantLR(0.01)
+        assert sched(0) == sched(1000) == 0.01
+
+
+class TestStepDecay:
+    def test_steps(self):
+        sched = StepDecayLR(base_lr=1.0, step_size=10, gamma=0.5)
+        assert sched(0) == 1.0
+        assert sched(9) == 1.0
+        assert sched(10) == 0.5
+        assert sched(25) == 0.25
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepDecayLR(base_lr=1.0, step_size=0)
+
+
+class TestExponential:
+    def test_monotone_decrease(self):
+        sched = ExponentialDecayLR(base_lr=0.1, gamma=0.9)
+        values = [sched(e) for e in range(5)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_formula(self):
+        sched = ExponentialDecayLR(base_lr=2.0, gamma=0.5)
+        assert sched(3) == pytest.approx(0.25)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        sched = CosineAnnealingLR(base_lr=1.0, t_max=100, min_lr=0.1)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(100) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        sched = CosineAnnealingLR(base_lr=1.0, t_max=100)
+        assert sched(50) == pytest.approx(0.5)
+
+    def test_clamps_past_t_max(self):
+        sched = CosineAnnealingLR(base_lr=1.0, t_max=10, min_lr=0.2)
+        assert sched(500) == pytest.approx(0.2)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(base_lr=1.0, t_max=0)

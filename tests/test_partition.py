@@ -1,0 +1,150 @@
+"""Unit tests for the three partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import GraphSpec, generate_graph
+from repro.partition import (
+    BFSPartitioner,
+    HashPartitioner,
+    MetisLikePartitioner,
+    SpectralPartitioner,
+    Partition,
+    make_partitioner,
+    partition_stats,
+)
+
+
+@pytest.fixture
+def community_graph():
+    """Two dense planted communities: locality-aware partitioners should
+    cut far fewer edges than hash."""
+    spec = GraphSpec(
+        name="two-communities",
+        num_vertices=200,
+        avg_degree=10.0,
+        feature_dim=4,
+        num_classes=2,
+        homophily=0.97,
+        seed=3,
+    )
+    return generate_graph(spec).adjacency
+
+
+ALL_PARTITIONERS = [
+    HashPartitioner(),
+    BFSPartitioner(seed=0),
+    MetisLikePartitioner(seed=0),
+    SpectralPartitioner(seed=0),
+]
+
+
+@pytest.mark.parametrize("partitioner", ALL_PARTITIONERS,
+                         ids=lambda p: p.name)
+class TestInvariants:
+    def test_every_vertex_assigned(self, partitioner, community_graph):
+        partition = partitioner.partition(community_graph, 4)
+        assert partition.num_vertices == community_graph.num_vertices
+        assert (partition.assignment >= 0).all()
+        assert (partition.assignment < 4).all()
+
+    def test_parts_cover_disjointly(self, partitioner, community_graph):
+        partition = partitioner.partition(community_graph, 3)
+        seen = np.concatenate(
+            [partition.part_vertices(p) for p in range(3)]
+        )
+        assert len(seen) == community_graph.num_vertices
+        assert len(np.unique(seen)) == community_graph.num_vertices
+
+    def test_reasonable_balance(self, partitioner, community_graph):
+        partition = partitioner.partition(community_graph, 4)
+        stats = partition_stats(community_graph, partition)
+        assert stats.balance < 1.6
+
+    def test_single_part(self, partitioner, community_graph):
+        partition = partitioner.partition(community_graph, 1)
+        assert (partition.assignment == 0).all()
+
+    def test_records_time(self, partitioner, community_graph):
+        partition = partitioner.partition(community_graph, 2)
+        assert partition.seconds >= 0.0
+
+
+class TestHash:
+    def test_round_robin_without_salt(self, community_graph):
+        partition = HashPartitioner().partition(community_graph, 3)
+        np.testing.assert_array_equal(
+            partition.assignment[:6], [0, 1, 2, 0, 1, 2]
+        )
+
+    def test_salt_changes_assignment(self, community_graph):
+        a = HashPartitioner(salt=0).partition(community_graph, 3)
+        b = HashPartitioner(salt=7).partition(community_graph, 3)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_perfect_balance(self, community_graph):
+        partition = HashPartitioner().partition(community_graph, 4)
+        sizes = partition.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestQuality:
+    def test_metis_beats_hash_on_communities(self, community_graph):
+        hash_stats = partition_stats(
+            community_graph, HashPartitioner().partition(community_graph, 2)
+        )
+        metis_stats = partition_stats(
+            community_graph,
+            MetisLikePartitioner(seed=0).partition(community_graph, 2),
+        )
+        assert metis_stats.edge_cut < hash_stats.edge_cut
+
+    def test_bfs_beats_hash_on_communities(self, community_graph):
+        hash_stats = partition_stats(
+            community_graph, HashPartitioner().partition(community_graph, 2)
+        )
+        bfs_stats = partition_stats(
+            community_graph, BFSPartitioner(seed=0).partition(community_graph, 2)
+        )
+        assert bfs_stats.edge_cut < hash_stats.edge_cut
+
+    def test_spectral_beats_hash_on_communities(self, community_graph):
+        hash_stats = partition_stats(
+            community_graph, HashPartitioner().partition(community_graph, 2)
+        )
+        spectral_stats = partition_stats(
+            community_graph,
+            SpectralPartitioner(seed=0).partition(community_graph, 2),
+        )
+        assert spectral_stats.edge_cut < hash_stats.edge_cut
+
+    def test_spectral_odd_part_count(self, community_graph):
+        partition = SpectralPartitioner(seed=0).partition(community_graph, 3)
+        sizes = partition.part_sizes()
+        assert sizes.min() > 0
+        assert sizes.max() / sizes.min() < 3.0
+
+
+class TestPartitionObject:
+    def test_out_of_range_part_id_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 3]), num_parts=2)
+
+    def test_part_vertices_bounds(self):
+        partition = Partition(np.array([0, 1, 0]), num_parts=2)
+        with pytest.raises(IndexError):
+            partition.part_vertices(5)
+
+    def test_owner(self):
+        partition = Partition(np.array([0, 1, 0]), num_parts=2)
+        assert partition.owner(1) == 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["hash", "bfs", "metis", "spectral"])
+    def test_make(self, name):
+        assert make_partitioner(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="metis"):
+            make_partitioner("random")

@@ -1,0 +1,182 @@
+"""Cross-cutting hypothesis property tests.
+
+These verify structural invariants that every subsystem relies on, over
+randomly generated graphs and matrices rather than hand-picked cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bit_tuner import BIT_LADDER, BitTuner
+from repro.graph.csr import from_edge_list
+from repro.graph.normalize import gcn_normalize, row_normalize
+from repro.graph.subgraph import induced_subgraph
+from repro.partition.bfs import BFSPartitioner
+from repro.partition.hashing import HashPartitioner
+from repro.partition.metis_like import MetisLikePartitioner
+from repro.partition.stats import partition_stats
+
+
+@st.composite
+def random_graph(draw, max_vertices=40, max_edges=120):
+    """A random directed graph as (num_vertices, edge array)."""
+    n = draw(st.integers(2, max_vertices))
+    m = draw(st.integers(0, max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return n, np.array(edges, dtype=np.int64).reshape(-1, 2)
+
+
+@st.composite
+def symmetric_graph(draw, max_vertices=30, max_edges=80):
+    """A random symmetric graph (both arcs stored, deduplicated)."""
+    n, edges = draw(random_graph(max_vertices, max_edges))
+    if edges.size:
+        both = np.concatenate([edges, edges[:, ::-1]], axis=0)
+    else:
+        both = edges
+    return n, both
+
+
+class TestCSRProperties:
+    @given(data=random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_count_preserved(self, data):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        unique = {(int(a), int(b)) for a, b in edges}
+        assert graph.num_edges == len(unique)
+        assert set(graph.iter_edges()) == unique
+
+    @given(data=random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, data):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        double = graph.transpose().transpose()
+        assert set(double.iter_edges()) == set(graph.iter_edges())
+
+    @given(data=random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_degrees_sum_to_edges(self, data):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        assert int(np.sum(graph.degree())) == graph.num_edges
+
+
+class TestNormalizationProperties:
+    @given(data=symmetric_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_gcn_spectral_radius_bounded_by_one(self, data):
+        # Row sums of D^{-1/2}(A+I)D^{-1/2} can exceed 1 on irregular
+        # graphs (hubs with leaf neighbours); the invariant that makes
+        # stacked GCN layers stable is the spectral radius <= 1.
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        dense = gcn_normalize(graph).to_scipy().toarray()
+        eigenvalues = np.linalg.eigvalsh((dense + dense.T) / 2)
+        assert np.abs(eigenvalues).max() <= 1.0 + 1e-4
+        assert (dense >= 0).all()
+
+    @given(data=symmetric_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_gcn_preserves_symmetry(self, data):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        dense = gcn_normalize(graph).to_scipy().toarray()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-5)
+
+    @given(data=random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_row_normalize_stochastic_or_zero(self, data):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        dense = row_normalize(graph).to_scipy().toarray()
+        sums = dense.sum(axis=1)
+        assert np.all((np.abs(sums - 1.0) < 1e-5) | (sums == 0.0))
+
+
+class TestPartitionProperties:
+    @given(
+        data=symmetric_graph(),
+        parts=st.integers(1, 5),
+        method=st.sampled_from(["hash", "bfs", "metis"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_total_function(self, data, parts, method):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        partitioner = {
+            "hash": HashPartitioner(),
+            "bfs": BFSPartitioner(seed=0),
+            "metis": MetisLikePartitioner(seed=0, coarsen_until=8),
+        }[method]
+        partition = partitioner.partition(graph, parts)
+        assert partition.num_vertices == n
+        covered = np.concatenate(
+            [partition.part_vertices(p) for p in range(parts)]
+        )
+        assert len(covered) == n
+        assert len(np.unique(covered)) == n
+
+    @given(data=symmetric_graph(), parts=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_edge_cut_bounds(self, data, parts):
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        partition = HashPartitioner().partition(graph, parts)
+        stats = partition_stats(graph, partition)
+        assert 0 <= stats.edge_cut <= graph.num_edges
+        assert 0.0 <= stats.edge_cut_ratio <= 1.0
+
+
+class TestSubgraphProperties:
+    @given(data=symmetric_graph(), parts=st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_halo_union_covers_cut_edges(self, data, parts):
+        """Every cut-edge target appears in exactly the right halo."""
+        n, edges = data
+        graph = from_edge_list(edges, n, deduplicate=True)
+        partition = HashPartitioner().partition(graph, parts)
+        for part in range(parts):
+            local = partition.part_vertices(part)
+            sub = induced_subgraph(graph, local)
+            expected_remote = set()
+            local_set = set(local.tolist())
+            for v in local:
+                for u in graph.neighbors(int(v)):
+                    if int(u) not in local_set:
+                        expected_remote.add(int(u))
+            assert set(sub.remote_vertices.tolist()) == expected_remote
+            assert sub.num_edges == sum(
+                graph.degree(int(v)) for v in local
+            )
+
+
+class TestBitTunerProperties:
+    @given(
+        proportions=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+        start=st.sampled_from(BIT_LADDER),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_widths_stay_on_ladder(self, proportions, start):
+        tuner = BitTuner(initial_bits=start)
+        pair = (0, 1)
+        for p in proportions:
+            width = tuner.update(pair, p)
+            assert width in BIT_LADDER
+
+    @given(proportions=st.lists(st.floats(0.0, 0.39), min_size=10,
+                                max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_sustained_low_proportion_reaches_floor(self, proportions):
+        tuner = BitTuner(initial_bits=16)
+        pair = (0, 1)
+        for p in proportions:
+            tuner.update(pair, p)
+        assert tuner.bits(pair) == 1

@@ -1,0 +1,87 @@
+"""Repository self-consistency guards.
+
+Cheap checks that keep the documentation honest as the code evolves:
+every benchmark is listed in the README's reproduction table, every
+example compiles, and every public subpackage is mentioned in DESIGN.md.
+"""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _benchmark_files():
+    return sorted(
+        p.name for p in (REPO / "benchmarks").glob("test_*.py")
+    )
+
+
+def _example_files():
+    return sorted((REPO / "examples").glob("*.py"))
+
+
+class TestReadme:
+    def test_readme_lists_every_benchmark(self):
+        readme = (REPO / "README.md").read_text()
+        for name in _benchmark_files():
+            assert name in readme, f"README reproduction table misses {name}"
+
+    def test_readme_lists_every_example(self):
+        readme = (REPO / "README.md").read_text()
+        for path in _example_files():
+            assert path.name in readme, f"README misses example {path.name}"
+
+
+class TestDesignDoc:
+    def test_design_mentions_every_subpackage(self):
+        design = (REPO / "DESIGN.md").read_text()
+        packages = sorted(
+            p.name for p in (REPO / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        )
+        for package in packages:
+            assert f"repro/{package}" in design or f"repro.{package}" in design, (
+                f"DESIGN.md does not mention subpackage {package}"
+            )
+
+    def test_experiments_covers_every_paper_artifact(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for artifact in ("Table II", "Fig. 6", "Fig. 7", "Fig. 8",
+                         "Table IV", "Table V", "Fig. 9", "Fig. 10",
+                         "Fig. 11", "Theorem 1"):
+            assert artifact in experiments, (
+                f"EXPERIMENTS.md misses {artifact}"
+            )
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "path", _example_files(), ids=lambda p: p.name
+    )
+    def test_example_compiles(self, path, tmp_path):
+        py_compile.compile(
+            str(path), cfile=str(tmp_path / (path.name + "c")), doraise=True
+        )
+
+
+class TestPublicImports:
+    def test_top_level_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", [
+        "repro.nn", "repro.graph", "repro.partition", "repro.cluster",
+        "repro.compression", "repro.core", "repro.baselines",
+        "repro.analysis",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
