@@ -5,18 +5,24 @@ Commands:
 * ``datasets`` — list the paper-matched datasets and their statistics;
 * ``train``    — train one system on one dataset and print the run;
 * ``compare``  — train several systems on one dataset side by side;
-* ``partition`` — partition a dataset and print quality statistics.
+* ``partition`` — partition a dataset and print quality statistics;
+* ``trace``    — run with telemetry enabled and export trace + metrics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.analysis.convergence import convergence_target, summarize
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_table, telemetry_table
 from repro.baselines import run_system, system_names
+from repro.core.config import ECGraphConfig
 from repro.graph.datasets import PAPER_STATS, dataset_names, load_dataset
+from repro.obs import ObsConfig
+from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.partition import make_partitioner, partition_stats
 
 
@@ -120,6 +126,56 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.smoke:
+        args.profile = "tiny"
+        args.epochs = min(args.epochs, 3)
+        args.workers = min(args.workers, 4)
+    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(graph.summary())
+    config = ECGraphConfig(seed=args.seed, obs=ObsConfig(enabled=True))
+    run = run_system(
+        args.system, graph,
+        num_layers=args.layers, hidden_dim=args.hidden,
+        num_workers=args.workers, num_epochs=args.epochs,
+        config=config,
+    )
+    report = run.telemetry
+    if report is None:
+        print(f"{args.system} does not support telemetry", file=sys.stderr)
+        return 1
+
+    out = pathlib.Path(args.out)
+    if out.exists() and not out.is_dir():
+        print(f"--out {out} exists and is not a directory", file=sys.stderr)
+        return 1
+    out.mkdir(parents=True, exist_ok=True)
+    chrome_path = out / "trace.json"
+    jsonl_path = out / "spans.jsonl"
+    report_path = out / "telemetry.json"
+    write_chrome_trace(report.spans, chrome_path)
+    write_jsonl(report.spans, jsonl_path)
+    report_path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+
+    print(telemetry_table(report))
+    if report.health is not None:
+        health = report.health
+        fractions = ", ".join(
+            f"{name}={frac:.2f}"
+            for name, frac in sorted(health.candidate_fractions.items())
+        )
+        print(f"\nCompression health: {'OK' if health.ok else 'VIOLATIONS'}")
+        if fractions:
+            print(f"  candidate wins: {fractions}")
+        if health.bits_events:
+            print(f"  bit-width changes: {len(health.bits_events)}")
+        for violation in health.violations:
+            print(f"  VIOLATION: {violation}")
+    print(f"\nwrote {chrome_path} (chrome://tracing), {jsonl_path}, "
+          f"{report_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -165,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
                       default=["hash", "bfs", "metis"],
                       choices=["hash", "bfs", "metis", "spectral"])
     part.set_defaults(func=_cmd_partition)
+
+    trace = sub.add_parser(
+        "trace", help="instrumented run: export Chrome trace + metrics"
+    )
+    trace.add_argument("--system", default="ecgraph", choices=system_names())
+    trace.add_argument("--dataset", default="cora", choices=dataset_names())
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--layers", type=int, default=2)
+    trace.add_argument("--hidden", type=int, default=16)
+    trace.add_argument("--epochs", type=int, default=10)
+    trace.add_argument("--out", default="traces",
+                       help="output directory for trace.json / spans.jsonl "
+                            "/ telemetry.json")
+    trace.add_argument("--smoke", action="store_true",
+                       help="tiny profile, <=3 epochs (CI smoke test)")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cluster.network import TrafficMeter
 from repro.cluster.topology import ClusterSpec
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["EpochBreakdown", "ClusterRuntime"]
 
@@ -51,9 +52,13 @@ class EpochBreakdown:
 class ClusterRuntime:
     """Accounting-backed execution context for one simulated cluster."""
 
-    def __init__(self, spec: ClusterSpec):
+    def __init__(self, spec: ClusterSpec, telemetry: Telemetry | None = None):
         self.spec = spec
         self.meter = TrafficMeter()
+        # The telemetry mirror of the meter: every inter-machine charge
+        # also increments a labelled byte/message counter, so metrics
+        # snapshots agree with the meter to the byte.
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._compute = np.zeros(spec.num_workers, dtype=np.float64)
         self._epoch_history: list[EpochBreakdown] = []
 
@@ -78,11 +83,24 @@ class ClusterRuntime:
     # ------------------------------------------------------------------
     # Communication accounting
     # ------------------------------------------------------------------
+    def _charge(
+        self, src_machine: int, dst_machine: int, num_bytes: int,
+        category: str,
+    ) -> None:
+        self.meter.charge(src_machine, dst_machine, num_bytes, category)
+        if self.telemetry.enabled and src_machine != dst_machine:
+            # Mirror exactly what the meter recorded: intra-machine
+            # messages are free there and must stay invisible here too.
+            self.telemetry.metrics.inc(
+                "comm_bytes", num_bytes, category=category
+            )
+            self.telemetry.metrics.inc("comm_messages", 1, category=category)
+
     def send_worker_to_worker(
         self, src: int, dst: int, num_bytes: int, category: str
     ) -> None:
         """Charge a worker-to-worker message (embeddings / gradients)."""
-        self.meter.charge(
+        self._charge(
             self.spec.worker_machine(src),
             self.spec.worker_machine(dst),
             num_bytes,
@@ -93,7 +111,7 @@ class ClusterRuntime:
         self, worker: int, server: int, num_bytes: int, category: str
     ) -> None:
         """Charge a worker-to-server message (gradient push)."""
-        self.meter.charge(
+        self._charge(
             self.spec.worker_machine(worker),
             self.spec.server_machine(server),
             num_bytes,
@@ -104,7 +122,7 @@ class ClusterRuntime:
         self, server: int, worker: int, num_bytes: int, category: str
     ) -> None:
         """Charge a server-to-worker message (parameter pull)."""
-        self.meter.charge(
+        self._charge(
             self.spec.server_machine(server),
             self.spec.worker_machine(worker),
             num_bytes,
@@ -140,6 +158,13 @@ class ClusterRuntime:
             bytes_sent=self.meter.epoch_bytes(),
             category_bytes=self.meter.epoch_category_bytes(),
         )
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.set_gauge("epoch_compute_seconds", compute)
+            metrics.set_gauge("epoch_comm_seconds", comm)
+            metrics.set_gauge("epoch_total_seconds", total)
+            metrics.observe("epoch_seconds", total)
+            metrics.inc("epochs_completed")
         self._epoch_history.append(breakdown)
         self.meter.reset_epoch()
         self._compute[:] = 0.0

@@ -16,7 +16,13 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["NetworkModel", "TrafficRecord", "TrafficMeter", "GIGABIT"]
+__all__ = [
+    "NetworkModel",
+    "TrafficRecord",
+    "TrafficSnapshot",
+    "TrafficMeter",
+    "GIGABIT",
+]
 
 
 @dataclass(frozen=True)
@@ -39,9 +45,26 @@ class NetworkModel:
         if self.latency_s < 0:
             raise ValueError("latency must be non-negative")
 
+    def bandwidth_seconds(self, num_bytes: int) -> float:
+        """Pure wire time for ``num_bytes`` (no per-message latency)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.bandwidth_bytes_per_s
+
     def transfer_seconds(self, num_bytes: int, num_messages: int = 1) -> float:
-        """Time to move ``num_bytes`` split over ``num_messages`` messages."""
-        return num_bytes / self.bandwidth_bytes_per_s + num_messages * self.latency_s
+        """Time to move ``num_bytes`` split over ``num_messages`` messages.
+
+        Nonzero bytes must travel in at least one message; callers that
+        account latency separately should use :meth:`bandwidth_seconds`.
+        """
+        if num_messages < 0:
+            raise ValueError("num_messages must be non-negative")
+        if num_messages == 0 and num_bytes > 0:
+            raise ValueError(
+                f"{num_bytes} bytes cannot be transferred in 0 messages; "
+                "use bandwidth_seconds() for latency-free wire time"
+            )
+        return self.bandwidth_seconds(num_bytes) + num_messages * self.latency_s
 
 
 GIGABIT = NetworkModel()
@@ -55,6 +78,33 @@ class TrafficRecord:
     bytes_received: int = 0
     messages_sent: int = 0
     messages_received: int = 0
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Immutable copy of a meter's cumulative totals at one instant.
+
+    Two snapshots of the same meter subtract to the traffic between
+    them, which is how callers slice a shared meter per run or per
+    phase without double-counting lifetime totals.
+    """
+
+    total_bytes: int
+    total_messages: int
+    category_bytes: dict[str, int] = field(default_factory=dict)
+
+    def delta(self, since: "TrafficSnapshot") -> "TrafficSnapshot":
+        """Traffic between ``since`` (earlier) and this snapshot."""
+        categories = {}
+        for category, nbytes in self.category_bytes.items():
+            diff = nbytes - since.category_bytes.get(category, 0)
+            if diff:
+                categories[category] = diff
+        return TrafficSnapshot(
+            total_bytes=self.total_bytes - since.total_bytes,
+            total_messages=self.total_messages - since.total_messages,
+            category_bytes=categories,
+        )
 
 
 class TrafficMeter:
@@ -135,7 +185,7 @@ class TrafficMeter:
             sent, received, messages = self.epoch_machine_bytes(machine)
             # Full-duplex link: send and receive overlap, so the link is
             # busy for the larger direction; latency counts per message.
-            busy = network.transfer_seconds(max(sent, received), 0)
+            busy = network.bandwidth_seconds(max(sent, received))
             busy += (messages / 2) * network.latency_s
             worst = max(worst, busy)
         return worst
@@ -156,3 +206,23 @@ class TrafficMeter:
     def category_totals(self) -> dict[str, int]:
         """Cumulative bytes per category since construction."""
         return dict(self._category_bytes)
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Freeze the cumulative totals (see :class:`TrafficSnapshot`).
+
+        Take one snapshot before a run and one after, and ``after.delta
+        (before)`` is exactly that run's traffic even when the meter is
+        shared across runs.
+        """
+        return TrafficSnapshot(
+            total_bytes=self._total_bytes,
+            total_messages=self._total_messages,
+            category_bytes=dict(self._category_bytes),
+        )
+
+    def reset(self) -> None:
+        """Clear everything — epoch counters *and* lifetime totals."""
+        self._epoch.clear()
+        self._total_bytes = 0
+        self._total_messages = 0
+        self._category_bytes.clear()

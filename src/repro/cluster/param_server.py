@@ -114,6 +114,10 @@ class ParameterServerGroup:
     # ------------------------------------------------------------------
     def pull(self, worker: int, names: list[str]) -> Dict[str, np.ndarray]:
         """Worker pulls full tensors; traffic is charged shard-by-shard."""
+        with self.runtime.telemetry.span("param_pull", worker=worker):
+            return self._pull(worker, names)
+
+    def _pull(self, worker: int, names: list[str]) -> Dict[str, np.ndarray]:
         out: Dict[str, np.ndarray] = {}
         for name in names:
             if name not in self._params:
@@ -130,6 +134,10 @@ class ParameterServerGroup:
 
     def push(self, worker: int, grads: Dict[str, np.ndarray]) -> None:
         """Worker pushes gradients; servers accumulate until all arrive."""
+        with self.runtime.telemetry.span("param_push", worker=worker):
+            self._push(worker, grads)
+
+    def _push(self, worker: int, grads: Dict[str, np.ndarray]) -> None:
         for name, grad in grads.items():
             if name not in self._params:
                 raise KeyError(f"gradient for unknown parameter {name!r}")
@@ -160,6 +168,11 @@ class ParameterServerGroup:
         """
         if not self._pending:
             return
+        with self.runtime.telemetry.span("server_apply"):
+            self._apply_updates()
+        self.runtime.telemetry.metrics.inc("optimizer_steps")
+
+    def _apply_updates(self) -> None:
         num_pushes = max(self._pushes_received, 1) if self.reduce == "mean" else 1
         for server, optimizer in enumerate(self._optimizers):
             shard_params: Dict[str, np.ndarray] = {}

@@ -12,6 +12,7 @@ width halves to save bandwidth. The ladder is the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["BitTuner"]
 
@@ -35,6 +36,11 @@ class BitTuner:
     raise_threshold: float = 0.6
     lower_threshold: float = 0.4
     enabled: bool = True
+    # Called as ``observer(pair, new_bits)`` on every width change; the
+    # telemetry health monitor hooks in here to audit the trajectory.
+    observer: Callable[[tuple[int, int], int], None] | None = field(
+        default=None, repr=False, compare=False
+    )
     _bits: dict[tuple[int, int], int] = field(default_factory=dict)
     _history: list[tuple[tuple[int, int], int]] = field(default_factory=list)
 
@@ -71,6 +77,8 @@ class BitTuner:
         if new != current:
             self._bits[pair] = new
             self._history.append((pair, new))
+            if self.observer is not None:
+                self.observer(pair, new)
         return new
 
     def history(self) -> list[tuple[tuple[int, int], int]]:

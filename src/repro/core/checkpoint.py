@@ -17,10 +17,19 @@ import numpy as np
 
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.trainer import ECGraphTrainer
+from repro.obs.config import ObsConfig
 
 __all__ = ["save_checkpoint", "load_checkpoint", "restore_trainer"]
 
 _FORMAT_VERSION = 1
+
+
+def _load_ec_config(fields: dict) -> ECGraphConfig:
+    """Rebuild the config; ``asdict`` flattened the nested ObsConfig."""
+    obs = fields.get("obs")
+    if isinstance(obs, dict):
+        fields = dict(fields, obs=ObsConfig(**obs))
+    return ECGraphConfig(**fields)
 
 
 def save_checkpoint(
@@ -77,8 +86,8 @@ def load_checkpoint(path: str | Path) -> dict:
             "model_config": ModelConfig(
                 **json.loads(str(archive["model_config_json"]))
             ),
-            "ec_config": ECGraphConfig(
-                **json.loads(str(archive["ec_config_json"]))
+            "ec_config": _load_ec_config(
+                json.loads(str(archive["ec_config_json"]))
             ),
             "extra": json.loads(str(archive["extra_json"])),
             "params": {name: archive[f"param/{name}"] for name in names},

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.obs.config import OBS_DISABLED, ObsConfig
+
 __all__ = ["ModelConfig", "ECGraphConfig"]
 
 _FP_MODES = ("raw", "compress", "reqec", "delayed")
@@ -82,6 +84,8 @@ class ECGraphConfig:
         codec_speedup: Divide measured Python codec time by this factor to
             emulate the paper's C++ compression kernels (see DESIGN.md).
         seed: Seed for parameter initialization and sampling.
+        obs: Telemetry configuration (:class:`~repro.obs.ObsConfig`);
+            disabled by default so instrumented hot paths stay free.
     """
 
     fp_mode: str = "reqec"
@@ -102,6 +106,7 @@ class ECGraphConfig:
     weight_decay: float = 0.0
     codec_speedup: float = 20.0
     seed: int = 0
+    obs: ObsConfig = OBS_DISABLED
 
     def __post_init__(self):
         if self.fp_mode not in _FP_MODES:

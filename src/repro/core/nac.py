@@ -36,6 +36,7 @@ class NeighborAccessController:
         self.runtime = runtime
         self.workers = workers
         self.codec_speedup = codec_speedup
+        self.telemetry = runtime.telemetry
         self._last_proportions: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
@@ -72,49 +73,66 @@ class NeighborAccessController:
             for state in self.workers
         ]
         self._last_proportions.clear()
-        for requester in self.workers:
-            i = requester.worker_id
-            for owner, slots in requester.halo_slots.items():
-                responder = self.workers[owner]
-                serve_rows = responder.serves[i]
-                key = ChannelKey(layer=layer, responder=owner, requester=i)
+        obs = self.telemetry
+        with obs.span("halo_exchange", layer=layer, category=category):
+            for requester in self.workers:
+                i = requester.worker_id
+                for owner, slots in requester.halo_slots.items():
+                    responder = self.workers[owner]
+                    serve_rows = responder.serves[i]
+                    key = ChannelKey(layer=layer, responder=owner, requester=i)
 
-                rows_idx = None
-                if subset is not None:
-                    rows_idx = subset.get((owner, i))
-                    if rows_idx is not None and rows_idx.size == 0:
-                        continue
+                    rows_idx = None
+                    if subset is not None:
+                        rows_idx = subset.get((owner, i))
+                        if rows_idx is not None and rows_idx.size == 0:
+                            continue
 
-                source = rows_of(responder)
-                if rows_idx is None:
-                    served = source[serve_rows]
-                else:
-                    served = source[serve_rows[rows_idx]]
+                    source = rows_of(responder)
+                    if rows_idx is None:
+                        served = source[serve_rows]
+                    else:
+                        served = source[serve_rows[rows_idx]]
 
-                start = time.perf_counter()
-                message = policy.respond(key, served, t, rows_idx=rows_idx)
-                respond_wall = time.perf_counter() - start
-                self._charge_compute(owner, respond_wall, message.codec_seconds)
+                    with obs.span("encode", responder=owner, requester=i):
+                        start = time.perf_counter()
+                        message = policy.respond(
+                            key, served, t, rows_idx=rows_idx
+                        )
+                        respond_wall = time.perf_counter() - start
+                    self._charge_compute(
+                        owner, respond_wall, message.codec_seconds
+                    )
 
-                self.runtime.send_worker_to_worker(
-                    owner, i, message.nbytes, category
-                )
+                    self.runtime.send_worker_to_worker(
+                        owner, i, message.nbytes, category
+                    )
+                    if obs.enabled:
+                        obs.metrics.inc(
+                            "halo_rows", served.shape[0], category=category
+                        )
+                        obs.metrics.observe(
+                            "message_bytes", message.nbytes, category=category
+                        )
 
-                start = time.perf_counter()
-                result = policy.receive(key, message, t, rows_idx=rows_idx)
-                receive_wall = time.perf_counter() - start
-                self._charge_compute(i, receive_wall, result.codec_seconds)
+                    with obs.span("decode", responder=owner, requester=i):
+                        start = time.perf_counter()
+                        result = policy.receive(
+                            key, message, t, rows_idx=rows_idx
+                        )
+                        receive_wall = time.perf_counter() - start
+                    self._charge_compute(i, receive_wall, result.codec_seconds)
 
-                if rows_idx is None:
-                    halos[i][slots] = result.rows
-                else:
-                    halos[i][slots[rows_idx]] = result.rows
+                    if rows_idx is None:
+                        halos[i][slots] = result.rows
+                    else:
+                        halos[i][slots[rows_idx]] = result.rows
 
-                proportion = result.meta.get("proportion")
-                if proportion is None:
-                    proportion = message.meta.get("proportion")
-                if proportion is not None:
-                    self._last_proportions[(owner, i)] = float(proportion)
+                    proportion = result.meta.get("proportion")
+                    if proportion is None:
+                        proportion = message.meta.get("proportion")
+                    if proportion is not None:
+                        self._last_proportions[(owner, i)] = float(proportion)
         return halos
 
     def reverse_exchange(
@@ -146,31 +164,46 @@ class NeighborAccessController:
             np.zeros((state.num_local, dim), dtype=np.float32)
             for state in self.workers
         ]
-        for consumer in self.workers:
-            i = consumer.worker_id
-            partials = halo_rows_of(consumer)
-            for owner, slots in consumer.halo_slots.items():
-                responder_rows = partials[slots]
-                owner_state = self.workers[owner]
-                local_rows = owner_state.serves[i]
-                # Channel direction: consumer responds, owner requests.
-                key = ChannelKey(layer=layer, responder=i, requester=owner)
+        obs = self.telemetry
+        with obs.span("halo_exchange", layer=layer, category=category,
+                      direction="reverse"):
+            for consumer in self.workers:
+                i = consumer.worker_id
+                partials = halo_rows_of(consumer)
+                for owner, slots in consumer.halo_slots.items():
+                    responder_rows = partials[slots]
+                    owner_state = self.workers[owner]
+                    local_rows = owner_state.serves[i]
+                    # Channel direction: consumer responds, owner requests.
+                    key = ChannelKey(layer=layer, responder=i, requester=owner)
 
-                start = time.perf_counter()
-                message = policy.respond(key, responder_rows, t)
-                respond_wall = time.perf_counter() - start
-                self._charge_compute(i, respond_wall, message.codec_seconds)
+                    with obs.span("encode", responder=i, requester=owner):
+                        start = time.perf_counter()
+                        message = policy.respond(key, responder_rows, t)
+                        respond_wall = time.perf_counter() - start
+                    self._charge_compute(i, respond_wall, message.codec_seconds)
 
-                self.runtime.send_worker_to_worker(
-                    i, owner, message.nbytes, category
-                )
+                    self.runtime.send_worker_to_worker(
+                        i, owner, message.nbytes, category
+                    )
+                    if obs.enabled:
+                        obs.metrics.inc(
+                            "halo_rows", responder_rows.shape[0],
+                            category=category,
+                        )
+                        obs.metrics.observe(
+                            "message_bytes", message.nbytes, category=category
+                        )
 
-                start = time.perf_counter()
-                result = policy.receive(key, message, t)
-                receive_wall = time.perf_counter() - start
-                self._charge_compute(owner, receive_wall, result.codec_seconds)
+                    with obs.span("decode", responder=i, requester=owner):
+                        start = time.perf_counter()
+                        result = policy.receive(key, message, t)
+                        receive_wall = time.perf_counter() - start
+                    self._charge_compute(
+                        owner, receive_wall, result.codec_seconds
+                    )
 
-                np.add.at(accumulated[owner], local_rows, result.rows)
+                    np.add.at(accumulated[owner], local_rows, result.rows)
         return accumulated
 
     def last_proportions(self) -> dict[tuple[int, int], float]:

@@ -69,6 +69,9 @@ class ReqECPolicy:
         self.trend_period = trend_period
         self.granularity = granularity
         self.table_mode = table_mode
+        # Optional CompressionHealthMonitor; the trainer attaches it when
+        # telemetry is enabled so every selector outcome is sampled.
+        self.health = None
         self._responder_trend: dict[ChannelKey, TrendState] = {}
         self._requester_trend: dict[ChannelKey, TrendState] = {}
         self._quantizers: dict[int, BucketQuantizer] = {}
@@ -124,6 +127,10 @@ class ReqECPolicy:
             # No trend snapshot yet (first trend group): compressed only.
             quantized = quantizer.encode(rows)
             elapsed = time.perf_counter() - start
+            if self.health is not None:
+                self.health.record_selection(
+                    key.pair, (rows.shape[0], 0, 0), bits, t
+                )
             return ChannelMessage(
                 payload=("cps_only", quantized),
                 nbytes=quantized.payload_bytes(),
@@ -142,6 +149,9 @@ class ReqECPolicy:
             rows, selection, quantizer, quantized.lo, quantized.hi
         )
         elapsed = time.perf_counter() - start
+        if self.health is not None:
+            counts = np.bincount(selection.ravel(), minlength=3)
+            self.health.record_selection(key.pair, counts, bits, t)
         return ChannelMessage(
             payload=("cps", selection, payload, quantized.lo, quantized.hi,
                      bits),

@@ -32,6 +32,9 @@ class ResECPolicy:
 
     def __init__(self, bits: int, table_mode: str = "table"):
         self._quantizer = BucketQuantizer(bits, table_mode)
+        # Optional CompressionHealthMonitor; the trainer attaches it when
+        # telemetry is enabled so residual norms are checked (Theorem 1).
+        self.health = None
         self._residual: dict[ChannelKey, np.ndarray] = {}
 
     @property
@@ -62,7 +65,15 @@ class ResECPolicy:
                 residual = np.zeros_like(rows)
             compensated = rows + residual
             quantized = self._quantizer.encode(compensated)
-            self._residual[key] = compensated - quantized.decode()
+            new_residual = compensated - quantized.decode()
+            self._residual[key] = new_residual
+            if self.health is not None:
+                self.health.record_residual(
+                    key.layer,
+                    float(np.linalg.norm(new_residual)),
+                    float(np.linalg.norm(rows)),
+                    self._quantizer.bits,
+                )
         else:
             # Sampled training: residual state spans the channel's full
             # vertex list; only the requested rows participate this round.
@@ -74,6 +85,14 @@ class ResECPolicy:
             compensated = rows + residual[rows_idx]
             quantized = self._quantizer.encode(compensated)
             residual[rows_idx] = compensated - quantized.decode()
+            if self.health is not None:
+                # The full-channel residual is what Theorem 1 bounds.
+                self.health.record_residual(
+                    key.layer,
+                    float(np.linalg.norm(residual)),
+                    float(np.linalg.norm(rows)),
+                    self._quantizer.bits,
+                )
         elapsed = time.perf_counter() - start
         return ChannelMessage(
             payload=quantized,

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.engine import EpochBreakdown
+from repro.obs.registry import MetricsSnapshot
+from repro.obs.telemetry import TelemetryReport
 
 __all__ = ["EpochResult", "ConvergenceRun"]
 
@@ -16,6 +18,10 @@ class EpochResult:
     Accuracy numbers come from the same forward pass that trained (i.e.
     under whatever compression the run uses), which is what the paper's
     per-epoch curves show.
+
+    ``telemetry`` is the epoch-scoped metrics snapshot when the run was
+    instrumented (``ObsConfig(enabled=True, epoch_snapshots=True)``);
+    ``None`` otherwise.
     """
 
     epoch: int
@@ -24,6 +30,7 @@ class EpochResult:
     val_accuracy: float
     test_accuracy: float
     breakdown: EpochBreakdown
+    telemetry: MetricsSnapshot | None = None
 
 
 @dataclass
@@ -38,6 +45,9 @@ class ConvergenceRun:
         final_test_accuracy: Exact-communication test accuracy measured
             after training (Table V); ``None`` if not evaluated.
         meta: Free-form details (bits used, dataset, cluster size, ...).
+        telemetry: End-of-run :class:`~repro.obs.TelemetryReport`
+            (per-phase span totals, metrics, compression health) when
+            the run was instrumented; ``None`` otherwise.
     """
 
     name: str
@@ -45,6 +55,7 @@ class ConvergenceRun:
     preprocessing_seconds: float = 0.0
     final_test_accuracy: float | None = None
     meta: dict = field(default_factory=dict)
+    telemetry: TelemetryReport | None = None
 
     # ------------------------------------------------------------------
     @property

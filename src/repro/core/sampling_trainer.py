@@ -21,8 +21,6 @@ quantization forward and ResEC-BP backward.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy.sparse import csr_matrix
 
@@ -33,6 +31,7 @@ from repro.core.messages import ChannelKey
 from repro.core.trainer import ECGraphTrainer
 from repro.core.worker import WorkerState
 from repro.graph.attributed import AttributedGraph
+from repro.obs.tracing import monotonic_now
 from repro.partition.base import Partition
 
 __all__ = ["SampledECGraphTrainer"]
@@ -114,10 +113,11 @@ class SampledECGraphTrainer(ECGraphTrainer):
                             key, wanted.shape[0], self.params.dims[layer]
                         )
         if not self.online:
-            start = time.perf_counter()
-            self._resample()
+            start = monotonic_now()
+            with self.obs.span("sampling", mode="offline"):
+                self._resample()
             self._preprocessing_seconds += (
-                time.perf_counter() - start
+                monotonic_now() - start
             ) / self.sampling_speedup
             self._sampled_once = True
 
@@ -207,10 +207,12 @@ class SampledECGraphTrainer(ECGraphTrainer):
     # ------------------------------------------------------------------
     def _on_epoch_start(self, t: int) -> None:
         if self.online or not self._sampled_once:
-            start = time.perf_counter()
-            self._resample()
-            elapsed = (time.perf_counter() - start) / self.sampling_speedup
+            start = monotonic_now()
+            with self.obs.span("sampling", mode="online", epoch=t):
+                self._resample()
+            elapsed = (monotonic_now() - start) / self.sampling_speedup
             self._sampled_once = True
+            self.obs.metrics.inc("resamples")
             # Online sampling is coordinated by per-worker samplers; the
             # cost is per-worker compute plus request messages.
             per_worker = elapsed / max(self.spec.num_workers, 1)

@@ -18,8 +18,6 @@ single-machine standalone configuration (one worker = no halo at all).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.cluster.engine import ClusterRuntime
@@ -45,6 +43,8 @@ from repro.graph.attributed import AttributedGraph
 from repro.graph.normalize import normalized_adjacency
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import make_optimizer
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import monotonic_now
 from repro.partition import make_partitioner
 from repro.partition.base import Partition
 
@@ -106,6 +106,7 @@ class ECGraphTrainer:
         self.model_config = model_config
         self.spec = cluster_spec
         self.config = config or ECGraphConfig()
+        self.obs = Telemetry(self.config.obs)
         self._partitioner_name = partitioner
         self._given_partition = partition
 
@@ -132,7 +133,7 @@ class ECGraphTrainer:
         """Partition, build workers, register parameters, prime caches."""
         if self._setup_done:
             return
-        start = time.perf_counter()
+        start = monotonic_now()
 
         if self._given_partition is not None:
             self.partition = self._given_partition
@@ -153,7 +154,7 @@ class ECGraphTrainer:
         normalized = normalized_adjacency(self.graph.adjacency, scheme)
         self.workers = build_worker_states(self.graph, normalized, self.partition)
 
-        self.runtime = ClusterRuntime(self.spec)
+        self.runtime = ClusterRuntime(self.spec, telemetry=self.obs)
         self.servers = ParameterServerGroup(
             self.runtime,
             lambda: make_optimizer(
@@ -185,6 +186,7 @@ class ECGraphTrainer:
         self.nac = NeighborAccessController(
             self.runtime, self.workers, self.config.codec_speedup
         )
+        self._wire_telemetry()
 
         self._global_train_count = int(self.graph.train_mask.sum())
         if self._global_train_count == 0:
@@ -194,7 +196,7 @@ class ECGraphTrainer:
             self._cache_halo_features()
 
         self._preprocessing_seconds = (
-            time.perf_counter() - start + self.partition.seconds
+            monotonic_now() - start + self.partition.seconds
         )
         # Feature-cache traffic happens once, in preprocessing: convert
         # the charged bytes into time and fold them in.
@@ -205,7 +207,27 @@ class ECGraphTrainer:
             )
             self.runtime.end_epoch()  # drain the setup epoch
             self.runtime._epoch_history.clear()
+            # Keep the metrics epoch scope aligned with the meter's:
+            # setup traffic belongs to preprocessing, not to epoch 0
+            # (it stays in the lifetime scope either way).
+            self.obs.metrics.reset_epoch()
         self._setup_done = True
+
+    def _wire_telemetry(self) -> None:
+        """Attach the health monitor and topology gauges (enabled only)."""
+        if not self.obs.enabled:
+            return
+        if self.obs.health is not None:
+            self.obs.health.set_model(self.model_config.num_layers)
+            self.tuner.observer = self.obs.health.record_bits
+            for policy in (self._fp_policy, self._bp_policy):
+                if hasattr(policy, "health"):
+                    policy.health = self.obs.health
+        for state in self.workers:
+            for name, value in state.stats().items():
+                self.obs.metrics.set_gauge(
+                    f"worker_{name}", value, worker=state.worker_id
+                )
 
     def _cache_halo_features(self) -> None:
         """The paper's first basic optimization: cache remote 1-hop
@@ -254,68 +276,74 @@ class ECGraphTrainer:
         total_loss = 0.0
 
         for layer in range(1, num_layers + 1):
-            weight_key = weight_name(layer - 1)
-            bias_key = bias_name(layer - 1)
-            pulled: dict[int, dict[str, np.ndarray]] = {}
-            names = self.params.layer_param_names(layer - 1)
-            for state in self.workers:
-                pulled[state.worker_id] = self.servers.pull(
-                    state.worker_id, names
-                )
-
-            halos = self._forward_halos(layer, t)
-
-            for state in self.workers:
-                i = state.worker_id
-                weight = pulled[i][weight_key]
-                bias = pulled[i].get(bias_key)
-                prev = (
-                    state.features
-                    if layer == 1
-                    else state.local_output(layer - 1)
-                )
-                with self.runtime.worker_compute(i):
-                    h_cat = np.concatenate([prev, halos[i]], axis=0)
-                    cache = layer_forward(
-                        self._adjacency(state, layer),
-                        h_cat,
-                        weight,
-                        bias,
-                        self.params.activation,
-                        is_last=(layer == num_layers),
-                        transform_first=(
-                            None if self.config.transform_first else False
-                        ),
+            with self.obs.span("layer", layer=layer, direction="fp"):
+                weight_key = weight_name(layer - 1)
+                bias_key = bias_name(layer - 1)
+                pulled: dict[int, dict[str, np.ndarray]] = {}
+                names = self.params.layer_param_names(layer - 1)
+                for state in self.workers:
+                    pulled[state.worker_id] = self.servers.pull(
+                        state.worker_id, names
                     )
-                state.caches[layer] = cache
+
+                halos = self._forward_halos(layer, t)
+
+                with self.obs.span("kernel", layer=layer, direction="fp"):
+                    for state in self.workers:
+                        i = state.worker_id
+                        weight = pulled[i][weight_key]
+                        bias = pulled[i].get(bias_key)
+                        prev = (
+                            state.features
+                            if layer == 1
+                            else state.local_output(layer - 1)
+                        )
+                        with self.runtime.worker_compute(i):
+                            h_cat = np.concatenate([prev, halos[i]], axis=0)
+                            cache = layer_forward(
+                                self._adjacency(state, layer),
+                                h_cat,
+                                weight,
+                                bias,
+                                self.params.activation,
+                                is_last=(layer == num_layers),
+                                transform_first=(
+                                    None
+                                    if self.config.transform_first
+                                    else False
+                                ),
+                            )
+                        state.caches[layer] = cache
 
         # Loss and metrics from the final logits; gradients are scaled by
         # the *global* train count so server-side summation is exact.
-        for state in self.workers:
-            logits = state.caches[num_layers].output
-            with self.runtime.worker_compute(state.worker_id):
-                result = softmax_cross_entropy(
-                    logits, state.labels, state.train_mask
-                )
-                local = int(state.train_mask.sum())
-                scale = local / self._global_train_count if local else 0.0
-                # result.grad is a mean over local train vertices; rescale
-                # to a global mean so summing worker pushes is exact.
-                state.grad_rows[num_layers] = (result.grad * scale).astype(
-                    np.float32
-                )
-                total_loss += result.loss * scale
-                counters["train"][0] += result.correct
-                counters["train"][1] += result.count
-                predictions = logits.argmax(axis=1)
-                for split, mask in (
-                    ("val", state.val_mask),
-                    ("test", state.test_mask),
-                ):
-                    counters[split][0] += int(
-                        (predictions[mask] == state.labels[mask]).sum()
+        with self.obs.span("loss"):
+            for state in self.workers:
+                logits = state.caches[num_layers].output
+                with self.runtime.worker_compute(state.worker_id):
+                    result = softmax_cross_entropy(
+                        logits, state.labels, state.train_mask
                     )
-                    counters[split][1] += int(mask.sum())
+                    local = int(state.train_mask.sum())
+                    scale = local / self._global_train_count if local else 0.0
+                    # result.grad is a mean over local train vertices;
+                    # rescale to a global mean so summing worker pushes is
+                    # exact.
+                    state.grad_rows[num_layers] = (result.grad * scale).astype(
+                        np.float32
+                    )
+                    total_loss += result.loss * scale
+                    counters["train"][0] += result.correct
+                    counters["train"][1] += result.count
+                    predictions = logits.argmax(axis=1)
+                    for split, mask in (
+                        ("val", state.val_mask),
+                        ("test", state.test_mask),
+                    ):
+                        counters[split][0] += int(
+                            (predictions[mask] == state.labels[mask]).sum()
+                        )
+                        counters[split][1] += int(mask.sum())
 
         if self.config.fp_mode == "reqec":
             for pair, proportion in self.nac.last_proportions().items():
@@ -361,42 +389,51 @@ class ECGraphTrainer:
         }
 
         for layer in range(num_layers, 0, -1):
-            weight_key = weight_name(layer - 1)
-            for state in self.workers:
-                i = state.worker_id
-                g_local = state.grad_rows[layer]
-                cache = state.caches[layer]
-                with self.runtime.worker_compute(i):
-                    grads[i][weight_key] = weight_gradient(
-                        cache, self._adjacency(state, layer), g_local
-                    )
-                    if self.params.use_bias:
-                        grads[i][bias_name(layer - 1)] = bias_gradient(g_local)
+            with self.obs.span("layer", layer=layer, direction="bp"):
+                weight_key = weight_name(layer - 1)
+                with self.obs.span("kernel", layer=layer, direction="bp",
+                                   stage="weight_grad"):
+                    for state in self.workers:
+                        i = state.worker_id
+                        g_local = state.grad_rows[layer]
+                        cache = state.caches[layer]
+                        with self.runtime.worker_compute(i):
+                            grads[i][weight_key] = weight_gradient(
+                                cache, self._adjacency(state, layer), g_local
+                            )
+                            if self.params.use_bias:
+                                grads[i][bias_name(layer - 1)] = bias_gradient(
+                                    g_local
+                                )
 
-            if layer > 1:
-                halos = self.nac.exchange(
-                    layer=layer,
-                    t=t,
-                    rows_of=lambda s, _l=layer: s.grad_rows[_l],
-                    policy=self._bp_policy,
-                    category="bp_gradients",
-                    dim=self.params.dims[layer],
-                    subset=self._exchange_subset(layer, "bp"),
-                )
-                weight = self.servers.get(weight_name(layer - 1))
-                for state in self.workers:
-                    i = state.worker_id
-                    with self.runtime.worker_compute(i):
-                        g_cat = np.concatenate(
-                            [state.grad_rows[layer], halos[i]], axis=0
-                        )
-                        state.grad_rows[layer - 1] = layer_backward_inputs(
-                            self._adjacency(state, layer),
-                            g_cat,
-                            weight,
-                            state.caches[layer - 1].pre_activation,
-                            self.params.activation,
-                        )
+                if layer > 1:
+                    halos = self.nac.exchange(
+                        layer=layer,
+                        t=t,
+                        rows_of=lambda s, _l=layer: s.grad_rows[_l],
+                        policy=self._bp_policy,
+                        category="bp_gradients",
+                        dim=self.params.dims[layer],
+                        subset=self._exchange_subset(layer, "bp"),
+                    )
+                    weight = self.servers.get(weight_name(layer - 1))
+                    with self.obs.span("kernel", layer=layer, direction="bp",
+                                       stage="input_grad"):
+                        for state in self.workers:
+                            i = state.worker_id
+                            with self.runtime.worker_compute(i):
+                                g_cat = np.concatenate(
+                                    [state.grad_rows[layer], halos[i]], axis=0
+                                )
+                                state.grad_rows[layer - 1] = (
+                                    layer_backward_inputs(
+                                        self._adjacency(state, layer),
+                                        g_cat,
+                                        weight,
+                                        state.caches[layer - 1].pre_activation,
+                                        self.params.activation,
+                                    )
+                                )
 
         for state in self.workers:
             self.servers.push(state.worker_id, grads[state.worker_id])
@@ -410,14 +447,24 @@ class ECGraphTrainer:
         self.setup()
         if self._lr_schedule is not None:
             self.servers.set_learning_rate(self._lr_schedule(t))
-        self._on_epoch_start(t)
-        loss, counters = self._forward(t)
-        self._backward(t)
+        with self.obs.span("epoch", epoch=t):
+            self._on_epoch_start(t)
+            with self.obs.span("forward", epoch=t):
+                loss, counters = self._forward(t)
+            with self.obs.span("backward", epoch=t):
+                self._backward(t)
         breakdown = self.runtime.end_epoch()
 
         def _ratio(split: str) -> float:
             correct, count = counters[split]
             return correct / count if count else 0.0
+
+        telemetry = None
+        if self.obs.enabled:
+            self.obs.metrics.set_gauge("loss", loss)
+            self.obs.metrics.set_gauge("train_accuracy", _ratio("train"))
+            self.obs.metrics.set_gauge("val_accuracy", _ratio("val"))
+            telemetry = self.obs.end_epoch(t)
 
         return EpochResult(
             epoch=t,
@@ -426,6 +473,7 @@ class ECGraphTrainer:
             val_accuracy=_ratio("val"),
             test_accuracy=_ratio("test"),
             breakdown=breakdown,
+            telemetry=telemetry,
         )
 
     def train(
@@ -481,6 +529,8 @@ class ECGraphTrainer:
                     if stale >= patience:
                         break
         run.final_test_accuracy = self.evaluate_exact()["test"]
+        if self.obs.enabled:
+            run.telemetry = self.obs.report()
         return run
 
     def evaluate_exact(self) -> dict[str, float]:

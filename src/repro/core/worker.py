@@ -68,6 +68,16 @@ class WorkerState:
     def num_halo(self) -> int:
         return self.sub.num_remote
 
+    def stats(self) -> dict[str, int]:
+        """Topology gauges for telemetry: partition shape of this worker."""
+        return {
+            "local_vertices": self.num_local,
+            "halo_vertices": self.num_halo,
+            "local_edges": int(self.a_local.nnz),
+            "train_vertices": int(self.train_mask.sum()),
+            "peers": len(self.requests),
+        }
+
     def local_output(self, layer: int) -> np.ndarray:
         """``H^layer`` rows for the local vertices (layer >= 1)."""
         cache = self.caches[layer]

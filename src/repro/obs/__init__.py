@@ -1,0 +1,55 @@
+"""Observability: per-iteration tracing, metrics and compression health.
+
+The subsystem has three collectors behind one switch
+(:class:`~repro.obs.config.ObsConfig`, off by default):
+
+* :class:`~repro.obs.registry.MetricsRegistry` — labelled counters /
+  gauges / histograms with per-epoch snapshot/reset semantics;
+* :class:`~repro.obs.tracing.SpanTracer` — nested ``perf_counter``
+  spans (``epoch > forward/backward > layer > halo_exchange/encode/
+  decode/kernel/server_apply``), exportable as JSONL or Chrome trace
+  via :mod:`repro.obs.export`;
+* :class:`~repro.obs.health.CompressionHealthMonitor` — ReqEC-FP
+  candidate-win fractions, Bit-Tuner width trajectory, and ResEC-BP
+  residual norms checked against the Theorem 1 bound.
+
+See ``docs/observability.md`` for usage.
+"""
+
+from repro.obs.config import OBS_DISABLED, ObsConfig
+from repro.obs.export import (
+    read_jsonl,
+    span_to_record,
+    spans_to_chrome,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.health import CompressionHealthMonitor, HealthReport, ResidualCheck
+from repro.obs.registry import HistogramStat, MetricsRegistry, MetricsSnapshot
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, TelemetryReport
+from repro.obs.tracing import NullTracer, Span, SpanTracer, monotonic_now
+
+__all__ = [
+    "OBS_DISABLED",
+    "ObsConfig",
+    "read_jsonl",
+    "span_to_record",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "CompressionHealthMonitor",
+    "HealthReport",
+    "ResidualCheck",
+    "HistogramStat",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "TelemetryReport",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "monotonic_now",
+]

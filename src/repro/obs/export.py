@@ -1,0 +1,111 @@
+"""Trace and metrics exporters: JSONL and Chrome ``chrome://tracing``.
+
+Two formats cover the two consumption paths:
+
+* **JSONL** — one span per line, trivially greppable and streamable into
+  pandas (``pd.read_json(path, lines=True)``);
+* **Chrome trace** — the ``traceEvents`` document that loads directly in
+  ``chrome://tracing`` or Perfetto. Spans become complete events
+  (``ph: "X"``) with microsecond ``ts``/``dur``; nesting is recovered
+  from timestamps on a single thread row.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "span_to_record",
+    "spans_to_jsonl",
+    "spans_to_chrome",
+    "write_jsonl",
+    "write_chrome_trace",
+    "read_jsonl",
+]
+
+
+def span_to_record(span: Span) -> dict:
+    """Flatten one span into a JSON-ready dict (seconds kept as floats)."""
+    return {
+        "name": span.name,
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "depth": span.depth,
+        "parent": span.parent,
+        "index": span.index,
+        "attrs": dict(span.attrs),
+    }
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Render spans as one JSON object per line."""
+    return "\n".join(json.dumps(span_to_record(s)) for s in spans)
+
+
+def spans_to_chrome(
+    spans: Iterable[Span],
+    process_name: str = "ecgraph",
+) -> dict:
+    """Build a Chrome-trace document (``chrome://tracing`` / Perfetto).
+
+    All spans land on pid 0 / tid 0; complete events carry microsecond
+    timestamps relative to the tracer origin, so the viewer reconstructs
+    the nesting purely from containment.
+    """
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "cat": span.name,
+            "args": dict(span.attrs),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    """Write spans as JSONL; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = spans_to_jsonl(spans)
+    path.write_text(text + ("\n" if text else ""))
+    return path
+
+
+def write_chrome_trace(
+    spans: Iterable[Span],
+    path: str | Path,
+    process_name: str = "ecgraph",
+) -> Path:
+    """Write the Chrome-trace JSON document; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(spans_to_chrome(spans, process_name), handle)
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL span file back into records (round-trip testing)."""
+    path = Path(path)
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,225 @@
+"""Compression-health monitors.
+
+Three signals tell you whether EC-Graph's compression machinery is
+behaving the way the paper argues it should:
+
+* **ReqEC-FP candidate wins** — per iteration, which fraction of
+  selections went to the compressed / predicted / average candidate.
+  A persistently high *predicted* fraction means the quantizer is too
+  lossy (the Bit-Tuner should be raising ``B``);
+* **Bit-Tuner trajectory** — every width change per (responder,
+  requester) pair, so adaptive-bits behaviour is auditable;
+* **ResEC-BP residuals** — per layer, the maximum observed
+  ``||delta_t||^2`` against the Theorem 1 bound evaluated with an
+  empirically estimated contraction factor ``alpha`` and the largest
+  observed gradient norm as ``G``. Violations are flagged, not raised:
+  a bound breach is a *finding*, and aborting training would destroy the
+  evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ResidualCheck", "HealthReport", "CompressionHealthMonitor"]
+
+_CANDIDATES = ("compressed", "predicted", "average")
+
+
+@dataclass(frozen=True)
+class ResidualCheck:
+    """Theorem-1 verdict for one (layer, bits) combination."""
+
+    layer: int
+    bits: int
+    alpha: float
+    max_residual_sq: float
+    max_gradient_sq: float
+    bound: float | None  # None when alpha is outside the theorem's range
+    violated: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "bits": self.bits,
+            "alpha": self.alpha,
+            "max_residual_sq": self.max_residual_sq,
+            "max_gradient_sq": self.max_gradient_sq,
+            "bound": self.bound,
+            "violated": self.violated,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Everything the monitors observed over one run."""
+
+    candidate_fractions: dict[str, float]
+    win_trajectory: list[tuple[int, float]]  # (iteration, predicted frac)
+    bits_current: dict[tuple[int, int], int]
+    bits_events: list[tuple[tuple[int, int], int]]
+    residual_checks: list[ResidualCheck]
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "candidate_fractions": dict(self.candidate_fractions),
+            "win_trajectory": [list(p) for p in self.win_trajectory],
+            "bits_current": {
+                f"{a}->{b}": bits for (a, b), bits in self.bits_current.items()
+            },
+            "bits_events": [
+                {"pair": f"{a}->{b}", "bits": bits}
+                for (a, b), bits in self.bits_events
+            ],
+            "residual_checks": [c.as_dict() for c in self.residual_checks],
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+class CompressionHealthMonitor:
+    """Samples compression-quality signals during training.
+
+    The trainer wires this monitor into :class:`~repro.core.reqec_fp.
+    ReqECPolicy`, :class:`~repro.core.resec_bp.ResECPolicy` and the
+    :class:`~repro.core.bit_tuner.BitTuner`; each hook is a cheap
+    accumulate, and all analysis happens once in :meth:`report`.
+    """
+
+    def __init__(self, rho: float = 1.5):
+        if rho <= 1.0:
+            raise ValueError("rho must be > 1")
+        self.rho = rho
+        self._num_layers: int | None = None
+        # ReqEC-FP selection counts: cumulative and per iteration.
+        self._selection_totals = [0, 0, 0]
+        self._per_iteration: dict[int, list[int]] = {}
+        # Bit-Tuner.
+        self._bits_current: dict[tuple[int, int], int] = {}
+        self._bits_events: list[tuple[tuple[int, int], int]] = []
+        # ResEC-BP residuals, keyed by (layer, bits).
+        self._residual_sq: dict[tuple[int, int], float] = {}
+        self._gradient_sq: dict[tuple[int, int], float] = {}
+        self._alpha_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks (hot path — keep them to accumulations)
+    # ------------------------------------------------------------------
+    def set_model(self, num_layers: int) -> None:
+        """Tell the monitor the model depth ``L`` (for the bound)."""
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self._num_layers = num_layers
+
+    def record_selection(
+        self, pair: tuple[int, int], counts, bits: int, t: int
+    ) -> None:
+        """One ReqEC-FP selector outcome: ``counts`` is a length-3
+        (compressed, predicted, average) tally for one channel."""
+        del pair, bits
+        totals = self._selection_totals
+        per_t = self._per_iteration.get(t)
+        if per_t is None:
+            per_t = self._per_iteration[t] = [0, 0, 0]
+        for i in range(3):
+            c = int(counts[i])
+            totals[i] += c
+            per_t[i] += c
+
+    def record_bits(self, pair: tuple[int, int], bits: int) -> None:
+        """Bit-Tuner observer: a pair's width changed to ``bits``."""
+        self._bits_current[pair] = bits
+        self._bits_events.append((pair, bits))
+
+    def record_residual(
+        self, layer: int, residual_norm: float, gradient_norm: float,
+        bits: int,
+    ) -> None:
+        """One ResEC-BP respond: the new residual and true-gradient norms."""
+        key = (layer, bits)
+        r_sq = residual_norm * residual_norm
+        g_sq = gradient_norm * gradient_norm
+        if r_sq > self._residual_sq.get(key, 0.0):
+            self._residual_sq[key] = r_sq
+        if g_sq > self._gradient_sq.get(key, 0.0):
+            self._gradient_sq[key] = g_sq
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def _alpha(self, bits: int) -> float:
+        """Empirical contraction factor of the ``bits``-wide quantizer."""
+        alpha = self._alpha_cache.get(bits)
+        if alpha is None:
+            from repro.analysis.theory import estimate_alpha
+            from repro.compression.quantization import BucketQuantizer
+
+            alpha = estimate_alpha(BucketQuantizer(bits))
+            self._alpha_cache[bits] = alpha
+        return alpha
+
+    def report(self) -> HealthReport:
+        """Aggregate every observation into one :class:`HealthReport`."""
+        from repro.analysis.theory import theorem1_bound
+
+        total = sum(self._selection_totals)
+        fractions = {
+            name: (self._selection_totals[i] / total if total else 0.0)
+            for i, name in enumerate(_CANDIDATES)
+        }
+        trajectory = []
+        for t in sorted(self._per_iteration):
+            counts = self._per_iteration[t]
+            n = sum(counts)
+            trajectory.append((t, counts[1] / n if n else 0.0))
+
+        checks: list[ResidualCheck] = []
+        violations: list[str] = []
+        num_layers = self._num_layers
+        for (layer, bits), max_r_sq in sorted(self._residual_sq.items()):
+            max_g_sq = self._gradient_sq.get((layer, bits), 0.0)
+            alpha = self._alpha(bits)
+            bound = None
+            violated = False
+            layer_ok = (
+                num_layers is not None and 1 <= layer <= num_layers
+            )
+            if layer_ok and 0 < alpha < 1.0 / math.sqrt(1.0 + self.rho):
+                bound = theorem1_bound(
+                    alpha, math.sqrt(max_g_sq), num_layers, layer,
+                    rho=self.rho,
+                )
+                violated = max_r_sq > bound
+            checks.append(ResidualCheck(
+                layer=layer, bits=bits, alpha=alpha,
+                max_residual_sq=max_r_sq, max_gradient_sq=max_g_sq,
+                bound=bound, violated=violated,
+            ))
+            if violated:
+                violations.append(
+                    f"layer {layer} ({bits}-bit): max ||delta||^2 "
+                    f"{max_r_sq:.4g} exceeds Theorem 1 bound {bound:.4g}"
+                )
+        return HealthReport(
+            candidate_fractions=fractions,
+            win_trajectory=trajectory,
+            bits_current=dict(self._bits_current),
+            bits_events=list(self._bits_events),
+            residual_checks=checks,
+            violations=violations,
+        )
+
+    def reset(self) -> None:
+        """Drop every observation (between independent runs)."""
+        self._selection_totals = [0, 0, 0]
+        self._per_iteration.clear()
+        self._bits_current.clear()
+        self._bits_events.clear()
+        self._residual_sq.clear()
+        self._gradient_sq.clear()

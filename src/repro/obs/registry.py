@@ -1,0 +1,191 @@
+"""Metrics registry: labelled counters, gauges and summary histograms.
+
+The registry keeps two scopes per metric — the current epoch and the
+lifetime of the run — so callers get per-epoch breakdowns without
+double-counting when the same registry spans many epochs (mirroring the
+:class:`~repro.cluster.network.TrafficMeter` epoch/total split).
+
+Metrics are identified by a name plus a sorted tuple of ``(key, value)``
+label pairs; a disabled registry returns immediately from every update,
+keeping the instrumented hot paths free when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HistogramStat", "MetricsSnapshot", "MetricsRegistry"]
+
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict) -> MetricKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _render(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramStat:
+    """Streaming summary of one histogram series (no buckets kept)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable copy of the registry at one point in time.
+
+    ``scope`` records whether the numbers cover one epoch or the whole
+    run. Counters/gauges map metric keys to values; histograms map keys
+    to frozen ``(count, sum, min, max)`` tuples.
+    """
+
+    scope: str
+    counters: dict[MetricKey, float] = field(default_factory=dict)
+    gauges: dict[MetricKey, float] = field(default_factory=dict)
+    histograms: dict[MetricKey, tuple] = field(default_factory=dict)
+
+    def counter(self, name: str, **labels) -> float:
+        """One counter's value (0.0 when never incremented)."""
+        return self.counters.get(_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels) -> float | None:
+        return self.gauges.get(_key(name, labels))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all label combinations."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def counters_by_label(self, name: str, label: str) -> dict[str, float]:
+        """``label value -> counter`` map for one metric name."""
+        out: dict[str, float] = {}
+        for (n, labels), value in self.counters.items():
+            if n != name:
+                continue
+            for k, v in labels:
+                if k == label:
+                    out[v] = out.get(v, 0.0) + value
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering with ``name{k=v}`` flat keys."""
+        return {
+            "scope": self.scope,
+            "counters": {_render(k): v for k, v in self.counters.items()},
+            "gauges": {_render(k): v for k, v in self.gauges.items()},
+            "histograms": {
+                _render(k): {
+                    "count": c, "sum": s, "min": lo, "max": hi,
+                    "mean": (s / c if c else 0.0),
+                }
+                for k, (c, s, lo, hi) in self.histograms.items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with labels and epoch scoping."""
+
+    __slots__ = ("enabled", "_epoch_counters", "_total_counters",
+                 "_gauges", "_epoch_hist", "_total_hist")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._epoch_counters: dict[MetricKey, float] = {}
+        self._total_counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._epoch_hist: dict[MetricKey, HistogramStat] = {}
+        self._total_hist: dict[MetricKey, HistogramStat] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` to a counter (both epoch and lifetime scope)."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        self._epoch_counters[key] = self._epoch_counters.get(key, 0) + value
+        self._total_counters[key] = self._total_counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Record the instantaneous value of a gauge."""
+        if not self.enabled:
+            return
+        self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Feed one sample into a histogram series."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        for store in (self._epoch_hist, self._total_hist):
+            stat = store.get(key)
+            if stat is None:
+                stat = store[key] = HistogramStat()
+            stat.observe(float(value))
+
+    # ------------------------------------------------------------------
+    def snapshot(self, scope: str = "total") -> MetricsSnapshot:
+        """Copy the registry; ``scope`` is ``"total"`` or ``"epoch"``."""
+        if scope not in ("total", "epoch"):
+            raise ValueError(f"scope must be 'total' or 'epoch', got {scope!r}")
+        counters = (
+            self._total_counters if scope == "total" else self._epoch_counters
+        )
+        hists = self._total_hist if scope == "total" else self._epoch_hist
+        return MetricsSnapshot(
+            scope=scope,
+            counters=dict(counters),
+            gauges=dict(self._gauges),
+            histograms={
+                key: (stat.count, stat.total, stat.minimum, stat.maximum)
+                for key, stat in hists.items()
+            },
+        )
+
+    def reset_epoch(self) -> MetricsSnapshot:
+        """Snapshot the epoch scope, then clear it (lifetime kept)."""
+        snap = self.snapshot("epoch")
+        self._epoch_counters.clear()
+        self._epoch_hist.clear()
+        return snap
+
+    def reset(self) -> None:
+        """Clear everything, both scopes (between independent runs)."""
+        self._epoch_counters.clear()
+        self._total_counters.clear()
+        self._gauges.clear()
+        self._epoch_hist.clear()
+        self._total_hist.clear()

@@ -1,0 +1,133 @@
+"""The telemetry facade wired through the trainer and cluster runtime.
+
+One :class:`Telemetry` object bundles the three collectors (span tracer,
+metrics registry, compression-health monitor) behind the single
+:class:`~repro.obs.config.ObsConfig` switch. Instrumented code holds a
+``Telemetry`` and calls ``span()`` / ``metrics.inc()`` unconditionally;
+when the config is disabled every call is a no-op on a shared null
+object, so the un-instrumented timings are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.config import ObsConfig
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.health import CompressionHealthMonitor, HealthReport
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import NullTracer, Span, SpanTracer
+
+__all__ = ["Telemetry", "TelemetryReport", "NULL_TELEMETRY"]
+
+_NULL_TRACER = NullTracer()
+
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """End-of-run telemetry attached to a :class:`ConvergenceRun`.
+
+    Attributes:
+        phase_totals: ``span name -> (count, total seconds)``.
+        metrics: Lifetime metrics snapshot.
+        health: Compression-health report (None when disabled).
+        num_spans: Spans recorded; ``dropped_spans`` counts overflow.
+    """
+
+    phase_totals: dict[str, tuple[int, float]]
+    metrics: MetricsSnapshot
+    health: HealthReport | None
+    num_spans: int
+    dropped_spans: int
+    spans: list[Span] = field(default_factory=list, repr=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "phase_totals": {
+                name: {"count": count, "seconds": seconds}
+                for name, (count, seconds) in sorted(self.phase_totals.items())
+            },
+            "metrics": self.metrics.as_dict(),
+            "health": self.health.as_dict() if self.health else None,
+            "num_spans": self.num_spans,
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+class Telemetry:
+    """Bundle of tracer + metrics + health behind one enable switch."""
+
+    __slots__ = ("config", "enabled", "tracer", "metrics", "health")
+
+    def __init__(self, config: ObsConfig | None = None):
+        self.config = config or ObsConfig()
+        self.enabled = self.config.enabled
+        if self.enabled and self.config.trace:
+            self.tracer = SpanTracer(max_spans=self.config.max_spans)
+        else:
+            self.tracer = _NULL_TRACER
+        self.metrics = MetricsRegistry(
+            enabled=self.enabled and self.config.metrics
+        )
+        self.health = (
+            CompressionHealthMonitor(rho=self.config.health_rho)
+            if self.enabled and self.config.health
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a nested span (no-op context when tracing is off)."""
+        return self.tracer.span(name, **attrs)
+
+    def end_epoch(self, epoch: int) -> MetricsSnapshot | None:
+        """Close one epoch's metrics scope.
+
+        Returns the epoch-scoped snapshot when ``epoch_snapshots`` is
+        configured (it becomes ``EpochResult.telemetry``), always
+        resetting the epoch scope so the next epoch starts clean.
+        """
+        if not self.metrics.enabled:
+            return None
+        self.metrics.set_gauge("last_epoch", epoch)
+        snap = self.metrics.reset_epoch()
+        return snap if self.config.epoch_snapshots else None
+
+    def report(self) -> TelemetryReport:
+        """Aggregate everything collected so far."""
+        return TelemetryReport(
+            phase_totals=self.tracer.totals_by_name(),
+            metrics=self.metrics.snapshot("total"),
+            health=self.health.report() if self.health else None,
+            num_spans=len(self.tracer.spans),
+            dropped_spans=self.tracer.dropped,
+            spans=self.tracer.spans,
+        )
+
+    # ------------------------------------------------------------------
+    def write_trace(self, directory) -> dict[str, str]:
+        """Dump spans (JSONL + Chrome trace) into ``directory``.
+
+        Returns ``{"jsonl": path, "chrome": path}`` as strings; no files
+        are written (empty dict) when tracing is disabled.
+        """
+        if not self.tracer.enabled:
+            return {}
+        spans = self.tracer.spans
+        from pathlib import Path
+
+        directory = Path(directory)
+        jsonl = write_jsonl(spans, directory / "spans.jsonl")
+        chrome = write_chrome_trace(spans, directory / "trace.json")
+        return {"jsonl": str(jsonl), "chrome": str(chrome)}
+
+    def reset(self) -> None:
+        """Clear all collectors (between independent runs)."""
+        self.tracer.reset()
+        self.metrics.reset()
+        if self.health is not None:
+            self.health.reset()
+
+
+# Shared disabled instance: the default for every un-instrumented run.
+NULL_TELEMETRY = Telemetry(ObsConfig(enabled=False))

@@ -4,10 +4,13 @@ import pytest
 
 from repro.analysis.traffic import (
     dominant_category,
+    measure_traffic,
+    snapshot_table,
     traffic_by_category,
     traffic_table,
 )
 from repro.cluster.engine import EpochBreakdown
+from repro.cluster.network import TrafficMeter
 from repro.cluster.topology import ClusterSpec
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.results import ConvergenceRun, EpochResult
@@ -64,6 +67,43 @@ class TestTrafficBreakdown:
         assert set(totals) >= {"fp_embeddings", "bp_gradients",
                                "param_pull", "param_push"}
         assert dominant_category(run) in totals
+
+
+class TestSnapshotHelpers:
+    def test_measure_traffic_isolates_the_call(self):
+        meter = TrafficMeter()
+        meter.charge(0, 1, 1000, "earlier")  # pre-existing lifetime bytes
+        delta = measure_traffic(
+            meter, lambda: meter.charge(0, 1, 64, "fp_embeddings")
+        )
+        assert delta.total_bytes == 64
+        assert delta.category_bytes == {"fp_embeddings": 64}
+
+    def test_measure_traffic_on_real_epoch(self, small_graph):
+        trainer = ECGraphTrainer(
+            small_graph, ModelConfig(num_layers=2, hidden_dim=4),
+            ClusterSpec(num_workers=2),
+            ECGraphConfig(fp_mode="raw", bp_mode="raw"),
+        )
+        trainer.setup()
+        delta = measure_traffic(trainer.runtime.meter,
+                                lambda: trainer.run_epoch(0))
+        result = trainer.run_epoch(1)
+        # One epoch's delta equals the per-epoch breakdown the engine
+        # reports (full-batch epochs are byte-deterministic).
+        assert delta.total_bytes == result.breakdown.bytes_sent
+
+    def test_snapshot_table(self):
+        meter = TrafficMeter()
+        meter.charge(0, 1, 100, "fp")
+        first = meter.snapshot()
+        meter.charge(0, 1, 50, "bp")
+        table = snapshot_table({
+            "setup": first,
+            "epoch0": meter.snapshot().delta(first),
+        })
+        assert "setup" in table and "epoch0" in table
+        assert table.index("fp") < table.index("bp")
 
 
 class TestLRScheduleHook:

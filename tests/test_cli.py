@@ -59,3 +59,20 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "edge-cut" in out
+
+    def test_trace_smoke(self, capsys, tmp_path):
+        import json
+
+        code = main(["trace", "--smoke", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry: wall time by phase" in out
+        assert "Compression health" in out
+        doc = json.loads((tmp_path / "trace.json").read_text())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert events
+        for event in events:
+            assert {"name", "ph", "ts", "dur"} <= event.keys()
+        report = json.loads((tmp_path / "telemetry.json").read_text())
+        assert report["metrics"]["scope"] == "total"
+        assert (tmp_path / "spans.jsonl").exists()

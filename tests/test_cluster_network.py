@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.cluster.network import GIGABIT, NetworkModel, TrafficMeter
+from repro.cluster.network import (
+    GIGABIT,
+    NetworkModel,
+    TrafficMeter,
+    TrafficSnapshot,
+)
 
 
 class TestNetworkModel:
@@ -24,6 +29,26 @@ class TestNetworkModel:
     def test_negative_latency(self):
         with pytest.raises(ValueError):
             NetworkModel(latency_s=-1)
+
+    def test_zero_messages_with_bytes_rejected(self):
+        """Bytes without a message would silently skip the latency
+        charge; the model demands ``bandwidth_seconds`` for that."""
+        net = NetworkModel(bandwidth_bytes_per_s=100.0, latency_s=0.01)
+        with pytest.raises(ValueError, match="bandwidth_seconds"):
+            net.transfer_seconds(500, num_messages=0)
+
+    def test_negative_messages_rejected(self):
+        with pytest.raises(ValueError):
+            GIGABIT.transfer_seconds(100, num_messages=-1)
+
+    def test_zero_bytes_zero_messages_is_free(self):
+        assert GIGABIT.transfer_seconds(0, num_messages=0) == 0.0
+
+    def test_bandwidth_seconds_has_no_latency(self):
+        net = NetworkModel(bandwidth_bytes_per_s=100.0, latency_s=0.01)
+        assert net.bandwidth_seconds(500) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            net.bandwidth_seconds(-1)
 
 
 class TestTrafficMeter:
@@ -94,3 +119,39 @@ class TestTrafficMeter:
         # Each machine sees 2 one-sided message events; latency counts
         # once per message -> 2/2 * 0.01 on the bottleneck machine.
         assert meter.epoch_comm_seconds(net, 2) == pytest.approx(0.01, abs=1e-6)
+
+
+class TestTrafficSnapshot:
+    def test_snapshot_freezes_totals(self):
+        meter = TrafficMeter()
+        meter.charge(0, 1, 100, "fp")
+        snap = meter.snapshot()
+        meter.charge(0, 1, 50, "fp")
+        assert snap.total_bytes == 100
+        assert snap.category_bytes == {"fp": 100}
+        assert meter.snapshot().total_bytes == 150
+
+    def test_delta_between_snapshots(self):
+        meter = TrafficMeter()
+        meter.charge(0, 1, 100, "fp")
+        before = meter.snapshot()
+        meter.charge(0, 1, 30, "fp")
+        meter.charge(1, 0, 20, "bp")
+        delta = meter.snapshot().delta(before)
+        assert delta.total_bytes == 50
+        assert delta.total_messages == 2
+        assert delta.category_bytes == {"fp": 30, "bp": 20}
+
+    def test_delta_drops_zero_categories(self):
+        before = TrafficSnapshot(10, 1, {"fp": 10})
+        after = TrafficSnapshot(25, 2, {"fp": 10, "bp": 15})
+        assert after.delta(before).category_bytes == {"bp": 15}
+
+    def test_full_reset_clears_lifetime(self):
+        meter = TrafficMeter()
+        meter.charge(0, 1, 100, "fp")
+        meter.reset()
+        assert meter.total_bytes == 0
+        assert meter.total_messages == 0
+        assert meter.category_totals() == {}
+        assert meter.epoch_bytes() == 0

@@ -1,0 +1,156 @@
+"""Unit tests for the compression-health monitors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import estimate_alpha, theorem1_bound
+from repro.compression.quantization import BucketQuantizer
+from repro.obs.health import CompressionHealthMonitor
+
+
+class TestSelectorHealth:
+    def test_candidate_fractions(self):
+        mon = CompressionHealthMonitor()
+        mon.record_selection((0, 1), (6, 3, 1), bits=4, t=0)
+        mon.record_selection((1, 0), (4, 7, 9), bits=4, t=1)
+        report = mon.report()
+        total = 6 + 3 + 1 + 4 + 7 + 9
+        assert report.candidate_fractions["compressed"] == pytest.approx(
+            10 / total
+        )
+        assert report.candidate_fractions["predicted"] == pytest.approx(
+            10 / total
+        )
+        assert report.candidate_fractions["average"] == pytest.approx(
+            10 / total
+        )
+
+    def test_win_trajectory_is_per_iteration(self):
+        mon = CompressionHealthMonitor()
+        mon.record_selection((0, 1), (9, 1, 0), bits=4, t=0)
+        mon.record_selection((0, 1), (0, 5, 0), bits=4, t=3)
+        report = mon.report()
+        assert report.win_trajectory == [(0, pytest.approx(0.1)),
+                                         (3, pytest.approx(1.0))]
+
+    def test_numpy_counts_accepted(self):
+        mon = CompressionHealthMonitor()
+        mon.record_selection((0, 1), np.array([2, 0, 0]), bits=4, t=0)
+        assert mon.report().candidate_fractions["compressed"] == 1.0
+
+    def test_empty_run(self):
+        report = CompressionHealthMonitor().report()
+        assert report.candidate_fractions == {
+            "compressed": 0.0, "predicted": 0.0, "average": 0.0,
+        }
+        assert report.ok
+
+
+class TestBitTrajectory:
+    def test_events_and_current(self):
+        mon = CompressionHealthMonitor()
+        mon.record_bits((0, 1), 2)
+        mon.record_bits((0, 1), 4)
+        mon.record_bits((1, 0), 8)
+        report = mon.report()
+        assert report.bits_events == [((0, 1), 2), ((0, 1), 4), ((1, 0), 8)]
+        assert report.bits_current == {(0, 1): 4, (1, 0): 8}
+
+
+class TestResidualBound:
+    def test_violation_flagged(self):
+        """A residual far above the Theorem 1 bound must be reported."""
+        mon = CompressionHealthMonitor(rho=1.5)
+        mon.set_model(num_layers=2)
+        alpha = estimate_alpha(BucketQuantizer(8))
+        assert alpha < 1.0 / math.sqrt(1.0 + 1.5)  # theorem applies
+        bound = theorem1_bound(alpha, 1.0, 2, 1, rho=1.5)
+        mon.record_residual(
+            layer=1, residual_norm=math.sqrt(bound) * 10,
+            gradient_norm=1.0, bits=8,
+        )
+        report = mon.report()
+        assert not report.ok
+        assert len(report.violations) == 1
+        assert "layer 1" in report.violations[0]
+        check = report.residual_checks[0]
+        assert check.violated and check.bound == pytest.approx(bound)
+
+    def test_compliant_residual_passes(self):
+        mon = CompressionHealthMonitor(rho=1.5)
+        mon.set_model(num_layers=2)
+        mon.record_residual(
+            layer=1, residual_norm=1e-6, gradient_norm=1.0, bits=8,
+        )
+        report = mon.report()
+        assert report.ok
+        assert report.residual_checks[0].bound is not None
+        assert not report.residual_checks[0].violated
+
+    def test_alpha_outside_theorem_range_gives_no_bound(self):
+        """1-bit quantization contracts too weakly for Theorem 1: the
+        check is reported with ``bound=None`` and never flagged."""
+        mon = CompressionHealthMonitor(rho=1.5)
+        mon.set_model(num_layers=2)
+        alpha = estimate_alpha(BucketQuantizer(1))
+        assert alpha >= 1.0 / math.sqrt(1.0 + 1.5)
+        mon.record_residual(
+            layer=1, residual_norm=1e9, gradient_norm=1.0, bits=1,
+        )
+        report = mon.report()
+        assert report.residual_checks[0].bound is None
+        assert report.ok
+
+    def test_max_residual_kept(self):
+        mon = CompressionHealthMonitor()
+        mon.set_model(num_layers=2)
+        mon.record_residual(layer=1, residual_norm=2.0, gradient_norm=1.0,
+                            bits=4)
+        mon.record_residual(layer=1, residual_norm=1.0, gradient_norm=3.0,
+                            bits=4)
+        check = mon.report().residual_checks[0]
+        assert check.max_residual_sq == pytest.approx(4.0)
+        assert check.max_gradient_sq == pytest.approx(9.0)
+
+    def test_no_model_depth_no_bound(self):
+        mon = CompressionHealthMonitor()
+        mon.record_residual(layer=1, residual_norm=1e9, gradient_norm=1.0,
+                            bits=8)
+        assert mon.report().residual_checks[0].bound is None
+
+
+class TestLifecycle:
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            CompressionHealthMonitor(rho=1.0)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            CompressionHealthMonitor().set_model(0)
+
+    def test_reset(self):
+        mon = CompressionHealthMonitor()
+        mon.record_selection((0, 1), (1, 0, 0), bits=4, t=0)
+        mon.record_bits((0, 1), 2)
+        mon.record_residual(layer=1, residual_norm=1.0, gradient_norm=1.0,
+                            bits=4)
+        mon.reset()
+        report = mon.report()
+        assert report.bits_events == []
+        assert report.residual_checks == []
+        assert report.win_trajectory == []
+
+    def test_as_dict_round_trips_json(self):
+        import json
+
+        mon = CompressionHealthMonitor()
+        mon.set_model(2)
+        mon.record_selection((0, 1), (1, 2, 3), bits=4, t=0)
+        mon.record_bits((0, 1), 2)
+        mon.record_residual(layer=1, residual_norm=0.1, gradient_norm=1.0,
+                            bits=4)
+        rendered = json.loads(json.dumps(mon.report().as_dict()))
+        assert rendered["ok"] is True
+        assert rendered["bits_events"] == [{"pair": "0->1", "bits": 2}]

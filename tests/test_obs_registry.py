@@ -1,0 +1,129 @@
+"""Unit tests for the metrics registry: labels, scopes, disabled mode."""
+
+import pytest
+
+from repro.obs.registry import HistogramStat, MetricsRegistry
+
+
+class TestLabels:
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 10, category="fp", worker=1)
+        reg.inc("bytes", 5, worker=1, category="fp")
+        snap = reg.snapshot()
+        assert snap.counter("bytes", category="fp", worker=1) == 10 + 5
+
+    def test_distinct_labels_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 10, category="fp")
+        reg.inc("bytes", 20, category="bp")
+        snap = reg.snapshot()
+        assert snap.counter("bytes", category="fp") == 10
+        assert snap.counter("bytes", category="bp") == 20
+        assert snap.counter_total("bytes") == 30
+
+    def test_label_values_stringified(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1, worker=3)
+        assert reg.snapshot().counter("x", worker="3") == 1
+
+    def test_counters_by_label(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 10, category="fp")
+        reg.inc("bytes", 20, category="bp")
+        reg.inc("other", 99, category="fp")
+        snap = reg.snapshot()
+        assert snap.counters_by_label("bytes", "category") == {
+            "fp": 10, "bp": 20,
+        }
+
+    def test_unknown_counter_reads_zero(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap.counter("nope") == 0.0
+        assert snap.gauge("nope") is None
+
+    def test_rendered_keys_in_as_dict(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 7, category="fp")
+        reg.set_gauge("loss", 1.5)
+        rendered = reg.snapshot().as_dict()
+        assert rendered["counters"] == {"bytes{category=fp}": 7}
+        assert rendered["gauges"] == {"loss": 1.5}
+
+
+class TestScopes:
+    def test_epoch_reset_keeps_lifetime(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 100)
+        epoch0 = reg.reset_epoch()
+        reg.inc("bytes", 50)
+        epoch1 = reg.reset_epoch()
+        assert epoch0.counter("bytes") == 100
+        assert epoch1.counter("bytes") == 50
+        assert reg.snapshot("total").counter("bytes") == 150
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 1)
+        snap = reg.snapshot()
+        reg.inc("bytes", 1)
+        assert snap.counter("bytes") == 1
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().snapshot("decade")
+
+    def test_gauges_are_instantaneous(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("loss", 2.0)
+        reg.set_gauge("loss", 1.0)
+        reg.reset_epoch()
+        # Gauges survive the epoch reset: they are not accumulations.
+        assert reg.snapshot().gauge("loss") == 1.0
+
+    def test_full_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes", 9)
+        reg.set_gauge("loss", 1.0)
+        reg.observe("sizes", 4.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert not snap.counters and not snap.gauges and not snap.histograms
+
+
+class TestHistograms:
+    def test_summary_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 5.0, 3.0):
+            reg.observe("sizes", v, category="fp")
+        count, total, lo, hi = reg.snapshot().histograms[
+            ("sizes", (("category", "fp"),))
+        ]
+        assert (count, total, lo, hi) == (3, 9.0, 1.0, 5.0)
+
+    def test_histogram_epoch_scope_resets(self):
+        reg = MetricsRegistry()
+        reg.observe("sizes", 2.0)
+        reg.reset_epoch()
+        reg.observe("sizes", 4.0)
+        epoch = reg.snapshot("epoch")
+        total = reg.snapshot("total")
+        assert epoch.histograms[("sizes", ())][0] == 1
+        assert total.histograms[("sizes", ())][0] == 2
+
+    def test_stat_mean(self):
+        stat = HistogramStat()
+        assert stat.mean == 0.0
+        stat.observe(2.0)
+        stat.observe(4.0)
+        assert stat.mean == pytest.approx(3.0)
+
+
+class TestDisabled:
+    def test_updates_are_no_ops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("bytes", 100)
+        reg.set_gauge("loss", 1.0)
+        reg.observe("sizes", 4.0)
+        snap = reg.snapshot()
+        assert not snap.counters and not snap.gauges and not snap.histograms
