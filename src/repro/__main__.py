@@ -6,7 +6,13 @@ Commands:
 * ``train``    — train one system on one dataset and print the run;
 * ``compare``  — train several systems on one dataset side by side;
 * ``partition`` — partition a dataset and print quality statistics;
-* ``trace``    — run with telemetry enabled and export trace + metrics.
+* ``trace``    — run with telemetry enabled and export trace + metrics;
+* ``chaos``    — train under an injected fault scenario and report how
+  the tolerance machinery held up against the fault-free twin.
+
+Operational errors (bad config values, missing dataset paths, corrupt
+checkpoints) exit non-zero with a one-line message instead of a
+traceback; tracebacks are reserved for actual bugs.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ import sys
 from repro.analysis.convergence import convergence_target, summarize
 from repro.analysis.reporting import format_table, telemetry_table
 from repro.baselines import run_system, system_names
+from repro.core.checkpoint import CheckpointError
 from repro.core.config import ECGraphConfig
+from repro.faults.scenarios import scenario_names
 from repro.graph.datasets import PAPER_STATS, dataset_names, load_dataset
 from repro.obs import ObsConfig
 from repro.obs.export import write_chrome_trace, write_jsonl
@@ -176,6 +184,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    if args.smoke:
+        args.profile = "tiny"
+        args.epochs = min(args.epochs, 8)
+        args.workers = min(args.workers, 3)
+    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(graph.summary())
+    print(f"scenario {args.scenario!r}: training fault-free baseline and "
+          f"faulty twin ...", file=sys.stderr)
+    report = run_chaos(
+        graph, args.scenario,
+        system=args.system, num_layers=args.layers, hidden_dim=args.hidden,
+        num_workers=args.workers, num_epochs=args.epochs, seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    counters = report.counters
+    print(format_table(
+        ["scenario", "epochs", "survived", "baseline acc", "chaos acc",
+         "gap", "slowdown"],
+        [[
+            report.scenario,
+            f"{report.completed_epochs}/{report.scheduled_epochs}",
+            "yes" if report.survived else "NO",
+            f"{report.baseline_accuracy:.3f}",
+            f"{report.chaos_accuracy:.3f}",
+            f"{report.accuracy_gap:+.3f}",
+            f"{report.slowdown:.2f}x",
+        ]],
+        title=f"{args.system} under {args.scenario!r} on {graph.name}",
+    ))
+    print("\nFaults injected: "
+          f"{counters.drops} drops, {counters.corruptions} corruptions, "
+          f"{counters.delays} delays, {counters.crashes} crashes")
+    print("Tolerance: "
+          f"{counters.retries} retries ({counters.retry_bytes / 1e3:.1f}KB "
+          f"resent), {counters.ps_retries} PS retries, "
+          f"{counters.degraded} degraded exchanges "
+          f"(predicted={counters.degraded_predicted}, "
+          f"cached={counters.degraded_cached}, "
+          f"zero={counters.degraded_zero}), "
+          f"{counters.residual_compensations} residual compensations, "
+          f"{counters.params_rolled_back} param rollbacks, "
+          f"{counters.extra_seconds:.2f}s stalled")
+    if args.json_out:
+        path = pathlib.Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(report.as_dict(), system=args.system,
+                       dataset=graph.name)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {path}")
+    if not report.survived:
+        print(f"FAIL: only {report.completed_epochs} of "
+              f"{report.scheduled_epochs} epochs completed", file=sys.stderr)
+        return 1
+    if report.accuracy_gap > args.max_accuracy_gap:
+        print(f"FAIL: accuracy gap {report.accuracy_gap:.3f} exceeds "
+              f"--max-accuracy-gap {args.max_accuracy_gap}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -237,13 +308,44 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="tiny profile, <=3 epochs (CI smoke test)")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection run: survival + accuracy report"
+    )
+    chaos.add_argument("scenario", nargs="?", default="mixed",
+                       choices=scenario_names(),
+                       help="named fault scenario (default: mixed)")
+    chaos.add_argument("--system", default="ecgraph", choices=system_names())
+    chaos.add_argument("--dataset", default="cora", choices=dataset_names())
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--layers", type=int, default=2)
+    chaos.add_argument("--hidden", type=int, default=16)
+    chaos.add_argument("--epochs", type=int, default=30)
+    chaos.add_argument("--checkpoint-dir", default=None,
+                       help="directory for on-disk recovery checkpoints "
+                            "(default: in-memory snapshots only)")
+    chaos.add_argument("--max-accuracy-gap", type=float, default=0.02,
+                       help="fail if faults cost more final test accuracy "
+                            "than this (default: 0.02)")
+    chaos.add_argument("--json-out", default=None,
+                       help="also write the report as JSON to this path")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="tiny profile, <=8 epochs (CI smoke test)")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CheckpointError, FileNotFoundError, KeyError, ValueError) as exc:
+        # Operational failures (bad config values, missing dataset paths,
+        # corrupt checkpoints) get a one-line diagnosis, not a traceback.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

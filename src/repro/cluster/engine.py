@@ -59,12 +59,21 @@ class ClusterRuntime:
         # also increments a labelled byte/message counter, so metrics
         # snapshots agree with the meter to the byte.
         self.telemetry = telemetry or NULL_TELEMETRY
+        # Optional FaultInjector (repro.faults); the trainer attaches it
+        # when fault injection is enabled. It scales straggler compute
+        # here and drives message fates / server outages downstream.
+        self.fault_injector = None
         self._compute = np.zeros(spec.num_workers, dtype=np.float64)
         self._epoch_history: list[EpochBreakdown] = []
 
     # ------------------------------------------------------------------
     # Compute accounting
     # ------------------------------------------------------------------
+    def _compute_scale(self, worker: int) -> float:
+        if self.fault_injector is None:
+            return 1.0
+        return self.fault_injector.compute_scale(worker)
+
     @contextmanager
     def worker_compute(self, worker: int):
         """Context manager charging elapsed wall time to ``worker``."""
@@ -72,13 +81,27 @@ class ClusterRuntime:
         try:
             yield
         finally:
-            self._compute[worker] += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self._compute[worker] += elapsed * self._compute_scale(worker)
 
     def add_compute(self, worker: int, seconds: float) -> None:
         """Directly charge compute seconds (used by analytic baselines)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
+        self._compute[worker] += seconds * self._compute_scale(worker)
+
+    def add_stall(self, worker: int, seconds: float) -> None:
+        """Charge fault-tolerance stall time (backoff, late delivery).
+
+        Stalls are wall-clock waits, not CPU work, so straggler scaling
+        does not apply; they still extend the worker's epoch time under
+        the BSP model.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
         self._compute[worker] += seconds
+        if self.fault_injector is not None:
+            self.fault_injector.counters.extra_seconds += seconds
 
     # ------------------------------------------------------------------
     # Communication accounting

@@ -34,16 +34,22 @@ class NetworkModel:
             Gigabit Ethernet (1e9 bits/s = 125 MB/s), the paper's setting.
         latency_s: One-way per-message latency (RPC + serialization fixed
             cost). 0.1 ms is typical for LAN gRPC.
+        timeout_factor: Multiple of the expected round trip a sender
+            waits before declaring a message lost (retransmission
+            timeout); see :meth:`loss_detection_seconds`.
     """
 
     bandwidth_bytes_per_s: float = 125e6
     latency_s: float = 1e-4
+    timeout_factor: float = 4.0
 
     def __post_init__(self):
         if self.bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
         if self.latency_s < 0:
             raise ValueError("latency must be non-negative")
+        if self.timeout_factor < 1:
+            raise ValueError("timeout_factor must be >= 1")
 
     def bandwidth_seconds(self, num_bytes: int) -> float:
         """Pure wire time for ``num_bytes`` (no per-message latency)."""
@@ -65,6 +71,20 @@ class NetworkModel:
                 "use bandwidth_seconds() for latency-free wire time"
             )
         return self.bandwidth_seconds(num_bytes) + num_messages * self.latency_s
+
+    def loss_detection_seconds(self, num_bytes: int) -> float:
+        """Retransmission timeout: how long a sender waits before it can
+        conclude a message of ``num_bytes`` was lost.
+
+        Modelled as ``timeout_factor`` times the expected one-message
+        round trip (transfer + ack latency) — the conservative RTO a
+        reliable RPC layer would use. Charged once per failed delivery
+        attempt by the fault-tolerant exchange path, on top of the
+        retry policy's exponential backoff.
+        """
+        return self.timeout_factor * (
+            self.transfer_seconds(num_bytes) + self.latency_s
+        )
 
 
 GIGABIT = NetworkModel()

@@ -117,6 +117,44 @@ class ParameterServerGroup:
         with self.runtime.telemetry.span("param_pull", worker=worker):
             return self._pull(worker, names)
 
+    def _outage_retries(
+        self, worker: int, server: int, nbytes: int, category: str,
+        server_to_worker: bool,
+    ) -> None:
+        """Charge the retries a shard message pays during a PS outage.
+
+        Parameters cannot be degraded away like halo rows can, so an
+        unreachable server only *delays*: each failed attempt costs its
+        wire bytes (the retransmission) plus backoff stall on the
+        worker, and the final attempt — already charged by the caller —
+        succeeds once the server is back.
+        """
+        injector = self.runtime.fault_injector
+        if injector is None:
+            return
+        attempts = injector.server_outage_attempts(server)
+        if not attempts:
+            return
+        timeout = self.runtime.spec.network.loss_detection_seconds(nbytes)
+        for attempt in range(1, attempts + 1):
+            injector.counters.ps_retries += 1
+            injector.counters.retry_bytes += nbytes
+            self.runtime.add_stall(
+                worker, timeout + injector.backoff_seconds(attempt)
+            )
+            if server_to_worker:
+                self.runtime.send_server_to_worker(
+                    server, worker, nbytes, category
+                )
+            else:
+                self.runtime.send_worker_to_server(
+                    worker, server, nbytes, category
+                )
+            if self.runtime.telemetry.enabled:
+                self.runtime.telemetry.metrics.inc(
+                    "fault_ps_retries", category=category
+                )
+
     def _pull(self, worker: int, names: list[str]) -> Dict[str, np.ndarray]:
         out: Dict[str, np.ndarray] = {}
         for name in names:
@@ -126,8 +164,12 @@ class ParameterServerGroup:
             for shard in self._shards[name]:
                 rows = shard.stop - shard.start
                 per_row = array[0:1].nbytes if array.ndim else array.nbytes
+                nbytes = rows * per_row + 16
                 self.runtime.send_server_to_worker(
-                    shard.server, worker, rows * per_row + 16, "param_pull"
+                    shard.server, worker, nbytes, "param_pull"
+                )
+                self._outage_retries(
+                    worker, shard.server, nbytes, "param_pull", True
                 )
             out[name] = array.copy()
         return out
@@ -149,8 +191,12 @@ class ParameterServerGroup:
             for shard in self._shards[name]:
                 rows = shard.stop - shard.start
                 per_row = grad[0:1].nbytes if grad.ndim else grad.nbytes
+                nbytes = rows * per_row + 16
                 self.runtime.send_worker_to_server(
-                    worker, shard.server, rows * per_row + 16, "param_push"
+                    worker, shard.server, nbytes, "param_push"
+                )
+                self._outage_retries(
+                    worker, shard.server, nbytes, "param_push", False
                 )
             pending = self._pending.get(name)
             if pending is None:

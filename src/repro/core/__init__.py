@@ -6,7 +6,12 @@ distributed trainers.
 """
 
 from repro.core.bit_tuner import BIT_LADDER, BitTuner
-from repro.core.checkpoint import load_checkpoint, restore_trainer, save_checkpoint
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_trainer,
+    save_checkpoint,
+)
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.messages import ChannelKey, ChannelMessage, RawPolicy, ReceiveResult
 from repro.core.models import GNNParameters, build_parameters
@@ -46,6 +51,7 @@ __all__ = [
     "ReqECPolicy",
     "TrendState",
     "ResECPolicy",
+    "CheckpointError",
     "ConvergenceRun",
     "EpochResult",
     "ECGraphTrainer",

@@ -10,6 +10,9 @@ model/EC configuration fingerprints and the run history, in a single
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -17,18 +20,37 @@ import numpy as np
 
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.trainer import ECGraphTrainer
+from repro.faults.config import FaultConfig
 from repro.obs.config import ObsConfig
 
-__all__ = ["save_checkpoint", "load_checkpoint", "restore_trainer"]
+__all__ = [
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_trainer",
+]
 
 _FORMAT_VERSION = 1
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file is truncated, corrupt or otherwise unusable.
+
+    Every deserialization failure surfaces as this one exception (with
+    the offending path in the message) so callers — the CLI, crash
+    recovery — can handle "bad checkpoint" without pattern-matching on
+    zipfile/numpy/json internals.
+    """
+
+
 def _load_ec_config(fields: dict) -> ECGraphConfig:
-    """Rebuild the config; ``asdict`` flattened the nested ObsConfig."""
+    """Rebuild the config; ``asdict`` flattened the nested sub-configs."""
     obs = fields.get("obs")
     if isinstance(obs, dict):
         fields = dict(fields, obs=ObsConfig(**obs))
+    faults = fields.get("faults")
+    if isinstance(faults, dict):
+        fields = dict(fields, faults=FaultConfig.from_dict(faults))
     return ECGraphConfig(**fields)
 
 
@@ -39,6 +61,11 @@ def save_checkpoint(
     extra: dict | None = None,
 ) -> None:
     """Write the trainer's current parameters and metadata to ``path``.
+
+    The write is atomic: the archive is built in a temporary file in the
+    same directory and moved into place with :func:`os.replace`, so a
+    crash mid-save can never leave a truncated checkpoint behind — the
+    previous checkpoint (if any) survives intact.
 
     Args:
         trainer: A set-up trainer (its servers hold the parameters).
@@ -61,7 +88,19 @@ def save_checkpoint(
     }
     for name in trainer.servers.parameter_names():
         payload[f"param/{name}"] = trainer.servers.get(name)
-    np.savez_compressed(path, **payload)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path: str | Path) -> dict:
@@ -69,29 +108,49 @@ def load_checkpoint(path: str | Path) -> dict:
 
     Returns keys: ``epoch``, ``model_config``, ``ec_config``, ``extra``
     and ``params`` (name -> array).
+
+    Raises:
+        FileNotFoundError: ``path`` does not exist.
+        CheckpointError: the file is truncated, corrupt, from an
+            unsupported format version, or missing required entries.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"checkpoint not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint version {version} "
-                f"(expected {_FORMAT_VERSION})"
-            )
-        names = [str(n) for n in archive["param_names"]]
-        return {
-            "epoch": int(archive["epoch"]),
-            "model_config": ModelConfig(
-                **json.loads(str(archive["model_config_json"]))
-            ),
-            "ec_config": _load_ec_config(
-                json.loads(str(archive["ec_config_json"]))
-            ),
-            "extra": json.loads(str(archive["extra_json"])),
-            "params": {name: archive[f"param/{name}"] for name in names},
-        }
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"])
+            if version != _FORMAT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {version} in {path} "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            names = [str(n) for n in archive["param_names"]]
+            return {
+                "epoch": int(archive["epoch"]),
+                "model_config": ModelConfig(
+                    **json.loads(str(archive["model_config_json"]))
+                ),
+                "ec_config": _load_ec_config(
+                    json.loads(str(archive["ec_config_json"]))
+                ),
+                "extra": json.loads(str(archive["extra_json"])),
+                "params": {name: archive[f"param/{name}"] for name in names},
+            }
+    except CheckpointError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        OSError,
+        EOFError,
+        KeyError,
+        TypeError,
+        ValueError,
+        json.JSONDecodeError,
+    ) as exc:
+        raise CheckpointError(
+            f"corrupt or truncated checkpoint {path}: {exc}"
+        ) from None
 
 
 def restore_trainer(trainer: ECGraphTrainer, path: str | Path) -> int:

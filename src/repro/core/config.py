@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.faults.config import FAULTS_DISABLED, FaultConfig
 from repro.obs.config import OBS_DISABLED, ObsConfig
 
 __all__ = ["ModelConfig", "ECGraphConfig"]
@@ -86,6 +87,10 @@ class ECGraphConfig:
         seed: Seed for parameter initialization and sampling.
         obs: Telemetry configuration (:class:`~repro.obs.ObsConfig`);
             disabled by default so instrumented hot paths stay free.
+        faults: Fault-injection schedule and tolerance policy
+            (:class:`~repro.faults.FaultConfig`); disabled by default,
+            in which case training is bit-identical to a fault-free
+            build.
     """
 
     fp_mode: str = "reqec"
@@ -107,6 +112,7 @@ class ECGraphConfig:
     codec_speedup: float = 20.0
     seed: int = 0
     obs: ObsConfig = OBS_DISABLED
+    faults: FaultConfig = FAULTS_DISABLED
 
     def __post_init__(self):
         if self.fp_mode not in _FP_MODES:

@@ -16,14 +16,25 @@ from typing import Callable
 import numpy as np
 
 from repro.cluster.engine import ClusterRuntime
-from repro.core.messages import ChannelKey, ExchangePolicy
+from repro.core.messages import ChannelKey, ChannelMessage, ExchangePolicy
 from repro.core.worker import WorkerState
+from repro.faults.injector import FATE_CORRUPT, FATE_DELAY, FATE_DROP
 
 __all__ = ["NeighborAccessController"]
 
 
 class NeighborAccessController:
-    """Runs one halo exchange across all worker pairs."""
+    """Runs one halo exchange across all worker pairs.
+
+    When a :class:`~repro.faults.FaultInjector` is attached (see
+    :attr:`injector`), every delivery can drop, corrupt or stall; the
+    NAC retransmits with exponential backoff — retry bytes hit the
+    traffic meter and backoff stalls the requester, so the modelled
+    epoch time reflects the faults — and when retries are exhausted it
+    *degrades* instead of aborting: the requester substitutes the
+    ReqEC-FP predicted candidate, its last successfully received rows
+    for the channel, or zeros (partial aggregation), in that order.
+    """
 
     def __init__(
         self,
@@ -37,7 +48,13 @@ class NeighborAccessController:
         self.workers = workers
         self.codec_speedup = codec_speedup
         self.telemetry = runtime.telemetry
+        # FaultInjector, attached by the trainer when faults are
+        # enabled; None keeps the exchange loop on the fault-free path.
+        self.injector = None
         self._last_proportions: dict[tuple[int, int], float] = {}
+        # Last successfully received rows per channel, the stale-halo
+        # fallback of last resort. Populated only under fault injection.
+        self._halo_cache: dict[ChannelKey, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def exchange(
@@ -104,9 +121,7 @@ class NeighborAccessController:
                         owner, respond_wall, message.codec_seconds
                     )
 
-                    self.runtime.send_worker_to_worker(
-                        owner, i, message.nbytes, category
-                    )
+                    delivered = self._deliver(key, message, owner, i, category)
                     if obs.enabled:
                         obs.metrics.inc(
                             "halo_rows", served.shape[0], category=category
@@ -114,6 +129,21 @@ class NeighborAccessController:
                         obs.metrics.observe(
                             "message_bytes", message.nbytes, category=category
                         )
+
+                    if not delivered:
+                        self._notify_failure(
+                            policy, key, message, rows_idx=rows_idx
+                        )
+                        rows = self._degraded_rows(
+                            policy, key, t, served.shape[0], dim
+                        )
+                        if rows is None:
+                            continue  # zeros: partial aggregation
+                        if rows_idx is None:
+                            halos[i][slots] = rows
+                        else:
+                            halos[i][slots[rows_idx]] = rows
+                        continue
 
                     with obs.span("decode", responder=owner, requester=i):
                         start = time.perf_counter()
@@ -125,6 +155,10 @@ class NeighborAccessController:
 
                     if rows_idx is None:
                         halos[i][slots] = result.rows
+                        if self.injector is not None:
+                            self._halo_cache[key] = np.array(
+                                result.rows, copy=True
+                            )
                     else:
                         halos[i][slots[rows_idx]] = result.rows
 
@@ -183,9 +217,7 @@ class NeighborAccessController:
                         respond_wall = time.perf_counter() - start
                     self._charge_compute(i, respond_wall, message.codec_seconds)
 
-                    self.runtime.send_worker_to_worker(
-                        i, owner, message.nbytes, category
-                    )
+                    delivered = self._deliver(key, message, i, owner, category)
                     if obs.enabled:
                         obs.metrics.inc(
                             "halo_rows", responder_rows.shape[0],
@@ -194,6 +226,19 @@ class NeighborAccessController:
                         obs.metrics.observe(
                             "message_bytes", message.nbytes, category=category
                         )
+
+                    if not delivered:
+                        # Lost partial gradients contribute zero this
+                        # iteration; error-feedback policies fold them
+                        # into the channel residual for the next one.
+                        self._notify_failure(policy, key, message)
+                        self.injector.counters.degraded_zero += 1
+                        if obs.enabled:
+                            obs.metrics.inc(
+                                "fault_degraded", kind="zero",
+                                category=category,
+                            )
+                        continue
 
                     with obs.span("decode", responder=i, requester=owner):
                         start = time.perf_counter()
@@ -213,6 +258,126 @@ class NeighborAccessController:
         iteration, after the final forward layer (Algorithm 3).
         """
         return dict(self._last_proportions)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        src: int,
+        dst: int,
+        category: str,
+    ) -> bool:
+        """Attempt delivery with retransmission; returns success.
+
+        Every attempt — including failed ones, whose bytes were on the
+        wire before the loss — is charged to the traffic meter. Each
+        failed attempt stalls the receiving worker for the network's
+        loss-detection timeout (the RTO a reliable RPC layer waits
+        before declaring the message dead), retransmissions add the
+        retry policy's exponential backoff on top, and late deliveries
+        stall for the configured delay.
+        """
+        self.runtime.send_worker_to_worker(src, dst, message.nbytes, category)
+        injector = self.injector
+        if injector is None:
+            return True
+        obs = self.telemetry
+        timeout = self.runtime.spec.network.loss_detection_seconds(
+            message.nbytes
+        )
+        fate = injector.message_fate(key.layer, src, dst, category, 0)
+        attempt = 0
+        while fate in (FATE_DROP, FATE_CORRUPT):
+            if obs.enabled:
+                obs.metrics.inc(
+                    "fault_message_failures", category=category, fate=fate
+                )
+            self.runtime.add_stall(dst, timeout)
+            attempt += 1
+            if attempt > injector.config.max_retries:
+                return False
+            injector.counters.retries += 1
+            injector.counters.retry_bytes += message.nbytes
+            self.runtime.add_stall(dst, injector.backoff_seconds(attempt))
+            self.runtime.send_worker_to_worker(
+                src, dst, message.nbytes, category
+            )
+            if obs.enabled:
+                obs.metrics.inc("fault_retries", category=category)
+            fate = injector.message_fate(key.layer, src, dst, category, attempt)
+        if fate == FATE_DELAY:
+            self.runtime.add_stall(dst, injector.config.delay_seconds)
+            if obs.enabled:
+                obs.metrics.inc("fault_delays", category=category)
+        return True
+
+    def _notify_failure(
+        self,
+        policy: ExchangePolicy,
+        key: ChannelKey,
+        message: ChannelMessage,
+        rows_idx: np.ndarray | None = None,
+    ) -> None:
+        """Tell a stateful policy its message never arrived.
+
+        ReqEC-FP rolls back an unacknowledged trend snapshot so both
+        ends stay in sync; ResEC-BP folds the lost gradient into the
+        channel residual so error feedback re-ships it next iteration
+        (the handler returns True when it compensated that way).
+        """
+        handler = getattr(policy, "on_delivery_failure", None)
+        if handler is not None and handler(key, message, rows_idx=rows_idx):
+            self.injector.counters.residual_compensations += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.inc("fault_residual_compensations")
+
+    def _degraded_rows(
+        self,
+        policy: ExchangePolicy,
+        key: ChannelKey,
+        t: int,
+        num_rows: int,
+        dim: int,
+    ) -> np.ndarray | None:
+        """Stale-halo substitute for an undeliverable forward message.
+
+        Preference order: the ReqEC-FP *predicted* candidate (requester
+        trend state needs no payload at all), then the channel's last
+        successfully received rows, then None (the halo slots keep
+        their zeros — DistGNN-style partial aggregation).
+        """
+        counters = self.injector.counters
+        obs = self.telemetry
+        fallback = getattr(policy, "fallback_rows", None)
+        if fallback is not None:
+            rows = fallback(key, t)
+            if rows is not None and rows.shape == (num_rows, dim):
+                counters.degraded_predicted += 1
+                if obs.enabled:
+                    obs.metrics.inc("fault_degraded", kind="predicted")
+                return rows
+        cached = self._halo_cache.get(key)
+        if cached is not None and cached.shape == (num_rows, dim):
+            counters.degraded_cached += 1
+            if obs.enabled:
+                obs.metrics.inc("fault_degraded", kind="cached")
+            return cached
+        counters.degraded_zero += 1
+        if obs.enabled:
+            obs.metrics.inc("fault_degraded", kind="zero")
+        return None
+
+    def invalidate_worker(self, worker: int) -> None:
+        """Drop cached halo rows touching ``worker`` (crash recovery)."""
+        stale = [
+            key for key in self._halo_cache
+            if worker in (key.responder, key.requester)
+        ]
+        for key in stale:
+            del self._halo_cache[key]
 
     # ------------------------------------------------------------------
     def _charge_compute(

@@ -291,6 +291,58 @@ class ReqECPolicy:
         return out
 
     # ------------------------------------------------------------------
+    # Fault tolerance (driven by the NAC)
+    # ------------------------------------------------------------------
+    def fallback_rows(self, key: ChannelKey, t: int) -> np.ndarray | None:
+        """Requester-end stale-halo approximation of the current rows.
+
+        When a message is undeliverable, the requester can still form
+        the *predicted* candidate from its last trend snapshot with no
+        payload at all — the same machinery Algorithm 3 uses between
+        boundaries, extrapolated from however old the snapshot is.
+        """
+        state = self._requester_trend.get(key)
+        if state is None:
+            return None
+        steps = t - state.boundary_t
+        return (state.h_last + state.m_cr * steps).astype(np.float32)
+
+    def on_delivery_failure(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        rows_idx: np.ndarray | None = None,
+    ) -> bool:
+        """Keep both ends consistent after a lost message.
+
+        A lost boundary snapshot is the dangerous case: the responder
+        would start shipping selector messages the requester cannot
+        reconstruct. Rolling the responder's trend state back makes the
+        channel fall back to compressed-only messages until the next
+        boundary resynchronizes both ends.
+        """
+        del rows_idx
+        if message.payload[0] == "exact":
+            self._responder_trend.pop(key, None)
+        return False
+
+    def invalidate_worker(self, worker: int) -> None:
+        """Drop trend state touching ``worker`` (crash recovery).
+
+        Channels the crashed worker responds on *or* requests from must
+        restart their trend group: the rebuilt process holds neither the
+        snapshot nor the changing rate, and the surviving end must not
+        reconstruct against state the other side no longer has.
+        """
+        for table in (self._responder_trend, self._requester_trend):
+            stale = [
+                key for key in table
+                if worker in (key.responder, key.requester)
+            ]
+            for key in stale:
+                del table[key]
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Drop all per-channel state (between independent runs)."""
         self._responder_trend.clear()

@@ -117,5 +117,48 @@ class ResECPolicy:
             rows=rows, codec_seconds=time.perf_counter() - start
         )
 
+    # ------------------------------------------------------------------
+    # Fault tolerance (driven by the NAC)
+    # ------------------------------------------------------------------
+    def on_delivery_failure(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        rows_idx: np.ndarray | None = None,
+    ) -> bool:
+        """Fold an undeliverable gradient into the channel residual.
+
+        Error feedback makes drop tolerance nearly free: the decoded
+        payload the requester never received is added to ``delta``, so
+        the next iteration's compensated message re-ships the lost
+        information instead of silently discarding it (the same
+        telescoping argument as Eq. 11).
+        """
+        lost = message.payload.decode()
+        residual = self._residual.get(key)
+        if rows_idx is None:
+            if residual is None or residual.shape != lost.shape:
+                self._residual[key] = lost.astype(np.float32)
+            else:
+                residual += lost
+        else:
+            if residual is None:
+                return False
+            residual[rows_idx] += lost
+        return True
+
+    def invalidate_worker(self, worker: int) -> None:
+        """Drop residuals on channels touching ``worker`` (crash
+        recovery with ``reset_residuals=True``): the rebuilt process
+        starts with ``delta = 0``, exactly the Theorem-1 initial state.
+        """
+        stale = [
+            key for key in self._residual
+            if worker in (key.responder, key.requester)
+        ]
+        for key in stale:
+            del self._residual[key]
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         self._residual.clear()

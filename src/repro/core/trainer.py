@@ -18,6 +18,8 @@ single-machine standalone configuration (one worker = no halo at all).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.cluster.engine import ClusterRuntime
@@ -39,6 +41,7 @@ from repro.core.reqec_fp import ReqECPolicy
 from repro.core.resec_bp import ResECPolicy
 from repro.core.results import ConvergenceRun, EpochResult
 from repro.core.worker import WorkerState, build_worker_states
+from repro.faults.injector import FaultCounters, FaultInjector
 from repro.graph.attributed import AttributedGraph
 from repro.graph.normalize import normalized_adjacency
 from repro.nn.losses import softmax_cross_entropy
@@ -125,6 +128,8 @@ class ECGraphTrainer:
         self._global_train_count = 0
         self._setup_done = False
         self._lr_schedule = None
+        self._injector: FaultInjector | None = None
+        self._param_snapshot: tuple[int, dict[str, np.ndarray]] | None = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -186,6 +191,10 @@ class ECGraphTrainer:
         self.nac = NeighborAccessController(
             self.runtime, self.workers, self.config.codec_speedup
         )
+        if self.config.faults.enabled:
+            self._injector = FaultInjector(self.config.faults)
+            self.runtime.fault_injector = self._injector
+            self.nac.injector = self._injector
         self._wire_telemetry()
 
         self._global_train_count = int(self.graph.train_mask.sum())
@@ -445,6 +454,11 @@ class ECGraphTrainer:
     def run_epoch(self, t: int) -> EpochResult:
         """One synchronous training iteration (forward + backward)."""
         self.setup()
+        if self._injector is not None:
+            self._injector.start_epoch(t)
+            crashed = self._injector.take_crashes(t)
+            if crashed:
+                self._recover_workers(crashed)
         if self._lr_schedule is not None:
             self.servers.set_learning_rate(self._lr_schedule(t))
         with self.obs.span("epoch", epoch=t):
@@ -454,6 +468,8 @@ class ECGraphTrainer:
             with self.obs.span("backward", epoch=t):
                 self._backward(t)
         breakdown = self.runtime.end_epoch()
+        if self._injector is not None:
+            self._maybe_checkpoint(t)
 
         def _ratio(split: str) -> float:
             correct, count = counters[split]
@@ -475,6 +491,97 @@ class ECGraphTrainer:
             breakdown=breakdown,
             telemetry=telemetry,
         )
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: checkpointed crash recovery
+    # ------------------------------------------------------------------
+    @property
+    def fault_counters(self) -> FaultCounters | None:
+        """Injected-fault and tolerance counters (None when disabled)."""
+        return self._injector.counters if self._injector else None
+
+    def _maybe_checkpoint(self, t: int) -> None:
+        """Auto-checkpoint the server parameters after epoch ``t``."""
+        faults = self.config.faults
+        if (t + 1) % faults.checkpoint_every != 0:
+            return
+        if faults.checkpoint_dir is not None:
+            from repro.core.checkpoint import save_checkpoint
+
+            path = Path(faults.checkpoint_dir) / "latest.npz"
+            save_checkpoint(self, path, epoch=t + 1)
+        self._param_snapshot = (t + 1, self.servers.state_dict())
+
+    def _recover_workers(self, crashed: list[int]) -> None:
+        """Rebuild crashed workers and resynchronize the exchange state.
+
+        The static partition state (adjacency rows, feature shards,
+        request/serve plans) rebuilds from the worker's local storage —
+        charged as ``recovery_seconds`` of stall plus the re-fetch of
+        the first-hop feature cache — while the server-side parameters
+        roll back to the latest checkpoint (``restore_params``) and the
+        error-compensation channel state touching the dead worker is
+        zeroed (``reset_residuals``), restoring the Theorem-1 initial
+        condition ``delta = 0`` for those channels.
+        """
+        faults = self.config.faults
+        counters = self._injector.counters
+        for worker in crashed:
+            counters.crashes += 1
+            if self.obs.enabled:
+                self.obs.metrics.inc("fault_crashes", worker=worker)
+            self.runtime.add_stall(worker, faults.recovery_seconds)
+            state = self.workers[worker]
+            rebuild_halo = (
+                self.config.cache_first_hop
+                and state.halo_features is not None
+            )
+            state.crash_reset(self.params.num_layers)
+            if rebuild_halo:
+                halo = np.zeros(
+                    (state.num_halo, self.graph.feature_dim),
+                    dtype=np.float32,
+                )
+                for owner, slots in state.halo_slots.items():
+                    responder = self.workers[owner]
+                    rows = responder.features[responder.serves[worker]]
+                    halo[slots] = rows
+                    self.runtime.send_worker_to_worker(
+                        owner, worker, rows.nbytes + 16, "recovery"
+                    )
+                state.halo_features = halo
+            if faults.reset_residuals:
+                for policy in (self._fp_policy, self._bp_policy):
+                    invalidate = getattr(policy, "invalidate_worker", None)
+                    if invalidate is not None:
+                        invalidate(worker)
+            self.nac.invalidate_worker(worker)
+        if faults.restore_params and self._restore_latest_checkpoint():
+            counters.params_rolled_back += 1
+            if self.obs.enabled:
+                self.obs.metrics.inc("fault_params_rolled_back")
+
+    def _restore_latest_checkpoint(self) -> bool:
+        """Load the newest parameter checkpoint into the servers."""
+        faults = self.config.faults
+        if faults.checkpoint_dir is not None:
+            from repro.core.checkpoint import CheckpointError, load_checkpoint
+
+            path = Path(faults.checkpoint_dir) / "latest.npz"
+            try:
+                state = load_checkpoint(path)
+            except (FileNotFoundError, CheckpointError):
+                state = None
+            if state is not None:
+                for name, value in state["params"].items():
+                    self.servers.set(name, value)
+                return True
+        if self._param_snapshot is not None:
+            _, params = self._param_snapshot
+            for name, value in params.items():
+                self.servers.set(name, value.copy())
+            return True
+        return False
 
     def train(
         self,

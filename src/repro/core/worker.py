@@ -90,6 +90,18 @@ class WorkerState:
         self.caches = [None] * (num_layers + 1)
         self.grad_rows = [None] * (num_layers + 1)
 
+    def crash_reset(self, num_layers: int) -> None:
+        """Wipe everything a crashed worker loses.
+
+        The static partition state (adjacency rows, feature/label shards,
+        request/serve plans) rebuilds from local storage, but the forward
+        caches, gradient rows and the first-hop halo-feature cache lived
+        in memory only — recovery must refetch the halo features from
+        the owning workers (see ``ECGraphTrainer._recover_workers``).
+        """
+        self.reset_iteration(num_layers)
+        self.halo_features = None
+
 
 def build_worker_states(
     graph: AttributedGraph,

@@ -1,0 +1,35 @@
+"""Fault injection and fault tolerance for the simulated cluster.
+
+* :mod:`repro.faults.config` — :class:`FaultConfig`, the declarative
+  fault schedule hung off ``ECGraphConfig.faults``;
+* :mod:`repro.faults.injector` — the deterministic
+  :class:`FaultInjector` oracle plus :class:`FaultCounters`;
+* :mod:`repro.faults.scenarios` — named chaos recipes for the CLI;
+* :mod:`repro.faults.chaos` — the scenario runner (imported lazily by
+  the CLI, not here, because it depends on :mod:`repro.core`).
+"""
+
+from repro.faults.config import FAULTS_DISABLED, FaultConfig
+from repro.faults.injector import (
+    FATE_CORRUPT,
+    FATE_DELAY,
+    FATE_DROP,
+    FATE_OK,
+    FaultCounters,
+    FaultInjector,
+)
+from repro.faults.scenarios import SCENARIOS, build_scenario, scenario_names
+
+__all__ = [
+    "FAULTS_DISABLED",
+    "FaultConfig",
+    "FATE_CORRUPT",
+    "FATE_DELAY",
+    "FATE_DROP",
+    "FATE_OK",
+    "FaultCounters",
+    "FaultInjector",
+    "SCENARIOS",
+    "build_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,168 @@
+"""Fault-injection configuration.
+
+A :class:`FaultConfig` describes every fault the simulator can inject
+into a training run and the tolerance policy used to survive it. It
+hangs off :class:`~repro.core.config.ECGraphConfig` the same way the
+telemetry :class:`~repro.obs.config.ObsConfig` does: disabled by
+default, and with ``enabled=False`` the whole fault stack is inert —
+training is bit-identical (loss *and* traffic-meter totals) to a build
+without it.
+
+Fault classes:
+
+* **message faults** — every worker-to-worker halo message independently
+  drops, corrupts (detected by checksum, so it behaves like a drop that
+  consumed wire bytes) or arrives late;
+* **stragglers** — chosen workers run slower by a constant factor over
+  an epoch range, stretching the BSP epoch;
+* **parameter-server outages** — during chosen epochs a server is
+  unreachable for a fixed number of attempts per shard message, so every
+  pull/push pays retry bytes and backoff before succeeding (parameters
+  cannot be degraded away, only delayed);
+* **worker crashes** — at chosen epochs a worker dies and is rebuilt
+  from the latest checkpoint (see ``checkpoint_every`` /
+  ``checkpoint_dir``), with the error-compensation channel state
+  resynchronized.
+
+All randomness is derived from ``seed`` with stateless per-message
+draws, so a fault schedule is exactly reproducible and independent of
+iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultConfig", "FAULTS_DISABLED"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault schedule plus tolerance policy for one training run.
+
+    Attributes:
+        enabled: Master switch; False keeps every hot path untouched.
+        seed: Seed for the stateless per-message fate draws.
+        drop_prob: Per-delivery-attempt probability a worker-to-worker
+            message is lost in transit.
+        corrupt_prob: Probability the message arrives but fails its
+            checksum (counted separately; handled like a drop).
+        delay_prob: Probability the message is delivered late.
+        delay_seconds: Stall charged to the requester for a late message.
+        max_retries: Retransmissions after the first failed attempt
+            before the exchange gives up and degrades.
+        backoff_base_s: First retry backoff; doubles per attempt via
+            ``backoff_factor`` (charged as requester stall time).
+        backoff_factor: Exponential backoff multiplier.
+        straggler_workers: Workers slowed by ``straggler_factor``.
+        straggler_factor: Compute-time multiplier for stragglers (>= 1).
+        straggler_epochs: ``(start, stop)`` epoch half-open range the
+            slowdown applies to; None means every epoch.
+        server_outages: ``(epoch, server)`` pairs; during that epoch the
+            server fails ``outage_attempts`` times per shard message.
+        outage_attempts: Failed attempts per shard message in an outage.
+        crash_schedule: ``(epoch, worker)`` pairs; the worker dies just
+            before that epoch runs and is recovered from checkpoint.
+        recovery_seconds: Compute time charged to a recovering worker
+            (process restart + partition state rebuild).
+        checkpoint_every: Auto-checkpoint the server parameters every
+            this many completed epochs (in memory, or on disk when
+            ``checkpoint_dir`` is set).
+        checkpoint_dir: Directory for real ``.npz`` checkpoints; None
+            keeps snapshots in memory only.
+        restore_params: On crash recovery, roll parameters back to the
+            latest checkpoint (False keeps the live server copies, which
+            models crash-tolerant servers that survived the worker).
+        reset_residuals: Zero the ReqEC/ResEC channel state touching the
+            crashed worker (True, the safe default) instead of keeping
+            the survivor-side state as-is.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    # Message-level faults (worker-to-worker halo exchange).
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_seconds: float = 0.05
+    # Retry policy.
+    max_retries: int = 3
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    # Stragglers.
+    straggler_workers: tuple[int, ...] = ()
+    straggler_factor: float = 1.0
+    straggler_epochs: tuple[int, int] | None = None
+    # Parameter-server outages.
+    server_outages: tuple[tuple[int, int], ...] = ()
+    outage_attempts: int = 2
+    # Worker crashes + checkpointed recovery.
+    crash_schedule: tuple[tuple[int, int], ...] = ()
+    recovery_seconds: float = 1.0
+    checkpoint_every: int = 1
+    checkpoint_dir: str | None = None
+    restore_params: bool = True
+    reset_residuals: bool = True
+
+    def __post_init__(self):
+        for name in ("drop_prob", "corrupt_prob", "delay_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.drop_prob + self.corrupt_prob + self.delay_prob > 1.0:
+            raise ValueError(
+                "drop_prob + corrupt_prob + delay_prob must not exceed 1"
+            )
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if any(w < 0 for w in self.straggler_workers):
+            raise ValueError("straggler worker ids must be non-negative")
+        if self.straggler_epochs is not None:
+            start, stop = self.straggler_epochs
+            if start < 0 or stop < start:
+                raise ValueError(
+                    "straggler_epochs must be a (start, stop) range with "
+                    "0 <= start <= stop"
+                )
+        if self.outage_attempts < 1:
+            raise ValueError("outage_attempts must be >= 1")
+        for epoch, server in self.server_outages:
+            if epoch < 0 or server < 0:
+                raise ValueError("server_outages entries must be non-negative")
+        for epoch, worker in self.crash_schedule:
+            if epoch < 0 or worker < 0:
+                raise ValueError("crash_schedule entries must be non-negative")
+        if self.recovery_seconds < 0:
+            raise ValueError("recovery_seconds must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+    @property
+    def any_message_faults(self) -> bool:
+        """True when at least one message-fate probability is nonzero."""
+        return (self.drop_prob + self.corrupt_prob + self.delay_prob) > 0.0
+
+    @staticmethod
+    def from_dict(fields: dict) -> "FaultConfig":
+        """Rebuild from a JSON round-trip (lists became tuples again)."""
+        fields = dict(fields)
+        for name in ("straggler_workers",):
+            if name in fields and fields[name] is not None:
+                fields[name] = tuple(fields[name])
+        if fields.get("straggler_epochs") is not None:
+            fields["straggler_epochs"] = tuple(fields["straggler_epochs"])
+        for name in ("server_outages", "crash_schedule"):
+            if name in fields and fields[name] is not None:
+                fields[name] = tuple(tuple(pair) for pair in fields[name])
+        return FaultConfig(**fields)
+
+
+FAULTS_DISABLED = FaultConfig()

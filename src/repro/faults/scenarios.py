@@ -1,0 +1,102 @@
+"""Named chaos scenarios for the ``repro chaos`` CLI and tests.
+
+Each scenario is a recipe turning ``(num_epochs, num_workers, seed)``
+into a concrete :class:`~repro.faults.config.FaultConfig`, so the same
+names work across datasets and cluster sizes. This module deliberately
+imports nothing from :mod:`repro.core` — the runner that trains with a
+scenario lives in :mod:`repro.faults.chaos`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.config import FaultConfig
+
+__all__ = ["SCENARIOS", "scenario_names", "build_scenario"]
+
+
+def _drops(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """5% of halo messages vanish; retries + stale-halo degradation."""
+    del epochs, workers
+    return FaultConfig(enabled=True, seed=seed, drop_prob=0.05)
+
+
+def _lossy(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """Drops, checksum failures and late deliveries together."""
+    del epochs, workers
+    return FaultConfig(
+        enabled=True, seed=seed,
+        drop_prob=0.04, corrupt_prob=0.03, delay_prob=0.05,
+        delay_seconds=0.02,
+    )
+
+
+def _stragglers(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """The last worker runs 4x slower over the middle half of the run."""
+    slow = max(workers - 1, 0)
+    start, stop = epochs // 4, max(epochs // 4 + epochs // 2, 1)
+    return FaultConfig(
+        enabled=True, seed=seed,
+        straggler_workers=(slow,), straggler_factor=4.0,
+        straggler_epochs=(start, stop),
+    )
+
+
+def _outage(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """Parameter server 0 is unreachable for two mid-run epochs."""
+    del workers
+    mid = max(epochs // 2, 1)
+    return FaultConfig(
+        enabled=True, seed=seed,
+        server_outages=((mid - 1, 0), (mid, 0)),
+    )
+
+
+def _crash(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """One worker dies mid-run and recovers from the latest checkpoint."""
+    victim = min(1, workers - 1)
+    return FaultConfig(
+        enabled=True, seed=seed,
+        crash_schedule=((max(epochs // 2, 1), victim),),
+        checkpoint_every=1,
+    )
+
+
+def _mixed(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """The acceptance scenario: 5% drops plus one worker crash."""
+    victim = min(1, workers - 1)
+    return FaultConfig(
+        enabled=True, seed=seed,
+        drop_prob=0.05,
+        crash_schedule=((max(epochs // 2, 1), victim),),
+        checkpoint_every=1,
+    )
+
+
+SCENARIOS = {
+    "drops": _drops,
+    "lossy": _lossy,
+    "stragglers": _stragglers,
+    "outage": _outage,
+    "crash": _crash,
+    "mixed": _mixed,
+}
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+def build_scenario(
+    name: str, num_epochs: int, num_workers: int, seed: int = 0
+) -> FaultConfig:
+    """Instantiate a named scenario for a concrete run shape."""
+    try:
+        recipe = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    if num_epochs < 1:
+        raise ValueError("num_epochs must be >= 1")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    return recipe(num_epochs, num_workers, seed)

@@ -24,6 +24,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--profile", "huge", "datasets"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "mixed"
+        assert args.max_accuracy_gap == pytest.approx(0.02)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "meteor-strike"])
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -76,3 +85,50 @@ class TestCommands:
         report = json.loads((tmp_path / "telemetry.json").read_text())
         assert report["metrics"]["scope"] == "total"
         assert (tmp_path / "spans.jsonl").exists()
+
+    def test_chaos_smoke(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "chaos.json"
+        code = main([
+            "chaos", "--smoke", "--workers", "2",
+            "--json-out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "survived" in out
+        assert "Faults injected" in out
+        report = json.loads(out_path.read_text())
+        assert report["survived"] is True
+        assert report["completed_epochs"] == report["scheduled_epochs"]
+        assert report["counters"]["crashes"] == 1
+
+
+class TestOperationalErrors:
+    def test_invalid_config_value_one_line_error(self, capsys):
+        code = main([
+            "--profile", "tiny", "train", "--dataset", "cora",
+            "--workers", "2", "--epochs", "2", "--layers", "0",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_missing_path_one_line_error(self, capsys, tmp_path, monkeypatch):
+        # A missing dataset/checkpoint path surfaces as FileNotFoundError
+        # from inside a command; main() must turn it into one line.
+        import repro.__main__ as cli
+
+        def explode(*args, **kwargs):
+            raise FileNotFoundError(
+                f"checkpoint not found: {tmp_path / 'nope.npz'}"
+            )
+
+        monkeypatch.setattr(cli, "load_dataset", explode)
+        code = cli.main(["--profile", "tiny", "train", "--epochs", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: checkpoint not found")
+        assert "Traceback" not in err

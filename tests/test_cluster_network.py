@@ -50,6 +50,17 @@ class TestNetworkModel:
         with pytest.raises(ValueError):
             net.bandwidth_seconds(-1)
 
+    def test_loss_detection_timeout(self):
+        net = NetworkModel(
+            bandwidth_bytes_per_s=100.0, latency_s=0.01, timeout_factor=4.0
+        )
+        # 4 x (transfer(500) + ack latency) = 4 x (5.0 + 0.01 + 0.01)
+        assert net.loss_detection_seconds(500) == pytest.approx(4.0 * 5.02)
+
+    def test_timeout_factor_validated(self):
+        with pytest.raises(ValueError):
+            NetworkModel(timeout_factor=0.5)
+
 
 class TestTrafficMeter:
     def test_intra_machine_free(self):

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.cluster.topology import ClusterSpec
-from repro.core.checkpoint import load_checkpoint, restore_trainer, save_checkpoint
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_trainer,
+    save_checkpoint,
+)
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.trainer import ECGraphTrainer
 
@@ -92,3 +97,68 @@ class TestErrors:
         np.savez_compressed(path, **payload)
         with pytest.raises(ValueError, match="version"):
             load_checkpoint(path)
+
+    def test_truncated_file_raises_checkpoint_error(
+        self, small_graph, tmp_path
+    ):
+        trainer = _trainer(small_graph)
+        trainer.run_epoch(0)
+        path = tmp_path / "trunc.npz"
+        save_checkpoint(trainer, path, epoch=1)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(path)
+
+    def test_missing_entries_raise_checkpoint_error(
+        self, small_graph, tmp_path
+    ):
+        trainer = _trainer(small_graph)
+        trainer.run_epoch(0)
+        path = tmp_path / "partial.npz"
+        save_checkpoint(trainer, path, epoch=1)
+        with np.load(path) as archive:
+            payload = {
+                k: archive[k] for k in archive.files if k != "param_names"
+            }
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointError, match=str(path)):
+            load_checkpoint(path)
+
+    def test_checkpoint_error_is_a_value_error(self):
+        assert issubclass(CheckpointError, ValueError)
+
+
+class TestAtomicSave:
+    def test_failed_save_preserves_previous_checkpoint(
+        self, small_graph, tmp_path, monkeypatch
+    ):
+        trainer = _trainer(small_graph)
+        trainer.run_epoch(0)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path, epoch=1)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(trainer, path, epoch=2)
+        # The old checkpoint survives byte-for-byte; no temp litter.
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert load_checkpoint(path)["epoch"] == 1
+
+    def test_no_temp_files_left_on_success(self, small_graph, tmp_path):
+        trainer = _trainer(small_graph)
+        trainer.run_epoch(0)
+        path = tmp_path / "clean.npz"
+        save_checkpoint(trainer, path, epoch=1)
+        assert list(tmp_path.iterdir()) == [path]

@@ -3,15 +3,20 @@
 Degenerate inputs a production system must survive: isolated vertices,
 disconnected components, workers with empty halos, single-class labels
 in a worker's shard, extreme bit widths, graphs smaller than the
-cluster.
+cluster — plus the chaos suite: injected message drops, corruption,
+delays, stragglers, parameter-server outages and worker crashes with
+checkpointed recovery.
 """
 
 import numpy as np
 import pytest
 
+from repro.cluster.engine import ClusterRuntime
 from repro.cluster.topology import ClusterSpec
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.trainer import ECGraphTrainer
+from repro.faults import FaultConfig, FaultInjector
+from repro.faults.chaos import run_chaos
 from repro.graph.attributed import AttributedGraph
 from repro.graph.csr import from_edge_list
 from repro.graph.generators import GraphSpec, generate_graph
@@ -168,3 +173,260 @@ class TestExtremeSettings:
         graph = _graph_from_edges(edges, 12)
         run = _train(graph, workers=6)
         assert np.isfinite(run.epochs[-1].loss)
+
+
+def _fault_train(graph, faults, epochs=12, workers=3, **config_overrides):
+    """Train with a FaultConfig; returns (trainer, run)."""
+    config = ECGraphConfig(faults=faults, **config_overrides)
+    trainer = ECGraphTrainer(
+        graph, ModelConfig(num_layers=2, hidden_dim=8),
+        ClusterSpec(num_workers=workers), config,
+    )
+    return trainer, trainer.train(epochs)
+
+
+class TestFaultConfig:
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(enabled=True, drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(enabled=True, drop_prob=0.6, corrupt_prob=0.6)
+        with pytest.raises(ValueError):
+            FaultConfig(enabled=True, max_retries=-1)
+
+    def test_injector_requires_enabled_config(self):
+        with pytest.raises(ValueError, match="enabled"):
+            FaultInjector(FaultConfig())
+
+    def test_json_round_trip(self):
+        import dataclasses
+        import json
+
+        faults = FaultConfig(
+            enabled=True, drop_prob=0.1, straggler_workers=(2,),
+            straggler_epochs=(3, 7), server_outages=((4, 0),),
+            crash_schedule=((5, 1),),
+        )
+        revived = FaultConfig.from_dict(
+            json.loads(json.dumps(dataclasses.asdict(faults)))
+        )
+        assert revived == faults
+
+
+class TestChaosFaultsDisabled:
+    def test_disabled_run_bit_identical(self, small_graph):
+        """The fault machinery must be invisible when faults are off.
+
+        An enabled-but-all-zero FaultConfig routes every message through
+        the injector's fast path; the loss curve AND the traffic meter
+        must match the plain default run exactly.
+        """
+        _, base = _fault_train(small_graph, FaultConfig())
+        _, noop = _fault_train(small_graph, FaultConfig(enabled=True))
+        assert [e.loss for e in base.epochs] == [e.loss for e in noop.epochs]
+        assert base.total_bytes() == noop.total_bytes()
+        assert [e.breakdown.comm_seconds for e in base.epochs] == [
+            e.breakdown.comm_seconds for e in noop.epochs
+        ]
+
+    def test_disabled_trainer_has_no_injector(self, small_graph):
+        trainer, _ = _fault_train(small_graph, FaultConfig(), epochs=1)
+        assert trainer.fault_counters is None
+        assert trainer.nac.injector is None
+
+
+class TestChaosMessageFaults:
+    def test_drops_are_retried_and_survived(self, small_graph):
+        trainer, run = _fault_train(
+            small_graph, FaultConfig(enabled=True, drop_prob=0.2),
+        )
+        counters = trainer.fault_counters
+        assert counters.drops > 0
+        assert counters.retries > 0
+        assert counters.retry_bytes > 0
+        assert counters.extra_seconds > 0  # backoff stalls were charged
+        assert np.isfinite(run.epochs[-1].loss)
+
+    def test_retry_bytes_hit_the_meter(self, small_graph):
+        _, clean = _fault_train(small_graph, FaultConfig())
+        trainer, faulty = _fault_train(
+            small_graph, FaultConfig(enabled=True, drop_prob=0.2),
+        )
+        assert trainer.fault_counters.retries > 0
+        assert faulty.total_bytes() > clean.total_bytes()
+
+    def test_corruption_and_delay(self, small_graph):
+        trainer, run = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, corrupt_prob=0.15, delay_prob=0.2,
+                        delay_seconds=0.01),
+        )
+        counters = trainer.fault_counters
+        assert counters.corruptions > 0
+        assert counters.delays > 0
+        assert counters.extra_seconds > 0
+        assert np.isfinite(run.epochs[-1].loss)
+
+    def test_exhausted_retries_degrade_not_crash(self, small_graph):
+        """With retries off, every drop must degrade gracefully."""
+        trainer, run = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, drop_prob=0.25, max_retries=0),
+            epochs=15,
+        )
+        counters = trainer.fault_counters
+        assert counters.retries == 0
+        assert counters.degraded == counters.drops > 0
+        # All three degradation tiers and the ResEC-BP residual fold
+        # should fire at this drop rate.
+        assert counters.degraded_predicted > 0  # ReqEC trend fallback
+        assert counters.degraded_cached > 0     # stale-halo cache
+        assert counters.residual_compensations > 0
+        assert np.isfinite(run.epochs[-1].loss)
+
+    def test_fault_schedule_is_deterministic(self, small_graph):
+        faults = FaultConfig(enabled=True, drop_prob=0.1, delay_prob=0.1)
+        t1, r1 = _fault_train(small_graph, faults)
+        t2, r2 = _fault_train(small_graph, faults)
+        assert t1.fault_counters.as_dict() == t2.fault_counters.as_dict()
+        assert [e.loss for e in r1.epochs] == [e.loss for e in r2.epochs]
+
+
+class TestChaosStragglersAndOutages:
+    def test_straggler_scales_compute(self):
+        spec = ClusterSpec(num_workers=2)
+        slow = ClusterRuntime(spec)
+        slow.fault_injector = FaultInjector(FaultConfig(
+            enabled=True, straggler_workers=(0,), straggler_factor=4.0,
+        ))
+        slow.add_compute(0, 1.0)
+        fast = ClusterRuntime(spec)
+        fast.add_compute(0, 1.0)
+        assert slow.end_epoch().compute_seconds == pytest.approx(
+            4.0 * fast.end_epoch().compute_seconds
+        )
+
+    def test_straggler_epoch_window(self):
+        injector = FaultInjector(FaultConfig(
+            enabled=True, straggler_workers=(1,), straggler_factor=3.0,
+            straggler_epochs=(2, 4),
+        ))
+        scales = []
+        for epoch in range(6):
+            injector.start_epoch(epoch)
+            scales.append(injector.compute_scale(1))
+        assert scales == [1.0, 1.0, 3.0, 3.0, 1.0, 1.0]
+        assert injector.compute_scale(0) == 1.0
+
+    def test_stall_not_scaled_by_straggler(self):
+        runtime = ClusterRuntime(ClusterSpec(num_workers=2))
+        runtime.fault_injector = FaultInjector(FaultConfig(
+            enabled=True, straggler_workers=(0,), straggler_factor=4.0,
+        ))
+        runtime.add_stall(0, 0.5)
+        assert runtime.end_epoch().compute_seconds == pytest.approx(0.5)
+        assert runtime.fault_injector.counters.extra_seconds == 0.5
+
+    def test_parameter_server_outage_retries(self, small_graph):
+        trainer, run = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, server_outages=((2, 0), (3, 0)),
+                        outage_attempts=2),
+            epochs=6,
+        )
+        counters = trainer.fault_counters
+        assert counters.ps_retries > 0
+        assert counters.retry_bytes > 0
+        assert np.isfinite(run.epochs[-1].loss)
+
+    def test_outage_slows_but_preserves_math(self, small_graph):
+        """An outage only delays: parameter values must be unaffected."""
+        _, clean = _fault_train(small_graph, FaultConfig(), epochs=6)
+        _, outage = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, server_outages=((2, 0),)),
+            epochs=6,
+        )
+        assert [e.loss for e in clean.epochs] == [
+            e.loss for e in outage.epochs
+        ]
+        assert outage.total_bytes() > clean.total_bytes()
+
+
+class TestChaosCrashRecovery:
+    def test_crash_recovers_within_one_epoch(self, small_graph):
+        crash_at = 6
+        trainer, run = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, crash_schedule=((crash_at, 1),),
+                        checkpoint_every=1),
+        )
+        counters = trainer.fault_counters
+        assert counters.crashes == 1
+        assert counters.params_rolled_back == 1
+        losses = [e.loss for e in run.epochs]
+        # Rollback restored the end-of-previous-epoch parameters, so the
+        # post-crash epoch must resume within one epoch of the pre-crash
+        # loss rather than restarting from scratch.
+        assert losses[crash_at] <= losses[crash_at - 1] + 1e-3
+        assert losses[-1] < losses[0]
+
+    def test_crash_recovery_from_disk_checkpoint(self, small_graph, tmp_path):
+        trainer, run = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, crash_schedule=((5, 0),),
+                        checkpoint_every=1, checkpoint_dir=str(tmp_path)),
+        )
+        assert (tmp_path / "latest.npz").exists()
+        assert trainer.fault_counters.params_rolled_back == 1
+        assert np.isfinite(run.epochs[-1].loss)
+
+    def test_crash_charges_recovery_cost(self, small_graph):
+        _, clean = _fault_train(small_graph, FaultConfig(), epochs=8)
+        trainer, faulty = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, crash_schedule=((4, 1),),
+                        recovery_seconds=2.0),
+            epochs=8,
+        )
+        assert trainer.fault_counters.extra_seconds >= 2.0
+        # The rebuilt worker refetches its halo features.
+        assert faulty.total_bytes() > clean.total_bytes()
+
+    def test_crash_consumed_once(self):
+        injector = FaultInjector(FaultConfig(
+            enabled=True, crash_schedule=((3, 0), (3, 2)),
+        ))
+        assert injector.take_crashes(3) == [0, 2]
+        assert injector.take_crashes(3) == []
+        assert injector.take_crashes(4) == []
+
+    def test_crash_rebuilds_halo_feature_cache(self, small_graph):
+        """A crash wipes the first-hop cache; recovery refetches it."""
+        trainer, _ = _fault_train(
+            small_graph,
+            FaultConfig(enabled=True, crash_schedule=((4, 1),)),
+            epochs=6,
+        )
+        state = trainer.workers[1]
+        before = np.array(state.halo_features, copy=True)
+        bytes_before = trainer.runtime.meter.total_bytes
+        trainer._recover_workers([1])
+        # The cache was wiped and refetched: same values, new traffic.
+        np.testing.assert_array_equal(state.halo_features, before)
+        assert state.halo_features is not before
+        assert trainer.runtime.meter.total_bytes > bytes_before
+
+
+class TestChaosAcceptance:
+    def test_mixed_scenario_survives_within_two_points(self, small_graph):
+        """ISSUE acceptance: 5% drops + one worker crash must complete
+        every epoch with final accuracy within 2 points of fault-free."""
+        report = run_chaos(
+            small_graph, "mixed", num_workers=3, num_epochs=20, seed=0,
+        )
+        assert report.survived
+        assert report.counters.faults_injected > 0
+        assert report.counters.crashes == 1
+        assert report.accuracy_gap <= 0.02
+        assert report.slowdown >= 1.0
