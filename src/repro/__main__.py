@@ -8,7 +8,10 @@ Commands:
 * ``partition`` — partition a dataset and print quality statistics;
 * ``trace``    — run with telemetry enabled and export trace + metrics;
 * ``chaos``    — train under an injected fault scenario and report how
-  the tolerance machinery held up against the fault-free twin.
+  the tolerance machinery held up against the fault-free twin;
+* ``bench``    — time the codec micro-kernels, a halo exchange and a
+  training epoch; write ``BENCH_core.json`` and optionally gate on a
+  committed baseline (``--compare``).
 
 Operational errors (bad config values, missing dataset paths, corrupt
 checkpoints) exit non-zero with a one-line message instead of a
@@ -247,6 +250,62 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_reports, load_report, parse_percent, run_bench, write_report,
+    )
+
+    max_regress = parse_percent(args.max_regress)
+    print(f"running bench suites ({'smoke' if args.smoke else 'full'}) ...",
+          file=sys.stderr)
+    report = run_bench(smoke=args.smoke)
+
+    rows = [
+        [name,
+         f"{stats['ns_per_element']:.2f}",
+         f"{stats['reference_ns_per_element']:.2f}",
+         f"{stats['speedup_vs_reference']:.1f}x"]
+        for name, stats in sorted(report["kernels"].items())
+    ]
+    print(format_table(
+        ["kernel", "ns/elem", "reference ns/elem", "speedup"],
+        rows, title="Codec micro-kernels",
+    ))
+    exchange = report["exchange"]
+    epoch = report["epoch"]
+    print(format_table(
+        ["suite", "sequential", "pooled", "threaded"],
+        [["halo exchange",
+          f"{exchange['sequential_seconds'] * 1e3:.2f}ms",
+          f"{exchange['pooled_seconds'] * 1e3:.2f}ms",
+          f"{exchange['threaded_seconds'] * 1e3:.2f}ms"]],
+    ))
+    print(format_table(
+        ["suite", "old codec", "default", "pool+threads", "codec speedup"],
+        [["epoch wall time",
+          f"{epoch['reference_codec_seconds'] * 1e3:.1f}ms",
+          f"{epoch['default_seconds'] * 1e3:.1f}ms",
+          f"{epoch['optimized_seconds'] * 1e3:.1f}ms",
+          f"{epoch.get('speedup_vs_reference_codec', 0):.2f}x"]],
+    ))
+
+    path = write_report(report, args.out)
+    print(f"\nwrote {path}")
+
+    if args.compare:
+        baseline = load_report(args.compare)
+        regressions = compare_reports(report, baseline, max_regress)
+        if regressions:
+            print(f"FAIL: {len(regressions)} kernel(s) regressed vs "
+                  f"{args.compare}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no kernel regressed more than {args.max_regress} vs "
+              f"{args.compare}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -332,6 +391,20 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="tiny profile, <=8 epochs (CI smoke test)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="performance suites: codec kernels, exchange, epoch"
+    )
+    bench.add_argument("--out", default="BENCH_core.json",
+                       help="report path (default: BENCH_core.json)")
+    bench.add_argument("--compare", default=None,
+                       help="baseline report to gate kernel timings against")
+    bench.add_argument("--max-regress", default="15%",
+                       help="fail --compare when a kernel's ns/element "
+                            "grows more than this (default: 15%%)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="small sizes, few repeats (CI smoke test)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,22 @@
+"""Performance harness: codec micro-kernels, halo exchange, full epochs.
+
+``python -m repro bench`` runs the suites and writes ``BENCH_core.json``
+(per-kernel ns/element plus measured epoch seconds); ``--compare``
+gates CI on a committed baseline. See ``docs/performance.md``.
+"""
+
+from repro.bench.harness import (
+    compare_reports,
+    load_report,
+    parse_percent,
+    write_report,
+)
+from repro.bench.suites import run_bench
+
+__all__ = [
+    "compare_reports",
+    "load_report",
+    "parse_percent",
+    "run_bench",
+    "write_report",
+]

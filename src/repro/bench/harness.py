@@ -1,0 +1,117 @@
+"""Timing, report I/O and baseline comparison for the bench suites.
+
+Reports are plain JSON (``BENCH_core.json`` at the repo root):
+
+* ``kernels`` — per micro-kernel ``ns_per_element`` (best-of-repeats),
+  plus the reference kernel's time and the resulting speedup where a
+  reference exists;
+* ``exchange`` / ``epoch`` — measured wall seconds for the macro suites.
+
+:func:`compare_reports` gates CI: every kernel present in both the
+current report and the baseline must be no more than ``max_regress``
+slower (ratio on ``ns_per_element``). Macro timings are reported but
+not gated — they wander too much across machines to be a useful tripwire.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable
+
+__all__ = [
+    "SCHEMA",
+    "best_seconds",
+    "parse_percent",
+    "write_report",
+    "load_report",
+    "compare_reports",
+]
+
+SCHEMA = "ecgraph-bench/1"
+
+
+def best_seconds(
+    fn: Callable[[], object], repeats: int = 5, inner: int = 1
+) -> float:
+    """Best wall time of ``fn`` over ``repeats`` runs of ``inner`` calls.
+
+    Best-of (not mean) is the standard micro-benchmark estimator: every
+    slowdown source — scheduler preemption, cache eviction, GC — is
+    additive noise, so the minimum is the closest observable to the
+    kernel's true cost.
+    """
+    if repeats < 1 or inner < 1:
+        raise ValueError("repeats and inner must be >= 1")
+    fn()  # warm-up: first call pays allocator / code-path setup costs
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def parse_percent(text: str) -> float:
+    """``"15%"`` or ``"15"`` -> 0.15; used by ``--max-regress``."""
+    cleaned = text.strip()
+    if cleaned.endswith("%"):
+        cleaned = cleaned[:-1]
+    try:
+        value = float(cleaned)
+    except ValueError:
+        raise ValueError(f"cannot parse percentage {text!r}") from None
+    if value < 0:
+        raise ValueError(f"percentage must be non-negative, got {text!r}")
+    return value / 100.0
+
+
+def write_report(report: dict, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | pathlib.Path) -> dict:
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"bench report {path} does not exist")
+    report = json.loads(path.read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path} is not a bench report (schema "
+            f"{report.get('schema')!r}, expected {SCHEMA!r})"
+        )
+    return report
+
+
+def compare_reports(
+    current: dict, baseline: dict, max_regress: float
+) -> list[str]:
+    """Kernel-level regressions of ``current`` against ``baseline``.
+
+    Returns one human-readable line per kernel whose ``ns_per_element``
+    grew by more than ``max_regress`` (a fraction: 0.15 = 15%). Kernels
+    present on only one side are skipped — suites may grow between
+    baselines, and a stale baseline shouldn't fail on new kernels.
+    """
+    regressions = []
+    base_kernels = baseline.get("kernels", {})
+    for name, stats in sorted(current.get("kernels", {}).items()):
+        base = base_kernels.get(name)
+        if base is None:
+            continue
+        cur_ns = stats.get("ns_per_element")
+        base_ns = base.get("ns_per_element")
+        if not cur_ns or not base_ns:
+            continue
+        ratio = cur_ns / base_ns - 1.0
+        if ratio > max_regress:
+            regressions.append(
+                f"{name}: {cur_ns:.2f} ns/element vs baseline "
+                f"{base_ns:.2f} (+{ratio:.0%}, limit {max_regress:.0%})"
+            )
+    return regressions

@@ -1,0 +1,49 @@
+"""Reference bit-packing kernels, kept for benchmarks and cross-checks.
+
+These are the original implementations of
+:func:`repro.compression.quantization.pack_bits` /
+:func:`~repro.compression.quantization.unpack_bits`: they expand every
+value into an ``(n, bits)`` bit matrix and let numpy's ``packbits`` /
+a matrix-vector product do the rest. Correct and obvious, but the
+intermediate bit matrix costs ``8x`` the packed size in memory traffic,
+which made them the hottest kernels in a training step.
+
+The production kernels compute the same little-endian-bit-first layout
+arithmetically. Tests assert byte-identical output against these
+references for every width, and the bench suite reports the speedup
+per width (``BENCH_core.json``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits_reference", "unpack_bits_reference"]
+
+
+def pack_bits_reference(values: np.ndarray, bits: int) -> np.ndarray:
+    """Original bit-matrix ``pack_bits``; layout-identical, slower."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    flat = np.ascontiguousarray(values, dtype=np.uint32).ravel()
+    if flat.size and int(flat.max()) >= (1 << bits):
+        raise ValueError(f"value {int(flat.max())} does not fit in {bits} bits")
+    shifts = np.arange(bits, dtype=np.uint32)
+    bit_matrix = ((flat[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel(), bitorder="little")
+
+
+def unpack_bits_reference(
+    buffer: np.ndarray, bits: int, count: int
+) -> np.ndarray:
+    """Original bit-matrix ``unpack_bits``; layout-identical, slower."""
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    raw = np.unpackbits(
+        np.ascontiguousarray(buffer, dtype=np.uint8),
+        count=count * bits,
+        bitorder="little",
+    )
+    bit_matrix = raw.reshape(count, bits).astype(np.uint32)
+    powers = (np.uint32(1) << np.arange(bits, dtype=np.uint32))
+    return bit_matrix @ powers

@@ -1,0 +1,194 @@
+"""The bench suites: codec micro-kernels, halo exchange, full epochs.
+
+Three levels of the same hot path, so a regression can be localized:
+
+* ``kernels`` — ``pack_bits`` / ``unpack_bits`` per bit width, new
+  kernels against the bit-matrix references
+  (:mod:`repro.bench.reference`), in ns/element;
+* ``exchange`` — one full NAC halo exchange under ``CompressPolicy``,
+  sequential vs buffer-pooled vs thread-pooled;
+* ``epoch`` — wall seconds of ``ECGraphTrainer.run_epoch`` with the
+  default config vs the pooled+threaded config.
+
+Timing samples are funnelled through a
+:class:`~repro.obs.registry.MetricsRegistry` so the report carries the
+same summary-stat shape (count/mean/min/max) as the telemetry exports.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import SCHEMA, best_seconds
+from repro.bench.reference import pack_bits_reference, unpack_bits_reference
+from repro.cluster.engine import ClusterRuntime
+from repro.cluster.topology import ClusterSpec
+from repro.compression.quantization import pack_bits, unpack_bits
+from repro.core.nac import NeighborAccessController
+from repro.core.policies import CompressPolicy
+from repro.core.worker import build_worker_states
+from repro.graph.datasets import load_dataset
+from repro.graph.normalize import gcn_normalize
+from repro.obs.registry import MetricsRegistry
+from repro.partition.hashing import HashPartitioner
+
+__all__ = ["run_bench", "bench_codec", "bench_exchange", "bench_epoch"]
+
+_SMOKE = dict(elements=20_000, widths=(2, 4, 8), repeats=3,
+              profile="tiny", epochs=2, exchange_repeats=3)
+_FULL = dict(elements=400_000, widths=(1, 2, 3, 4, 8, 16), repeats=9,
+             profile="bench", epochs=3, exchange_repeats=5)
+
+
+def bench_codec(params: dict, metrics: MetricsRegistry) -> dict:
+    """Time pack/unpack per width, new kernels vs references."""
+    kernels: dict[str, dict] = {}
+    rng = np.random.default_rng(7)
+    n = params["elements"]
+    for bits in params["widths"]:
+        ids = rng.integers(0, 1 << bits, size=n, dtype=np.uint32)
+        packed = pack_bits(ids, bits)
+        cases = {
+            f"pack_bits[bits={bits}]": (
+                lambda ids=ids, bits=bits: pack_bits(ids, bits),
+                lambda ids=ids, bits=bits: pack_bits_reference(ids, bits),
+            ),
+            f"unpack_bits[bits={bits}]": (
+                lambda packed=packed, bits=bits: unpack_bits(packed, bits, n),
+                lambda packed=packed, bits=bits: (
+                    unpack_bits_reference(packed, bits, n)
+                ),
+            ),
+        }
+        for name, (new, reference) in cases.items():
+            new_s = best_seconds(new, repeats=params["repeats"])
+            ref_s = best_seconds(reference, repeats=params["repeats"])
+            entry = {
+                "ns_per_element": new_s / n * 1e9,
+                "reference_ns_per_element": ref_s / n * 1e9,
+                "speedup_vs_reference": ref_s / new_s if new_s > 0 else 0.0,
+            }
+            kernels[name] = entry
+            metrics.observe("bench_kernel_ns", entry["ns_per_element"],
+                            kernel=name)
+    return kernels
+
+
+def _make_nac(buffer_pool: bool, threads: int):
+    graph = load_dataset("cora", profile="tiny", seed=3)
+    normalized = gcn_normalize(graph.adjacency)
+    partition = HashPartitioner().partition(graph.adjacency, 3)
+    workers = build_worker_states(graph, normalized, partition)
+    runtime = ClusterRuntime(ClusterSpec(num_workers=3))
+    nac = NeighborAccessController(
+        runtime, workers, buffer_pool=buffer_pool, threads=threads
+    )
+    return workers, nac
+
+
+def bench_exchange(params: dict, metrics: MetricsRegistry) -> dict:
+    """One full halo exchange: plain vs pooled vs pooled+threaded."""
+    dim = 32
+    results = {}
+    for name, (pool, threads) in {
+        "sequential": (False, 0),
+        "pooled": (True, 0),
+        "threaded": (True, 4),
+    }.items():
+        workers, nac = _make_nac(pool, threads)
+        rng = np.random.default_rng(11)
+        values = [rng.random((s.num_local, dim)).astype(np.float32)
+                  for s in workers]
+        policy = CompressPolicy(bits=4)
+
+        def one_exchange():
+            nac.exchange(
+                layer=1, t=0, rows_of=lambda s: values[s.worker_id],
+                policy=policy, category="fp_embeddings", dim=dim,
+            )
+
+        seconds = best_seconds(
+            one_exchange, repeats=params["exchange_repeats"]
+        )
+        nac.close()
+        results[f"{name}_seconds"] = seconds
+        metrics.observe("bench_exchange_seconds", seconds, variant=name)
+    return results
+
+
+def _epoch_seconds(graph, overrides: dict, epochs: int) -> float:
+    from repro.cluster import ClusterSpec as ApiClusterSpec
+    from repro.core import ECGraphTrainer, ModelConfig
+    from repro.core.config import ECGraphConfig
+
+    trainer = ECGraphTrainer(
+        graph, ModelConfig(num_layers=2, hidden_dim=32),
+        ApiClusterSpec(num_workers=3), ECGraphConfig(**overrides),
+    )
+    trainer.setup()
+    trainer.run_epoch(0)  # warm-up epoch: caches, first-hop reuse
+    start = time.perf_counter()
+    for t in range(1, epochs + 1):
+        trainer.run_epoch(t)
+    seconds = (time.perf_counter() - start) / epochs
+    if trainer.nac is not None:
+        trainer.nac.close()
+    return seconds
+
+
+def bench_epoch(params: dict, metrics: MetricsRegistry) -> dict:
+    """Measured (not modelled) wall seconds per training epoch.
+
+    ``reference_codec`` runs the same trainer with the old bit-matrix
+    pack/unpack kernels swapped back in — the true "before" of the
+    codec rewrite, on identical everything else. ``default`` is the
+    shipped configuration; ``optimized`` adds the buffer pool and the
+    thread fan-out (which only pays off with spare cores).
+    """
+    from repro.compression import quantization
+
+    graph = load_dataset("cora", profile=params["profile"], seed=3)
+    epochs = params["epochs"]
+    results = {}
+
+    originals = (quantization.pack_bits, quantization.unpack_bits)
+    quantization.pack_bits = pack_bits_reference
+    quantization.unpack_bits = unpack_bits_reference
+    try:
+        results["reference_codec_seconds"] = _epoch_seconds(graph, {}, epochs)
+    finally:
+        quantization.pack_bits, quantization.unpack_bits = originals
+
+    results["default_seconds"] = _epoch_seconds(graph, {}, epochs)
+    results["optimized_seconds"] = _epoch_seconds(
+        graph, {"halo_buffer_pool": True, "exchange_threads": 4}, epochs
+    )
+    for variant in ("reference_codec", "default", "optimized"):
+        metrics.observe("bench_epoch_seconds",
+                        results[f"{variant}_seconds"], variant=variant)
+    if results["default_seconds"] > 0:
+        results["speedup_vs_reference_codec"] = (
+            results["reference_codec_seconds"] / results["default_seconds"]
+        )
+    if results["optimized_seconds"] > 0:
+        results["speedup_optimized"] = (
+            results["default_seconds"] / results["optimized_seconds"]
+        )
+    return results
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run every suite; returns the report dict (see harness docs)."""
+    params = dict(_SMOKE if smoke else _FULL)
+    metrics = MetricsRegistry()
+    report = {
+        "schema": SCHEMA,
+        "profile": "smoke" if smoke else "full",
+        "kernels": bench_codec(params, metrics),
+        "exchange": bench_exchange(params, metrics),
+        "epoch": bench_epoch(params, metrics),
+    }
+    report["metrics"] = metrics.snapshot().as_dict()
+    return report

@@ -73,9 +73,18 @@ def _pack_shape(shape: tuple[int, ...]) -> bytes:
 
 
 def _unpack_shape(buffer: bytes, offset: int) -> tuple[tuple[int, ...], int]:
+    if len(buffer) < offset + 8:
+        raise ValueError("frame payload too short for its shape word")
     rows, cols = struct.unpack_from("<II", buffer, offset)
     shape = (rows,) if cols == 0 else (rows, cols)
     return shape, offset + 8
+
+
+def _shape_elements(shape: tuple[int, ...]) -> int:
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count
 
 
 # ----------------------------------------------------------------------
@@ -118,12 +127,30 @@ def encode_quantized(quantized: QuantizedMatrix) -> bytes:
 
 
 def decode_quantized(frame: bytes) -> QuantizedMatrix:
+    """Decode a QUANT frame, validating every length against its header.
+
+    A corrupted frame (the fault-injection path flips wire bytes) must
+    surface as a wire-format ``ValueError``, never as a bare numpy
+    buffer error: the bit width is range-checked, the bucket table must
+    be fully present, and the packed-id buffer must hold *exactly*
+    ``ceil(shape_elements * bits / 8)`` bytes.
+    """
     payload, flags = _unframe(frame, _KIND_QUANT)
     shape, offset = _unpack_shape(payload, 0)
+    meta = struct.calcsize("<Bff")
+    if len(payload) < offset + meta:
+        raise ValueError("QUANT frame truncated before bits/lo/hi metadata")
     bits, lo, hi = struct.unpack_from("<Bff", payload, offset)
-    offset += struct.calcsize("<Bff")
+    offset += meta
+    if not 1 <= bits <= 16:
+        raise ValueError(f"QUANT frame carries invalid bit width {bits}")
     buckets = 1 << bits
     if flags & 1:
+        if len(payload) - offset < buckets * 4:
+            raise ValueError(
+                f"QUANT frame truncated: bucket table needs {buckets * 4} "
+                f"bytes, {len(payload) - offset} remain"
+            )
         table = np.frombuffer(
             payload, dtype=np.float32, count=buckets, offset=offset
         ).copy()
@@ -137,6 +164,13 @@ def decode_quantized(frame: bytes) -> QuantizedMatrix:
         else:
             table = np.full(buckets, lo, dtype=np.float32)
         mode = "bounds"
+    expected = (_shape_elements(shape) * bits + 7) // 8
+    remaining = len(payload) - offset
+    if remaining != expected:
+        raise ValueError(
+            f"QUANT frame packed ids hold {remaining} bytes but shape "
+            f"{shape} at {bits} bits needs exactly {expected}"
+        )
     packed = np.frombuffer(payload, dtype=np.uint8, offset=offset).copy()
     return QuantizedMatrix(
         shape=shape, bits=bits, packed=packed, lo=lo, hi=hi,
@@ -197,17 +231,37 @@ def encode_selector(
 
 
 def decode_selector(frame: bytes) -> tuple[np.ndarray, QuantizedMatrix, float]:
+    """Decode a SELECTOR frame, bounds-checking the embedded lengths.
+
+    The ``sel_bytes`` field is untrusted wire data: it must equal the
+    exact 2-bit-packed size the selection shape implies and fit inside
+    the payload, or the frame is rejected as corrupt.
+    """
     from repro.compression.quantization import unpack_bits
 
     payload, _ = _unframe(frame, _KIND_SELECTOR)
     shape, offset = _unpack_shape(payload, 0)
+    meta = struct.calcsize("<fI")
+    if len(payload) < offset + meta:
+        raise ValueError("SELECTOR frame truncated before its metadata")
     proportion, sel_bytes = struct.unpack_from("<fI", payload, offset)
-    offset += struct.calcsize("<fI")
+    offset += meta
+    count = _shape_elements(shape)
+    expected = (2 * count + 7) // 8
+    if sel_bytes != expected:
+        raise ValueError(
+            f"SELECTOR frame claims {sel_bytes} selector bytes but shape "
+            f"{shape} needs exactly {expected}"
+        )
+    if len(payload) - offset < sel_bytes:
+        raise ValueError(
+            f"SELECTOR frame truncated: selector needs {sel_bytes} bytes, "
+            f"{len(payload) - offset} remain"
+        )
     packed_sel = np.frombuffer(
         payload, dtype=np.uint8, count=sel_bytes, offset=offset
     )
     offset += sel_bytes
-    count = int(np.prod(shape))
     selection = unpack_bits(packed_sel, 2, count).reshape(shape).astype(
         np.uint8
     )

@@ -15,6 +15,16 @@ Two table modes are provided:
 * ``"bounds"``: only ``(lo, hi)`` are shipped and the requester derives
   the midpoints — an obvious engineering refinement used by the
   ablation benchmarks.
+
+The bit-packing kernels are pure arithmetic: widths that divide a byte
+pack by shifting groups of values into byte lanes, 8/16-bit widths
+reinterpret the integer buffer directly, and irregular widths tree-merge
+adjacent fields (b -> 2b -> 4b -> 8b bits) into byte-aligned 8-value
+blocks. No ``(n, bits)`` bit matrix is ever materialized — that intermediate costs 8-16x the payload in
+memory traffic and dominated the original implementation (kept as
+:mod:`repro.bench.reference` for before/after benchmarking). The wire
+layout is unchanged: little-endian-bit-first, byte-identical to
+``np.packbits(..., bitorder="little")`` on the expanded bits.
 """
 
 from __future__ import annotations
@@ -27,6 +37,26 @@ __all__ = ["pack_bits", "unpack_bits", "QuantizedMatrix", "BucketQuantizer"]
 
 SUPPORTED_BITS = (1, 2, 4, 8, 16)
 
+# Cached float64 midpoint offsets ``arange(2^B) + 0.5`` per bucket count;
+# representative tables are ``lo + offsets * width``, so the arange is the
+# only per-call allocation worth hoisting (the arithmetic must stay
+# identical to keep decoded values bit-exact across calls).
+_MIDPOINT_OFFSETS: dict[int, np.ndarray] = {}
+
+
+def _midpoint_offsets(buckets: int) -> np.ndarray:
+    offsets = _MIDPOINT_OFFSETS.get(buckets)
+    if offsets is None:
+        offsets = np.arange(buckets, dtype=np.float64) + 0.5
+        offsets.setflags(write=False)
+        _MIDPOINT_OFFSETS[buckets] = offsets
+    return offsets
+
+
+def packed_size(count: int, bits: int) -> int:
+    """Bytes needed to pack ``count`` values of ``bits`` bits each."""
+    return (count * bits + 7) // 8
+
 
 def pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
     """Pack unsigned ``bits``-wide integers into a dense uint8 buffer.
@@ -37,25 +67,159 @@ def pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
     if not 1 <= bits <= 16:
         raise ValueError(f"bits must be in [1, 16], got {bits}")
     flat = np.ascontiguousarray(values, dtype=np.uint32).ravel()
-    if flat.size and int(flat.max()) >= (1 << bits):
+    if flat.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if int(flat.max()) >= (1 << bits):
         raise ValueError(f"value {int(flat.max())} does not fit in {bits} bits")
-    shifts = np.arange(bits, dtype=np.uint32)
-    bit_matrix = ((flat[:, None] >> shifts) & 1).astype(np.uint8)
-    return np.packbits(bit_matrix.ravel(), bitorder="little")
+    if bits == 8:
+        return flat.astype(np.uint8)
+    if bits == 16:
+        return flat.astype("<u2").view(np.uint8)
+    if bits == 1:
+        # The values are the bits; packbits needs no expansion here.
+        return np.packbits(flat.astype(np.uint8), bitorder="little")
+    if bits in (2, 4):
+        per_byte = 8 // bits
+        if flat.size % per_byte:
+            padded = np.zeros(
+                (flat.size + per_byte - 1) // per_byte * per_byte,
+                dtype=np.uint32,
+            )
+            padded[: flat.size] = flat
+            flat = padded
+        acc = flat[0::per_byte].astype(np.uint8)
+        for lane in range(1, per_byte):
+            acc |= (flat[lane::per_byte] << np.uint32(lane * bits)).astype(
+                np.uint8
+            )
+        return acc
+    # Irregular widths (3, 5, 6, 7, 9-15): 8 values always span exactly
+    # ``bits`` bytes, so each 8-value block ORs into a 64-bit (or, for
+    # widths above 8, 128-bit) little-endian accumulator whose first
+    # ``bits`` bytes are the block's wire bytes. Pure vectorized shifts;
+    # no per-element scatter.
+    total = packed_size(flat.size, bits)
+    blocks = (flat.size + 7) // 8
+    if bits < 8:
+        # Pairwise tree merge: adjacent fields fuse b -> 2b -> 4b -> 8b
+        # bits, staying in uint32 until a level would overflow 32 bits.
+        # ~n element-ops total and no (blocks, 8) intermediate.
+        padded = np.zeros(blocks * 8, dtype=np.uint32)
+        padded[: flat.size] = flat
+        merged = padded[0::2] | (padded[1::2] << np.uint32(bits))
+        merged = merged[0::2] | (merged[1::2] << np.uint32(2 * bits))
+        if 8 * bits <= 32:
+            merged = merged[0::2] | (merged[1::2] << np.uint32(4 * bits))
+            lanes = 4
+            block_bytes = merged.astype("<u4").view(np.uint8).reshape(
+                blocks, lanes
+            )
+        else:
+            merged = merged[0::2].astype(np.uint64) | (
+                merged[1::2].astype(np.uint64) << np.uint64(4 * bits)
+            )
+            lanes = 8
+            block_bytes = merged.astype("<u8").view(np.uint8).reshape(
+                blocks, lanes
+            )
+    else:
+        # Bits 9-15: a block spans 8*bits <= 120 bits. Tree-merge pairs
+        # (2b <= 30 bits, uint32) and quads (4b <= 60 bits, uint64),
+        # then lay the two quads across a low and a high 64-bit lane —
+        # the quad straddling the seam splits with one shift each way.
+        padded = np.zeros(blocks * 8, dtype=np.uint32)
+        padded[: flat.size] = flat
+        pairs = padded[0::2] | (padded[1::2] << np.uint32(bits))
+        quads = pairs[0::2].astype(np.uint64) | (
+            pairs[1::2].astype(np.uint64) << np.uint64(2 * bits)
+        )
+        lo = quads[0::2] | (quads[1::2] << np.uint64(4 * bits))
+        hi = quads[1::2] >> np.uint64(64 - 4 * bits)
+        block_bytes = np.empty((blocks, 16), dtype=np.uint8)
+        block_bytes[:, :8] = lo.astype("<u8").view(np.uint8).reshape(-1, 8)
+        block_bytes[:, 8:] = hi.astype("<u8").view(np.uint8).reshape(-1, 8)
+    return block_bytes[:, :bits].ravel()[:total]
 
 
 def unpack_bits(buffer: np.ndarray, bits: int, count: int) -> np.ndarray:
-    """Invert :func:`pack_bits`, recovering ``count`` integers."""
+    """Invert :func:`pack_bits`, recovering ``count`` integers.
+
+    The buffer length must match ``count`` exactly: a short buffer cannot
+    hold the promised values and a long one means the caller mis-sliced
+    the wire payload — both raise ``ValueError`` instead of silently
+    reading (or ignoring) stray bytes.
+    """
     if not 1 <= bits <= 16:
         raise ValueError(f"bits must be in [1, 16], got {bits}")
-    raw = np.unpackbits(
-        np.ascontiguousarray(buffer, dtype=np.uint8),
-        count=count * bits,
-        bitorder="little",
+    buf = np.ascontiguousarray(buffer, dtype=np.uint8).ravel()
+    needed = packed_size(count, bits)
+    if buf.size != needed:
+        raise ValueError(
+            f"packed buffer holds {buf.size} bytes but {count} values of "
+            f"{bits} bits need exactly {needed}"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    if bits == 8:
+        return buf.astype(np.uint32)
+    if bits == 16:
+        return buf.view("<u2").astype(np.uint32)
+    if bits == 1:
+        return np.unpackbits(buf, count=count, bitorder="little").astype(
+            np.uint32
+        )
+    if bits in (2, 4):
+        per_byte = 8 // bits
+        mask = np.uint32((1 << bits) - 1)
+        wide = buf.astype(np.uint32)
+        out = np.empty(buf.size * per_byte, dtype=np.uint32)
+        for lane in range(per_byte):
+            out[lane::per_byte] = (wide >> np.uint32(lane * bits)) & mask
+        return out[:count]
+    # Irregular widths: the inverse of the 8-value block packing — load
+    # each block's ``bits`` bytes into integer lanes and tree-split the
+    # eight fields back out, 8b -> 4b -> 2b -> b (see pack_bits).
+    blocks = (count + 7) // 8
+    padded = np.zeros(blocks * bits, dtype=np.uint8)
+    padded[: buf.size] = buf
+    block_bytes = padded.reshape(blocks, bits)
+    if 8 * bits <= 32:
+        # The whole block fits a uint32; one broadcast shift splits all
+        # eight fields without intermediate levels.
+        lo_bytes = np.zeros((blocks, 4), dtype=np.uint8)
+        lo_bytes[:, :bits] = block_bytes
+        word = lo_bytes.view("<u4")  # (blocks, 1), broadcasts over lanes
+        shifts = (np.arange(8, dtype=np.uint32) * bits).astype(np.uint32)
+        fields = (word >> shifts) & np.uint32((1 << bits) - 1)
+        return fields.ravel()[:count]
+    quads = np.empty(
+        blocks * 2, dtype=np.uint32 if 4 * bits <= 32 else np.uint64
     )
-    bit_matrix = raw.reshape(count, bits).astype(np.uint32)
-    powers = (np.uint32(1) << np.arange(bits, dtype=np.uint32))
-    return bit_matrix @ powers
+    if bits < 8:
+        lo_bytes = np.zeros((blocks, 8), dtype=np.uint8)
+        lo_bytes[:, :bits] = block_bytes
+        word = lo_bytes.view("<u8").ravel()
+        quads[0::2] = word & np.uint64((1 << (4 * bits)) - 1)
+        quads[1::2] = word >> np.uint64(4 * bits)
+    else:
+        lo_bytes = np.zeros((blocks, 8), dtype=np.uint8)
+        lo_bytes[:, :8] = block_bytes[:, :8]
+        hi_bytes = np.zeros((blocks, 8), dtype=np.uint8)
+        hi_bytes[:, : bits - 8] = block_bytes[:, 8:]
+        lo = lo_bytes.view("<u8").ravel()
+        hi = hi_bytes.view("<u8").ravel()
+        quads[0::2] = lo & np.uint64((1 << (4 * bits)) - 1)
+        quads[1::2] = (lo >> np.uint64(4 * bits)) | (
+            hi << np.uint64(64 - 4 * bits)
+        )
+    pairs = np.empty(blocks * 4, dtype=np.uint32)
+    pairs[0::2] = quads & quads.dtype.type((1 << (2 * bits)) - 1)
+    pairs[1::2] = quads >> quads.dtype.type(2 * bits)
+    mask = np.uint32((1 << bits) - 1)
+    out = np.empty(blocks * 8, dtype=np.uint32)
+    out[0::2] = pairs & mask
+    out[1::2] = pairs >> np.uint32(bits)
+    return out[:count]
 
 
 @dataclass
@@ -129,6 +293,60 @@ class BucketQuantizer:
     def num_buckets(self) -> int:
         return 1 << self.bits
 
+    def representatives(self, lo: float, hi: float) -> np.ndarray:
+        """The ``2^B`` bucket midpoints for the domain ``[lo, hi]``."""
+        buckets = self.num_buckets
+        span = hi - lo
+        if span <= 0.0:
+            return np.full(buckets, lo, dtype=np.float32)
+        width = span / buckets
+        return (lo + _midpoint_offsets(buckets) * width).astype(np.float32)
+
+    def encode_ids(
+        self,
+        matrix: np.ndarray,
+        lo: float | None = None,
+        hi: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, float, float]:
+        """Quantize without packing: ``(flat ids, representatives, lo, hi)``.
+
+        The hot half of :meth:`encode`, exposed so callers that need the
+        raw bucket ids (candidate scoring, subset slicing in ReqEC-FP)
+        quantize exactly once instead of encode-decode-re-encode.
+        """
+        data = np.asarray(matrix, dtype=np.float32)
+        if data.size == 0:
+            # An empty matrix still carries its domain on the wire: the
+            # all-predicted ReqEC selector message ships zero rows but
+            # the requester may rely on (lo, hi) being the true bounds.
+            domain_lo = 0.0 if lo is None else float(lo)
+            domain_hi = 0.0 if hi is None else float(hi)
+            if domain_hi < domain_lo:
+                raise ValueError(
+                    f"invalid domain: [{domain_lo}, {domain_hi}]"
+                )
+            reps = self.representatives(domain_lo, domain_hi)
+            return (
+                np.zeros(0, dtype=np.uint32), reps, domain_lo, domain_hi
+            )
+        domain_lo = float(data.min()) if lo is None else float(lo)
+        domain_hi = float(data.max()) if hi is None else float(hi)
+        if domain_hi < domain_lo:
+            raise ValueError(f"invalid domain: [{domain_lo}, {domain_hi}]")
+
+        buckets = self.num_buckets
+        span = domain_hi - domain_lo
+        if span <= 0.0:
+            ids = np.zeros(data.size, dtype=np.uint32)
+        else:
+            width = span / buckets
+            scaled = (data.ravel() - domain_lo) / width
+            ids = np.clip(scaled.astype(np.int64), 0, buckets - 1).astype(
+                np.uint32
+            )
+        reps = self.representatives(domain_lo, domain_hi)
+        return ids, reps, domain_lo, domain_hi
+
     def encode(
         self,
         matrix: np.ndarray,
@@ -142,40 +360,40 @@ class BucketQuantizer:
             lo / hi: Optional explicit domain; defaults to the data range.
                 A degenerate domain (``lo == hi``) still round-trips: all
                 elements land in bucket 0 whose representative is ``lo``.
+                Explicit bounds are honored even for an empty matrix.
         """
         data = np.asarray(matrix, dtype=np.float32)
-        if data.size == 0:
-            empty = np.zeros(0, dtype=np.uint8)
-            reps = np.zeros(self.num_buckets, dtype=np.float32)
-            return QuantizedMatrix(data.shape, self.bits, empty, 0.0, 0.0,
-                                   reps, self.table_mode)
-        domain_lo = float(data.min()) if lo is None else float(lo)
-        domain_hi = float(data.max()) if hi is None else float(hi)
-        if domain_hi < domain_lo:
-            raise ValueError(f"invalid domain: [{domain_lo}, {domain_hi}]")
-
-        buckets = self.num_buckets
-        span = domain_hi - domain_lo
-        if span <= 0.0:
-            ids = np.zeros(data.size, dtype=np.uint32)
-            reps = np.full(buckets, domain_lo, dtype=np.float32)
-        else:
-            width = span / buckets
-            scaled = (data.ravel() - domain_lo) / width
-            ids = np.clip(scaled.astype(np.int64), 0, buckets - 1).astype(
-                np.uint32
-            )
-            # Representative = midpoint of the bucket bounds (Fig. 3).
-            reps = (
-                domain_lo + (np.arange(buckets, dtype=np.float64) + 0.5) * width
-            ).astype(np.float32)
-        packed = pack_bits(ids, self.bits)
+        ids, reps, domain_lo, domain_hi = self.encode_ids(data, lo, hi)
         return QuantizedMatrix(
             shape=data.shape,
             bits=self.bits,
-            packed=packed,
+            packed=pack_bits(ids, self.bits),
             lo=domain_lo,
             hi=domain_hi,
+            bucket_values=reps,
+            table_mode=self.table_mode,
+        )
+
+    def from_ids(
+        self,
+        ids: np.ndarray,
+        shape: tuple[int, ...],
+        reps: np.ndarray,
+        lo: float,
+        hi: float,
+    ) -> QuantizedMatrix:
+        """Pack pre-computed bucket ids into a wire-ready matrix.
+
+        ``ids`` must come from :meth:`encode_ids` with the same domain —
+        slicing a subset of those ids is wire-identical to re-encoding
+        the corresponding value subset with explicit ``(lo, hi)``.
+        """
+        return QuantizedMatrix(
+            shape=shape,
+            bits=self.bits,
+            packed=pack_bits(ids, self.bits),
+            lo=lo,
+            hi=hi,
             bucket_values=reps,
             table_mode=self.table_mode,
         )

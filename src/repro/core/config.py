@@ -84,6 +84,13 @@ class ECGraphConfig:
         weight_decay: L2 regularization applied by the servers.
         codec_speedup: Divide measured Python codec time by this factor to
             emulate the paper's C++ compression kernels (see DESIGN.md).
+        halo_buffer_pool: Reuse halo buffers across exchanges (zeroed in
+            place) instead of allocating fresh ones; see
+            ``docs/performance.md``. Off by default.
+        exchange_threads: Fan independent halo-exchange channels out over
+            this many threads (0/1 = sequential). Bit-identical results
+            and traffic accounting; engages only on the fault-free,
+            telemetry-off path.
         seed: Seed for parameter initialization and sampling.
         obs: Telemetry configuration (:class:`~repro.obs.ObsConfig`);
             disabled by default so instrumented hot paths stay free.
@@ -110,6 +117,8 @@ class ECGraphConfig:
     optimizer: str = "adam"
     weight_decay: float = 0.0
     codec_speedup: float = 20.0
+    halo_buffer_pool: bool = False
+    exchange_threads: int = 0
     seed: int = 0
     obs: ObsConfig = OBS_DISABLED
     faults: FaultConfig = FAULTS_DISABLED
@@ -131,6 +140,8 @@ class ECGraphConfig:
             raise ValueError("need 0 <= tuner_lower < tuner_raise <= 1")
         if self.codec_speedup <= 0:
             raise ValueError("codec_speedup must be positive")
+        if self.exchange_threads < 0:
+            raise ValueError("exchange_threads must be non-negative")
 
     # Convenience presets matching the paper's named configurations.
     def as_non_cp(self) -> "ECGraphConfig":

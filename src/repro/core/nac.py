@@ -6,11 +6,29 @@ traffic meter and the compute clocks. Since the simulator runs workers
 sequentially, responder and requester codec time is measured directly and
 charged to the right worker, scaled by the configured codec speedup
 (emulating the original C++ compression kernels; see DESIGN.md).
+
+Two optional hot-path optimizations (both off by default, see
+``docs/performance.md``):
+
+* **buffer pooling** — halo (and reverse-accumulator) matrices are
+  reused across exchanges, keyed by ``(kind, worker, dim)`` and zeroed
+  in place, instead of being reallocated per layer per iteration
+  (DGL-style zero-copy halo buffers). Pooled buffers are only valid
+  until the next exchange call; every caller consumes them immediately.
+* **thread-pool fan-out** — the independent (responder, requester)
+  channels encode and decode concurrently (numpy releases the GIL in
+  its kernels). Results are merged and charged to the TrafficMeter /
+  ClusterRuntime in the same fixed channel order as the sequential
+  loop, from per-channel measured times, so accounting structure and
+  halo contents are identical to the sequential path. The fan-out
+  engages only on the fault-free, telemetry-off path; otherwise the
+  NAC silently falls back to the sequential loop.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -21,6 +39,18 @@ from repro.core.worker import WorkerState
 from repro.faults.injector import FATE_CORRUPT, FATE_DELAY, FATE_DROP
 
 __all__ = ["NeighborAccessController"]
+
+
+@dataclass
+class _Channel:
+    """One (responder, requester) exchange planned for this round."""
+
+    key: ChannelKey
+    owner: int
+    requester: int
+    slots: np.ndarray
+    served: np.ndarray
+    rows_idx: np.ndarray | None
 
 
 class NeighborAccessController:
@@ -34,6 +64,12 @@ class NeighborAccessController:
     *degrades* instead of aborting: the requester substitutes the
     ReqEC-FP predicted candidate, its last successfully received rows
     for the channel, or zeros (partial aggregation), in that order.
+
+    Args:
+        buffer_pool: Reuse halo buffers across exchanges (zeroed in
+            place) instead of allocating fresh ones every call.
+        threads: Fan the independent channels of one exchange out over
+            this many threads; ``0``/``1`` keeps the sequential loop.
     """
 
     def __init__(
@@ -41,12 +77,18 @@ class NeighborAccessController:
         runtime: ClusterRuntime,
         workers: list[WorkerState],
         codec_speedup: float = 20.0,
+        buffer_pool: bool = False,
+        threads: int = 0,
     ):
         if codec_speedup <= 0:
             raise ValueError("codec_speedup must be positive")
+        if threads < 0:
+            raise ValueError("threads must be non-negative")
         self.runtime = runtime
         self.workers = workers
         self.codec_speedup = codec_speedup
+        self.buffer_pool = buffer_pool
+        self.threads = threads
         self.telemetry = runtime.telemetry
         # FaultInjector, attached by the trainer when faults are
         # enabled; None keeps the exchange loop on the fault-free path.
@@ -55,6 +97,54 @@ class NeighborAccessController:
         # Last successfully received rows per channel, the stale-halo
         # fallback of last resort. Populated only under fault injection.
         self._halo_cache: dict[ChannelKey, np.ndarray] = {}
+        # (kind, worker, dim) -> pooled float32 buffer.
+        self._buffers: dict[tuple[str, int, int], np.ndarray] = {}
+        self._executor = None
+
+    # ------------------------------------------------------------------
+    # Buffer pool
+    # ------------------------------------------------------------------
+    def _buffer(self, kind: str, worker: int, rows: int, dim: int) -> np.ndarray:
+        """A zeroed ``(rows, dim)`` float32 buffer, pooled when enabled."""
+        if not self.buffer_pool:
+            return np.zeros((rows, dim), dtype=np.float32)
+        key = (kind, worker, dim)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape[0] != rows:
+            buf = np.zeros((rows, dim), dtype=np.float32)
+            self._buffers[key] = buf
+        else:
+            buf.fill(0.0)
+        return buf
+
+    # ------------------------------------------------------------------
+    # Thread pool
+    # ------------------------------------------------------------------
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="nac"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _fan_out_ok(self, channels: list[_Channel]) -> bool:
+        """Threaded fan-out needs the fault-free, uninstrumented path:
+        fault fates consume a shared RNG stream in channel order and
+        span tracing timestamps interleave across threads."""
+        return (
+            self.threads > 1
+            and len(channels) > 1
+            and self.injector is None
+            and not self.telemetry.enabled
+        )
 
     # ------------------------------------------------------------------
     def exchange(
@@ -84,90 +174,181 @@ class NeighborAccessController:
         Returns:
             One ``(num_halo, dim)`` array per worker, rows scattered into
             the worker's halo ordering. Vertices outside a subset keep 0.
+            With the buffer pool enabled the arrays are only valid until
+            the next exchange.
         """
         halos = [
-            np.zeros((state.num_halo, dim), dtype=np.float32)
+            self._buffer("halo", state.worker_id, state.num_halo, dim)
             for state in self.workers
         ]
         self._last_proportions.clear()
         obs = self.telemetry
         with obs.span("halo_exchange", layer=layer, category=category):
-            for requester in self.workers:
-                i = requester.worker_id
-                for owner, slots in requester.halo_slots.items():
-                    responder = self.workers[owner]
-                    serve_rows = responder.serves[i]
-                    key = ChannelKey(layer=layer, responder=owner, requester=i)
-
-                    rows_idx = None
-                    if subset is not None:
-                        rows_idx = subset.get((owner, i))
-                        if rows_idx is not None and rows_idx.size == 0:
-                            continue
-
-                    source = rows_of(responder)
-                    if rows_idx is None:
-                        served = source[serve_rows]
-                    else:
-                        served = source[serve_rows[rows_idx]]
-
-                    with obs.span("encode", responder=owner, requester=i):
-                        start = time.perf_counter()
-                        message = policy.respond(
-                            key, served, t, rows_idx=rows_idx
-                        )
-                        respond_wall = time.perf_counter() - start
-                    self._charge_compute(
-                        owner, respond_wall, message.codec_seconds
-                    )
-
-                    delivered = self._deliver(key, message, owner, i, category)
-                    if obs.enabled:
-                        obs.metrics.inc(
-                            "halo_rows", served.shape[0], category=category
-                        )
-                        obs.metrics.observe(
-                            "message_bytes", message.nbytes, category=category
-                        )
-
-                    if not delivered:
-                        self._notify_failure(
-                            policy, key, message, rows_idx=rows_idx
-                        )
-                        rows = self._degraded_rows(
-                            policy, key, t, served.shape[0], dim
-                        )
-                        if rows is None:
-                            continue  # zeros: partial aggregation
-                        if rows_idx is None:
-                            halos[i][slots] = rows
-                        else:
-                            halos[i][slots[rows_idx]] = rows
-                        continue
-
-                    with obs.span("decode", responder=owner, requester=i):
-                        start = time.perf_counter()
-                        result = policy.receive(
-                            key, message, t, rows_idx=rows_idx
-                        )
-                        receive_wall = time.perf_counter() - start
-                    self._charge_compute(i, receive_wall, result.codec_seconds)
-
-                    if rows_idx is None:
-                        halos[i][slots] = result.rows
-                        if self.injector is not None:
-                            self._halo_cache[key] = np.array(
-                                result.rows, copy=True
-                            )
-                    else:
-                        halos[i][slots[rows_idx]] = result.rows
-
-                    proportion = result.meta.get("proportion")
-                    if proportion is None:
-                        proportion = message.meta.get("proportion")
-                    if proportion is not None:
-                        self._last_proportions[(owner, i)] = float(proportion)
+            channels = self._plan(layer, rows_of, subset)
+            if self._fan_out_ok(channels):
+                self._exchange_threaded(channels, halos, t, policy, category)
+            else:
+                self._exchange_sequential(
+                    channels, halos, t, policy, category, dim
+                )
         return halos
+
+    def _plan(
+        self,
+        layer: int,
+        rows_of: Callable[[WorkerState], np.ndarray],
+        subset: dict[tuple[int, int], np.ndarray] | None,
+    ) -> list[_Channel]:
+        """Materialize this round's channels in the canonical order.
+
+        The order — requesters ascending, then each requester's owners in
+        halo-slot insertion order — is what the sequential loop always
+        used; the threaded path merges its charges in exactly this order
+        so accounting is execution-schedule independent.
+        """
+        channels: list[_Channel] = []
+        for requester in self.workers:
+            i = requester.worker_id
+            for owner, slots in requester.halo_slots.items():
+                rows_idx = None
+                if subset is not None:
+                    rows_idx = subset.get((owner, i))
+                    if rows_idx is not None and rows_idx.size == 0:
+                        continue
+                responder = self.workers[owner]
+                serve_rows = responder.serves[i]
+                source = rows_of(responder)
+                if rows_idx is None:
+                    served = source[serve_rows]
+                else:
+                    served = source[serve_rows[rows_idx]]
+                channels.append(_Channel(
+                    key=ChannelKey(layer=layer, responder=owner, requester=i),
+                    owner=owner,
+                    requester=i,
+                    slots=slots,
+                    served=served,
+                    rows_idx=rows_idx,
+                ))
+        return channels
+
+    def _exchange_sequential(
+        self,
+        channels: list[_Channel],
+        halos: list[np.ndarray],
+        t: int,
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+    ) -> None:
+        obs = self.telemetry
+        for ch in channels:
+            owner, i = ch.owner, ch.requester
+            with obs.span("encode", responder=owner, requester=i):
+                start = time.perf_counter()
+                message = policy.respond(
+                    ch.key, ch.served, t, rows_idx=ch.rows_idx
+                )
+                respond_wall = time.perf_counter() - start
+            self._charge_compute(owner, respond_wall, message.codec_seconds)
+
+            delivered = self._deliver(ch.key, message, owner, i, category)
+            if obs.enabled:
+                obs.metrics.inc(
+                    "halo_rows", ch.served.shape[0], category=category
+                )
+                obs.metrics.observe(
+                    "message_bytes", message.nbytes, category=category
+                )
+
+            if not delivered:
+                self._notify_failure(
+                    policy, ch.key, message, rows_idx=ch.rows_idx
+                )
+                rows = self._degraded_rows(
+                    policy, ch.key, t, ch.served.shape[0], dim
+                )
+                if rows is None:
+                    continue  # zeros: partial aggregation
+                if ch.rows_idx is None:
+                    halos[i][ch.slots] = rows
+                else:
+                    halos[i][ch.slots[ch.rows_idx]] = rows
+                continue
+
+            with obs.span("decode", responder=owner, requester=i):
+                start = time.perf_counter()
+                result = policy.receive(
+                    ch.key, message, t, rows_idx=ch.rows_idx
+                )
+                receive_wall = time.perf_counter() - start
+            self._charge_compute(i, receive_wall, result.codec_seconds)
+
+            if ch.rows_idx is None:
+                halos[i][ch.slots] = result.rows
+                if self.injector is not None:
+                    self._halo_cache[ch.key] = np.array(
+                        result.rows, copy=True
+                    )
+            else:
+                halos[i][ch.slots[ch.rows_idx]] = result.rows
+
+            self._record_proportion(ch, message, result)
+
+    def _exchange_threaded(
+        self,
+        channels: list[_Channel],
+        halos: list[np.ndarray],
+        t: int,
+        policy: ExchangePolicy,
+        category: str,
+    ) -> None:
+        """Encode/decode all channels concurrently, charge in order.
+
+        Channel computations are independent and deterministic given
+        (key, rows, t) and the policy's per-channel state, so the halo
+        contents are bit-identical to the sequential loop no matter how
+        the scheduler interleaves them. Only the *charging* order could
+        differ — so all meter/compute charges happen after each barrier,
+        in the canonical channel order, from per-channel measured times.
+        """
+        pool = self._pool()
+
+        def _respond(ch: _Channel) -> tuple[ChannelMessage, float]:
+            start = time.perf_counter()
+            message = policy.respond(ch.key, ch.served, t, rows_idx=ch.rows_idx)
+            return message, time.perf_counter() - start
+
+        responded = list(pool.map(_respond, channels))
+        for ch, (message, wall) in zip(channels, responded):
+            self._charge_compute(ch.owner, wall, message.codec_seconds)
+            self.runtime.send_worker_to_worker(
+                ch.owner, ch.requester, message.nbytes, category
+            )
+
+        def _receive(item: tuple[_Channel, tuple[ChannelMessage, float]]):
+            ch, (message, _) = item
+            start = time.perf_counter()
+            result = policy.receive(ch.key, message, t, rows_idx=ch.rows_idx)
+            return result, time.perf_counter() - start
+
+        received = list(pool.map(_receive, zip(channels, responded)))
+        for ch, (message, _), (result, wall) in zip(
+            channels, responded, received
+        ):
+            self._charge_compute(ch.requester, wall, result.codec_seconds)
+            if ch.rows_idx is None:
+                halos[ch.requester][ch.slots] = result.rows
+            else:
+                halos[ch.requester][ch.slots[ch.rows_idx]] = result.rows
+            self._record_proportion(ch, message, result)
+
+    def _record_proportion(self, ch, message, result) -> None:
+        proportion = result.meta.get("proportion")
+        if proportion is None:
+            proportion = message.meta.get("proportion")
+        if proportion is not None:
+            self._last_proportions[(ch.owner, ch.requester)] = float(proportion)
 
     def reverse_exchange(
         self,
@@ -193,9 +374,11 @@ class NeighborAccessController:
         Returns:
             One ``(num_local, dim)`` array per worker: the sum of the
             partials every consumer computed for that worker's vertices.
+            With the buffer pool enabled the arrays are only valid until
+            the next exchange.
         """
         accumulated = [
-            np.zeros((state.num_local, dim), dtype=np.float32)
+            self._buffer("local", state.worker_id, state.num_local, dim)
             for state in self.workers
         ]
         obs = self.telemetry

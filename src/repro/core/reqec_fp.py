@@ -140,21 +140,23 @@ class ReqECPolicy:
 
         steps = t % self.trend_period + 1
         h_pdt = state.h_last + state.m_cr * steps
-        quantized = quantizer.encode(rows)
-        h_cps = quantized.decode()
+        # Quantize exactly once: the bucket ids score the compressed
+        # candidate AND — sliced at the non-predicted rows — form the
+        # subset payload, since ids depend only on (value, lo, hi, bits).
+        ids, reps, lo, hi = quantizer.encode_ids(rows)
+        h_cps = reps[ids].reshape(rows.shape).astype(np.float32)
         h_avg = 0.5 * (h_pdt + h_cps)
 
         selection, proportion = self._select(rows, h_cps, h_pdt, h_avg)
         payload, nbytes = self._build_compressed_payload(
-            rows, selection, quantizer, quantized.lo, quantized.hi
+            rows, selection, quantizer, ids, reps, lo, hi
         )
         elapsed = time.perf_counter() - start
         if self.health is not None:
             counts = np.bincount(selection.ravel(), minlength=3)
             self.health.record_selection(key.pair, counts, bits, t)
         return ChannelMessage(
-            payload=("cps", selection, payload, quantized.lo, quantized.hi,
-                     bits),
+            payload=("cps", selection, payload, lo, hi, bits),
             nbytes=nbytes,
             codec_seconds=elapsed,
             meta={"proportion": proportion, "bits": bits},
@@ -197,22 +199,31 @@ class ReqECPolicy:
         rows: np.ndarray,
         selection: np.ndarray,
         quantizer: BucketQuantizer,
+        ids: np.ndarray,
+        reps: np.ndarray,
         lo: float,
         hi: float,
     ):
-        """Quantize only what the requester cannot predict; size the wire.
+        """Ship only what the requester cannot predict; size the wire.
 
         Vertex/matrix granularity ships whole rows for non-predicted
-        vertices; element granularity ships individual elements.
+        vertices; element granularity ships individual elements. The
+        already-computed bucket ids are sliced and re-packed — quantizing
+        a value subset with the full-matrix (lo, hi) yields exactly these
+        ids, so no second quantization pass is needed.
         """
         mask = selection != SELECT_PREDICTED
+        id_matrix = ids.reshape(rows.shape)
         if self.granularity == "element":
-            values = rows[mask]
+            sub_ids = id_matrix[mask]
+            sub_shape = sub_ids.shape
             selector_bits = 2 * selection.size
         else:
-            values = rows[mask]
+            sub = id_matrix[mask]
+            sub_ids = sub.ravel()
+            sub_shape = sub.shape
             selector_bits = 2 * selection.shape[0]
-        quantized = quantizer.encode(values, lo=lo, hi=hi)
+        quantized = quantizer.from_ids(sub_ids, sub_shape, reps, lo, hi)
         selector_bytes = -(-selector_bits // 8)
         # Frame + shape + (proportion, selector length) + selector bits
         # + the nested quantized frame — see cluster.serialize.

@@ -189,7 +189,9 @@ class ECGraphTrainer:
         if not self._bp_policy_override:
             self._bp_policy = _make_bp_policy(self.config)
         self.nac = NeighborAccessController(
-            self.runtime, self.workers, self.config.codec_speedup
+            self.runtime, self.workers, self.config.codec_speedup,
+            buffer_pool=self.config.halo_buffer_pool,
+            threads=self.config.exchange_threads,
         )
         if self.config.faults.enabled:
             self._injector = FaultInjector(self.config.faults)

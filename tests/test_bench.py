@@ -1,0 +1,188 @@
+"""Tests for the ``repro bench`` harness: report structure, baseline
+comparison, and the CLI exit codes CI relies on."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    compare_reports,
+    load_report,
+    parse_percent,
+    run_bench,
+    write_report,
+)
+from repro.bench.harness import SCHEMA, best_seconds
+from repro.bench.reference import pack_bits_reference, unpack_bits_reference
+
+
+class TestReferenceKernels:
+    @pytest.mark.parametrize("bits", [1, 3, 4, 8, 11, 16])
+    def test_reference_matches_new_kernels(self, bits):
+        import numpy as np
+
+        from repro.compression.quantization import pack_bits, unpack_bits
+
+        rng = np.random.default_rng(bits)
+        ids = rng.integers(0, 1 << bits, size=777, dtype=np.uint32)
+        packed = pack_bits_reference(ids, bits)
+        np.testing.assert_array_equal(packed, pack_bits(ids, bits))
+        np.testing.assert_array_equal(
+            unpack_bits_reference(packed, bits, ids.size),
+            unpack_bits(packed, bits, ids.size),
+        )
+
+
+class TestBestSeconds:
+    def test_returns_positive_float(self):
+        assert best_seconds(lambda: sum(range(100)), repeats=2) > 0
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            best_seconds(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            best_seconds(lambda: None, repeats=1, inner=0)
+
+
+class TestParsePercent:
+    @pytest.mark.parametrize("text,expected", [
+        ("15%", 0.15), ("15", 0.15), (" 200% ", 2.0), ("0%", 0.0),
+    ])
+    def test_parses(self, text, expected):
+        assert parse_percent(text) == pytest.approx(expected)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_percent("fast")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_percent("-5%")
+
+
+class TestReportIO:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        report = {"schema": SCHEMA, "kernels": {}}
+        path = write_report(report, tmp_path / "r.json")
+        assert load_report(path) == report
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_report(tmp_path / "absent.json")
+
+    def test_load_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_report(path)
+
+
+def _report(ns_by_kernel):
+    return {
+        "schema": SCHEMA,
+        "kernels": {
+            name: {"ns_per_element": ns}
+            for name, ns in ns_by_kernel.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_no_regression_within_limit(self):
+        current = _report({"pack_bits[bits=4]": 1.10})
+        baseline = _report({"pack_bits[bits=4]": 1.00})
+        assert compare_reports(current, baseline, 0.15) == []
+
+    def test_regression_reported(self):
+        current = _report({"pack_bits[bits=4]": 2.0})
+        baseline = _report({"pack_bits[bits=4]": 1.0})
+        lines = compare_reports(current, baseline, 0.15)
+        assert len(lines) == 1
+        assert "pack_bits[bits=4]" in lines[0]
+        assert "+100%" in lines[0]
+
+    def test_kernels_missing_on_either_side_skipped(self):
+        current = _report({"only_current": 9.0, "shared": 1.0})
+        baseline = _report({"only_baseline": 0.1, "shared": 1.0})
+        assert compare_reports(current, baseline, 0.0) == []
+
+    def test_improvement_never_fails(self):
+        current = _report({"k": 0.5})
+        baseline = _report({"k": 5.0})
+        assert compare_reports(current, baseline, 0.0) == []
+
+
+class TestRunBenchSmoke:
+    """One real smoke run, shared by the structural assertions."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(smoke=True)
+
+    def test_schema_and_profile(self, report):
+        assert report["schema"] == SCHEMA
+        assert report["profile"] == "smoke"
+
+    def test_kernel_entries(self, report):
+        for bits in (2, 4, 8):
+            for op in ("pack_bits", "unpack_bits"):
+                entry = report["kernels"][f"{op}[bits={bits}]"]
+                assert entry["ns_per_element"] > 0
+                assert entry["reference_ns_per_element"] > 0
+                assert entry["speedup_vs_reference"] > 0
+
+    def test_exchange_and_epoch_sections(self, report):
+        for key in ("sequential_seconds", "pooled_seconds",
+                    "threaded_seconds"):
+            assert report["exchange"][key] > 0
+        for key in ("reference_codec_seconds", "default_seconds",
+                    "optimized_seconds", "speedup_vs_reference_codec"):
+            assert report["epoch"][key] > 0
+
+    def test_metrics_snapshot_included(self, report):
+        assert "bench_kernel_ns" in json.dumps(report["metrics"])
+
+    def test_report_is_json_serializable(self, report, tmp_path):
+        path = write_report(report, tmp_path / "smoke.json")
+        assert load_report(path)["profile"] == "smoke"
+
+
+class TestBenchCLI:
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--out", str(out)]) == 0
+        assert load_report(out)["profile"] == "smoke"
+        assert "Codec micro-kernels" in capsys.readouterr().out
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        # A baseline claiming every kernel once took ~0 ns forces every
+        # real measurement to read as a regression.
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--out", str(out)]) == 0
+        report = load_report(out)
+        for stats in report["kernels"].values():
+            stats["ns_per_element"] = stats["ns_per_element"] / 1e6
+        baseline_path = write_report(report, tmp_path / "baseline.json")
+        code = main([
+            "bench", "--smoke", "--out", str(out),
+            "--compare", str(baseline_path), "--max-regress", "15%",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_compare_passes_against_self(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--out", str(out)]) == 0
+        # Re-compare against the report just produced with a huge
+        # allowance: machine noise alone cannot trip a 10000% limit.
+        code = main([
+            "bench", "--smoke", "--out", str(tmp_path / "second.json"),
+            "--compare", str(out), "--max-regress", "10000%",
+        ])
+        assert code == 0

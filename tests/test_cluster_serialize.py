@@ -166,3 +166,73 @@ class TestPropertyRoundTrips:
         np.testing.assert_allclose(
             decoded.decode(), quantized.decode(), atol=1e-6
         )
+
+
+class TestCorruptFrames:
+    """Corrupted frames (the fault injector flips wire bytes) must fail
+    as wire-format ValueErrors, never as raw numpy buffer errors."""
+
+    def _quant_frame(self, matrix, bits=4, mode="bounds"):
+        return encode_quantized(BucketQuantizer(bits, mode).encode(matrix))
+
+    def test_flipped_bits_byte_invalid_width(self, matrix):
+        frame = bytearray(self._quant_frame(matrix))
+        frame[24] = 0  # bits field: header (16) + shape (8)
+        with pytest.raises(ValueError, match="invalid bit width"):
+            decode_quantized(bytes(frame))
+        frame[24] = 200
+        with pytest.raises(ValueError, match="invalid bit width"):
+            decode_quantized(bytes(frame))
+
+    def test_flipped_bits_byte_wrong_payload_size(self, matrix):
+        # 7 is a legal width, but the packed ids were sized for 4 bits.
+        frame = bytearray(self._quant_frame(matrix, bits=4))
+        frame[24] = 7
+        with pytest.raises(ValueError, match="needs exactly"):
+            decode_quantized(bytes(frame))
+
+    def test_truncated_bucket_table(self, matrix):
+        # Inflating the bits field makes the promised 2^B table far
+        # larger than the bytes that follow.
+        frame = bytearray(self._quant_frame(matrix, bits=4, mode="table"))
+        frame[24] = 16
+        with pytest.raises(ValueError, match="bucket table"):
+            decode_quantized(bytes(frame))
+
+    def test_short_packed_ids(self, matrix):
+        import struct
+
+        frame = self._quant_frame(matrix)
+        payload = frame[16:-3]  # drop trailing packed bytes ...
+        header = struct.pack("<HHIQ", 0xEC6A, 2, 0, len(payload))
+        with pytest.raises(ValueError, match="needs exactly"):
+            decode_quantized(header + payload)  # ... with a fixed header
+
+    def test_truncated_before_metadata(self):
+        import struct
+
+        payload = struct.pack("<II", 3, 4)  # shape word only
+        header = struct.pack("<HHIQ", 0xEC6A, 2, 0, len(payload))
+        with pytest.raises(ValueError, match="truncated before"):
+            decode_quantized(header + payload)
+
+    def test_corrupt_selector_sel_bytes(self, matrix):
+        rng = np.random.default_rng(2)
+        selection = rng.integers(0, 3, size=matrix.shape[0]).astype(np.uint8)
+        quantized = BucketQuantizer(4).encode(matrix[selection != 1])
+        frame = bytearray(encode_selector(selection, quantized, 0.5))
+        # sel_bytes field: header (16) + shape (8) + proportion (4).
+        frame[28] = frame[28] + 1 & 0xFF
+        with pytest.raises(ValueError, match="selector bytes"):
+            decode_selector(bytes(frame))
+
+    def test_corrupt_nested_quant_in_selector(self, matrix):
+        rng = np.random.default_rng(3)
+        selection = rng.integers(0, 3, size=matrix.shape[0]).astype(np.uint8)
+        quantized = BucketQuantizer(4).encode(matrix[selection != 1])
+        frame = bytearray(encode_selector(selection, quantized, 0.5))
+        sel_bytes = (2 * selection.size + 7) // 8
+        nested = 16 + 8 + 8 + sel_bytes  # nested QUANT frame's magic
+        frame[nested] ^= 0xFF
+        with pytest.raises(ValueError, match="bad magic"):
+            decode_selector(bytes(frame))

@@ -161,3 +161,104 @@ class TestBucketQuantizer:
         once = q.quantize(x, lo=0.0, hi=1.0)
         twice = q.quantize(once, lo=0.0, hi=1.0)
         np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+class TestKernelEquivalence:
+    """The arithmetic kernels must be byte-identical to the original
+    bit-matrix implementation (kept in repro.bench.reference) — the wire
+    layout is a compatibility contract, not an implementation detail."""
+
+    @pytest.mark.parametrize("bits", list(range(1, 17)))
+    def test_pack_byte_identical_to_reference(self, bits):
+        from repro.bench.reference import pack_bits_reference
+
+        rng = np.random.default_rng(bits)
+        for size in (0, 1, 3, 7, 8, 9, 15, 16, 17, 100, 1001):
+            values = rng.integers(0, 1 << bits, size=size, dtype=np.uint32)
+            assert pack_bits(values, bits).tobytes() == (
+                pack_bits_reference(values, bits).tobytes()
+            ), f"bits={bits} size={size}"
+
+    @pytest.mark.parametrize("bits", list(range(1, 17)))
+    def test_unpack_inverts_reference_pack(self, bits):
+        from repro.bench.reference import pack_bits_reference
+
+        rng = np.random.default_rng(100 + bits)
+        for size in (1, 8, 9, 63, 100):
+            values = rng.integers(0, 1 << bits, size=size, dtype=np.uint32)
+            packed = pack_bits_reference(values, bits)
+            np.testing.assert_array_equal(
+                unpack_bits(packed, bits, size), values
+            )
+
+
+class TestStrictBufferLength:
+    @pytest.mark.parametrize("bits", [1, 3, 4, 8, 11, 16])
+    def test_oversized_buffer_rejected(self, bits):
+        values = np.arange(10, dtype=np.uint32) % (1 << bits)
+        packed = pack_bits(values, bits)
+        padded = np.concatenate([packed, np.zeros(3, dtype=np.uint8)])
+        with pytest.raises(ValueError, match="exactly"):
+            unpack_bits(padded, bits, 10)
+
+    @pytest.mark.parametrize("bits", [1, 3, 4, 8, 11, 16])
+    def test_short_buffer_rejected(self, bits):
+        values = np.arange(10, dtype=np.uint32) % (1 << bits)
+        packed = pack_bits(values, bits)
+        with pytest.raises(ValueError, match="exactly"):
+            unpack_bits(packed[:-1], bits, 10)
+
+
+class TestEmptyMatrixBounds:
+    def test_explicit_bounds_honored_for_empty_input(self):
+        """Regression: an empty matrix used to discard the caller's
+        (lo, hi) and encode a [0, 0] domain — the all-predicted ReqEC
+        selector payload then shipped wrong bounds."""
+        q = BucketQuantizer(4)
+        encoded = q.encode(np.zeros((0, 8), dtype=np.float32), lo=-1.5, hi=3.0)
+        assert encoded.lo == -1.5
+        assert encoded.hi == 3.0
+        np.testing.assert_array_equal(
+            encoded.bucket_values, q.representatives(-1.5, 3.0)
+        )
+
+    def test_empty_input_default_bounds(self):
+        q = BucketQuantizer(4)
+        encoded = q.encode(np.zeros((0, 8), dtype=np.float32))
+        assert encoded.lo == 0.0 and encoded.hi == 0.0
+
+    def test_empty_input_invalid_bounds_rejected(self):
+        q = BucketQuantizer(4)
+        with pytest.raises(ValueError, match="invalid domain"):
+            q.encode(np.zeros((0, 4), dtype=np.float32), lo=2.0, hi=-2.0)
+
+
+class TestEncodeIds:
+    def test_encode_ids_matches_encode(self):
+        rng = np.random.default_rng(9)
+        x = rng.uniform(-2, 2, size=(23, 7)).astype(np.float32)
+        q = BucketQuantizer(4)
+        ids, reps, lo, hi = q.encode_ids(x)
+        via_encode = q.encode(x)
+        assert (lo, hi) == (via_encode.lo, via_encode.hi)
+        np.testing.assert_array_equal(reps, via_encode.bucket_values)
+        assert pack_bits(ids, 4).tobytes() == via_encode.packed.tobytes()
+
+    def test_sliced_ids_equal_subset_reencode(self):
+        """Slicing full-matrix ids is wire-identical to re-encoding the
+        value subset with the full matrix's explicit domain — the
+        invariant the single-quantize ReqEC respond path relies on."""
+        rng = np.random.default_rng(10)
+        x = rng.uniform(-1, 4, size=(30, 5)).astype(np.float32)
+        q = BucketQuantizer(8)
+        ids, reps, lo, hi = q.encode_ids(x)
+        mask = rng.random(30) < 0.5
+        sub = x[mask]
+        sliced = q.from_ids(
+            ids.reshape(x.shape)[mask].ravel(), sub.shape, reps, lo, hi
+        )
+        direct = q.encode(sub, lo=lo, hi=hi)
+        assert sliced.packed.tobytes() == direct.packed.tobytes()
+        np.testing.assert_array_equal(
+            sliced.bucket_values, direct.bucket_values
+        )

@@ -1,0 +1,105 @@
+"""The hot-path optimizations must be invisible in every result.
+
+Buffer pooling and thread fan-out change *when and where* work happens,
+never *what* is computed or charged: with the knobs on, loss curves,
+total traffic and per-category traffic must be bit-identical to the
+sequential, allocate-per-call configuration — and both knobs must
+default to off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import ECGraphTrainer, ModelConfig
+from repro.core.config import ECGraphConfig
+from repro.graph import load_dataset
+
+
+def _train(graph, granularity, **overrides):
+    config = ECGraphConfig(
+        trend_period=3, selector_granularity=granularity, **overrides
+    )
+    trainer = ECGraphTrainer(
+        graph, ModelConfig(num_layers=2, hidden_dim=16),
+        ClusterSpec(num_workers=3), config,
+    )
+    result = trainer.train(5)
+    losses = [epoch.loss for epoch in result.epochs]
+    meter = trainer.runtime.meter
+    if trainer.nac is not None:
+        trainer.nac.close()
+    return losses, meter.total_bytes, meter.category_totals()
+
+
+class TestOptimizationsAreBitInvisible:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("cora", profile="tiny", seed=1)
+
+    @pytest.mark.parametrize("granularity", ["vertex", "element", "matrix"])
+    def test_pool_and_threads_bit_identical(self, graph, granularity):
+        base = _train(graph, granularity)
+        optimized = _train(
+            graph, granularity, halo_buffer_pool=True, exchange_threads=4
+        )
+        assert base[0] == optimized[0]  # identical loss sequence
+        assert base[1] == optimized[1]  # identical total traffic
+        assert base[2] == optimized[2]  # identical per-category traffic
+
+    def test_buffer_pool_alone_bit_identical(self, graph):
+        base = _train(graph, "vertex")
+        pooled = _train(graph, "vertex", halo_buffer_pool=True)
+        assert base == pooled
+
+
+class TestKnobDefaults:
+    def test_defaults_off(self):
+        config = ECGraphConfig()
+        assert config.halo_buffer_pool is False
+        assert config.exchange_threads == 0
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ValueError, match="exchange_threads"):
+            ECGraphConfig(exchange_threads=-1)
+
+
+class TestPooledBufferSemantics:
+    def test_pooled_halos_zeroed_between_exchanges(self):
+        from repro.cluster.engine import ClusterRuntime
+        from repro.cluster.topology import ClusterSpec as EngineSpec
+        from repro.core.messages import RawPolicy
+        from repro.core.nac import NeighborAccessController
+        from repro.core.worker import build_worker_states
+        from repro.graph.normalize import gcn_normalize
+        from repro.partition.hashing import HashPartitioner
+
+        graph = load_dataset("cora", profile="tiny", seed=2)
+        normalized = gcn_normalize(graph.adjacency)
+        partition = HashPartitioner().partition(graph.adjacency, 3)
+        workers = build_worker_states(graph, normalized, partition)
+        runtime = ClusterRuntime(EngineSpec(num_workers=3))
+        nac = NeighborAccessController(runtime, workers, buffer_pool=True)
+
+        values = [np.ones((s.num_local, 4), dtype=np.float32)
+                  for s in workers]
+        first = nac.exchange(
+            layer=0, t=0, rows_of=lambda s: values[s.worker_id],
+            policy=RawPolicy(), category="fp_embeddings", dim=4,
+        )
+        # Poison the pooled buffers, then exchange a subset that serves
+        # no rows: untouched halo slots must read zero, not stale data.
+        for halo in first:
+            halo.fill(99.0)
+        empty_subset = {
+            (owner, state.worker_id): np.zeros(0, dtype=np.int64)
+            for state in workers for owner in state.halo_slots
+        }
+        second = nac.exchange(
+            layer=0, t=1, rows_of=lambda s: values[s.worker_id],
+            policy=RawPolicy(), category="fp_embeddings", dim=4,
+            subset=empty_subset,
+        )
+        for prev, halo in zip(first, second):
+            assert halo is prev  # the pool reused the buffer ...
+            assert not halo.any()  # ... and zeroed it in place

@@ -1,0 +1,109 @@
+"""Wire-size invariants: every byte count a policy *charges* must equal
+the length of the bytes the serializer actually *produces*.
+
+The traffic meter bills the computed ``nbytes`` of each message, so any
+drift between the accounting arithmetic and the real frames would skew
+every traffic figure the reproduction reports. These tests pin exact
+equality — no tolerances — across granularities, bit widths, table
+modes, and the all-predicted (empty subset) selector edge case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.serialize import (
+    encode_exact,
+    encode_quantized,
+    encode_selector,
+)
+from repro.compression.quantization import SUPPORTED_BITS, BucketQuantizer
+from repro.core.bit_tuner import BitTuner
+from repro.core.messages import ChannelKey
+from repro.core.reqec_fp import SELECT_PREDICTED, ReqECPolicy
+
+
+@pytest.fixture
+def rows():
+    rng = np.random.default_rng(0)
+    return rng.uniform(-2.0, 3.0, size=(19, 7)).astype(np.float32)
+
+
+def _policy(granularity, table_mode="table", bits=4):
+    return ReqECPolicy(
+        BitTuner(initial_bits=bits, enabled=False),
+        trend_period=4,
+        granularity=granularity,
+        table_mode=table_mode,
+    )
+
+
+class TestQuantizedPayloadBytes:
+    @pytest.mark.parametrize("bits", SUPPORTED_BITS)
+    @pytest.mark.parametrize("mode", ["table", "bounds"])
+    def test_payload_bytes_equals_frame_length(self, rows, bits, mode):
+        quantized = BucketQuantizer(bits, mode).encode(rows)
+        assert quantized.payload_bytes() == len(encode_quantized(quantized))
+
+    @pytest.mark.parametrize("mode", ["table", "bounds"])
+    def test_empty_matrix_payload_bytes(self, mode):
+        quantized = BucketQuantizer(4, mode).encode(
+            np.zeros((0, 7), dtype=np.float32), lo=-1.0, hi=2.0
+        )
+        assert quantized.payload_bytes() == len(encode_quantized(quantized))
+
+
+class TestReqECAccounting:
+    @pytest.mark.parametrize("granularity", ["vertex", "element", "matrix"])
+    def test_boundary_message_is_exact_frame(self, rows, granularity):
+        policy = _policy(granularity)
+        message = policy.respond(ChannelKey(0, 0, 1), rows, t=3)
+        assert message.payload[0] == "exact"
+        _, sent, m_cr = message.payload
+        assert message.nbytes == len(encode_exact(sent, m_cr))
+
+    @pytest.mark.parametrize("granularity", ["vertex", "element", "matrix"])
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    @pytest.mark.parametrize("mode", ["table", "bounds"])
+    def test_selector_message_is_selector_frame(
+        self, rows, granularity, bits, mode
+    ):
+        policy = _policy(granularity, table_mode=mode, bits=bits)
+        key = ChannelKey(0, 0, 1)
+        policy.respond(key, rows, t=3)  # boundary primes the trend
+        message = policy.respond(key, rows + 0.05, t=4)
+        assert message.payload[0] == "cps"
+        _, selection, quantized, lo, hi, _ = message.payload
+        frame = encode_selector(
+            selection, quantized, message.meta["proportion"]
+        )
+        assert message.nbytes == len(frame)
+
+    @pytest.mark.parametrize("granularity", ["vertex", "element", "matrix"])
+    def test_first_group_message_is_quant_frame(self, rows, granularity):
+        # t inside the first trend group, before any boundary: the
+        # responder has no snapshot and ships plain compressed rows.
+        policy = _policy(granularity)
+        message = policy.respond(ChannelKey(0, 0, 1), rows, t=1)
+        assert message.payload[0] == "cps_only"
+        quantized = message.payload[1]
+        assert message.nbytes == len(encode_quantized(quantized))
+
+    @pytest.mark.parametrize("granularity", ["vertex", "element"])
+    def test_all_predicted_selector_is_empty_but_sized(
+        self, rows, granularity
+    ):
+        """The empty-mask edge: every vertex predicted, the quantized
+        subset ships zero ids — the frame still carries the selector,
+        the true (lo, hi) domain, and the accounting still matches."""
+        policy = _policy(granularity)
+        quantizer = BucketQuantizer(4)
+        ids, reps, lo, hi = quantizer.encode_ids(rows)
+        shape = rows.shape if granularity == "element" else rows.shape[:1]
+        selection = np.full(shape, SELECT_PREDICTED, dtype=np.uint8)
+        quantized, nbytes = policy._build_compressed_payload(
+            rows, selection, quantizer, ids, reps, lo, hi
+        )
+        assert quantized.num_elements == 0
+        assert quantized.lo == lo and quantized.hi == hi
+        frame = encode_selector(selection, quantized, 1.0)
+        assert nbytes == len(frame)
