@@ -15,7 +15,6 @@ from _helpers import HIDDEN, LAYERS, bench_graph, dataset_header, run_once
 
 from repro.analysis.reporting import format_table
 from repro.baselines import run_system
-from repro.graph.datasets import PAPER_STATS
 
 DATASETS = ("cora", "pubmed", "reddit", "ogbn-products")
 SYSTEMS = ("dgl", "distgnn", "ecgraph", "distdgl", "agl", "aligraph",

@@ -71,7 +71,7 @@ def test_theorem1_bound(benchmark):
         rows,
         title="Theorem 1: synthetic gradient streams",
     ))
-    print(f"Training residual max-norm trace (first/last 5): "
+    print("Training residual max-norm trace (first/last 5): "
           f"{['%.3f' % n for n in norms[:5]]} ... "
           f"{['%.3f' % n for n in norms[-5:]]}")
 

@@ -197,7 +197,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
     print(graph.summary())
     print(f"scenario {args.scenario!r}: training fault-free baseline and "
-          f"faulty twin ...", file=sys.stderr)
+          "faulty twin ...", file=sys.stderr)
     report = run_chaos(
         graph, args.scenario,
         system=args.system, num_layers=args.layers, hidden_dim=args.hidden,

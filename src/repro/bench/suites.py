@@ -5,8 +5,10 @@ Three levels of the same hot path, so a regression can be localized:
 * ``kernels`` — ``pack_bits`` / ``unpack_bits`` per bit width, new
   kernels against the bit-matrix references
   (:mod:`repro.bench.reference`), in ns/element;
-* ``exchange`` — one full NAC halo exchange under ``CompressPolicy``,
-  sequential vs buffer-pooled vs thread-pooled;
+* ``exchange`` — one full halo exchange through the unified transport
+  layer (:class:`~repro.engine.transport.HaloTransport`, via its
+  :class:`~repro.core.nac.NeighborAccessController` facade) under
+  ``CompressPolicy``, sequential vs buffer-pooled vs thread-pooled;
 * ``epoch`` — wall seconds of ``ECGraphTrainer.run_epoch`` with the
   default config vs the pooled+threaded config.
 

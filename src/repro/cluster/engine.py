@@ -13,6 +13,15 @@ recovers distributed timing by accounting:
 
 ``epoch_time = max_w compute_w / speed + comm_time`` is the synchronous
 (BSP) execution model that both EC-Graph and the baselines follow.
+
+Charging clients: the staged training engine reaches the runtime through
+its :class:`~repro.engine.context.ExchangeContext` — the halo transport
+(:class:`~repro.engine.transport.HaloTransport`) charges per-channel
+codec time and wire bytes, the stages wrap worker kernels in
+:meth:`ClusterRuntime.worker_compute`, and the parameter servers charge
+pulls/pushes. The runtime's ``telemetry`` handle is the same object the
+context carries, so span attribution and traffic accounting stay
+aligned.
 """
 
 from __future__ import annotations

@@ -14,9 +14,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["BitTuner"]
+__all__ = [
+    "BitTuner",
+    "BIT_LADDER",
+    "DEFAULT_RAISE_THRESHOLD",
+    "DEFAULT_LOWER_THRESHOLD",
+]
 
 BIT_LADDER = (1, 2, 4, 8, 16)
+
+# The paper's tuning thresholds on the predicted proportion (section
+# IV-B): double the width above 60%, halve it below 40%. These are the
+# single source of truth — ``ECGraphConfig.tuner_raise``/``tuner_lower``
+# default to them.
+DEFAULT_RAISE_THRESHOLD = 0.6
+DEFAULT_LOWER_THRESHOLD = 0.4
 
 
 @dataclass
@@ -33,8 +45,8 @@ class BitTuner:
     """
 
     initial_bits: int = 4
-    raise_threshold: float = 0.6
-    lower_threshold: float = 0.4
+    raise_threshold: float = DEFAULT_RAISE_THRESHOLD
+    lower_threshold: float = DEFAULT_LOWER_THRESHOLD
     enabled: bool = True
     # Called as ``observer(pair, new_bits)`` on every width change; the
     # telemetry health monitor hooks in here to audit the trajectory.

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
+from repro.core.bit_tuner import (
+    DEFAULT_LOWER_THRESHOLD,
+    DEFAULT_RAISE_THRESHOLD,
+)
 from repro.faults.config import FAULTS_DISABLED, FaultConfig
 from repro.obs.config import OBS_DISABLED, ObsConfig
 
@@ -107,8 +111,8 @@ class ECGraphConfig:
     adaptive_bits: bool = True
     trend_period: int = 10
     selector_granularity: str = "vertex"
-    tuner_raise: float = 0.6
-    tuner_lower: float = 0.4
+    tuner_raise: float = DEFAULT_RAISE_THRESHOLD
+    tuner_lower: float = DEFAULT_LOWER_THRESHOLD
     delayed_rounds: int = 5
     cache_first_hop: bool = True
     transform_first: bool = True

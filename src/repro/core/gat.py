@@ -5,111 +5,43 @@ model exchanging the same message types: "GAT fetches embeddings from
 in-neighbors in FP and embedding gradients from out-neighbors in BP".
 This module delivers that claim: a multi-head, head-averaging GAT whose
 forward halo exchange is the ordinary embedding fetch (so ReqEC-FP
-applies unchanged), and whose backward pass uses the NAC's *reverse*
-exchange — consumers push partial gradients of the remote embeddings
-they attended over back to the owners (so ResEC-BP applies to those
-messages).
+applies unchanged), and whose backward pass uses the transport's
+*reverse* exchange — consumers push partial gradients of the remote
+embeddings they attended over back to the owners (so ResEC-BP applies
+to those messages).
 
-Per layer and head ``k``, with ``U_k = H W_k``, attention logits
-``r_ij = LeakyReLU(a_src_k . U_k_i + a_dst_k . U_k_j)`` over the edges
-``i <- j`` (self-loops included), attention ``alpha_k = softmax_j(r)``
-and output ``Z_i = mean_k sum_j alpha_k_ij U_k_j + b`` (head averaging
-keeps the layer-dimension ladder unchanged, as in the GAT paper's final
-layers). All gradients are derived by hand and verified against finite
-differences in the test suite.
+The attention math (hand-derived gradients, verified against finite
+differences in the test suite) lives in
+:class:`repro.engine.backends.GATBackend`; ``GATTrainer`` is the facade
+that selects it, sharing the staged forward/backward plumbing with GCN
+and SAGE.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.models import bias_name, weight_name
 from repro.core.trainer import ECGraphTrainer
-from repro.core.worker import WorkerState
-from repro.nn.init import glorot_uniform
-from repro.nn.losses import softmax_cross_entropy
+from repro.engine import GATBackend
+from repro.engine.backends import (
+    attn_dst_name,
+    attn_src_name,
+    head_weight_name,
+)
 
 __all__ = ["GATTrainer", "attn_src_name", "attn_dst_name",
            "head_weight_name"]
-
-_LEAKY_SLOPE = 0.2
-
-
-def attn_src_name(layer: int, head: int = 0) -> str:
-    """Parameter key of a head's source attention vector ``a_src``."""
-    return f"asrc{layer}" if head == 0 else f"asrc{layer}h{head}"
-
-
-def attn_dst_name(layer: int, head: int = 0) -> str:
-    """Parameter key of a head's target attention vector ``a_dst``."""
-    return f"adst{layer}" if head == 0 else f"adst{layer}h{head}"
-
-
-def head_weight_name(layer: int, head: int = 0) -> str:
-    """Parameter key of a head's transform ``W``; head 0 reuses ``W{l}``."""
-    return weight_name(layer) if head == 0 else f"W{layer}h{head}"
-
-
-def _leaky(x: np.ndarray) -> np.ndarray:
-    return np.where(x > 0.0, x, _LEAKY_SLOPE * x)
-
-
-def _leaky_grad(x: np.ndarray) -> np.ndarray:
-    return np.where(x > 0.0, 1.0, _LEAKY_SLOPE).astype(np.float32)
-
-
-class _EdgeSpace:
-    """Per-worker edge arrays derived from the local adjacency structure.
-
-    Attributes:
-        src: Edge source (local row id) per edge, aligned with ``col``.
-        col: Edge target in the worker's compact (local + halo) space.
-        num_local / num_cat: Row/column counts of the local adjacency.
-    """
-
-    def __init__(self, state: WorkerState):
-        indptr = state.a_local.indptr
-        self.col = state.a_local.indices.astype(np.int64)
-        self.src = np.repeat(
-            np.arange(state.num_local, dtype=np.int64), np.diff(indptr)
-        )
-        self.num_local = state.num_local
-        self.num_cat = state.num_local + state.num_halo
-
-    def segment_softmax(self, logits: np.ndarray) -> np.ndarray:
-        """Softmax of edge logits within each source vertex's edge set."""
-        seg_max = np.full(self.num_local, -np.inf, dtype=np.float64)
-        np.maximum.at(seg_max, self.src, logits)
-        shifted = np.exp(logits - seg_max[self.src])
-        seg_sum = np.zeros(self.num_local, dtype=np.float64)
-        np.add.at(seg_sum, self.src, shifted)
-        return (shifted / seg_sum[self.src]).astype(np.float32)
-
-
-class _GATCache:
-    """Forward state one worker keeps per layer for the backward pass.
-
-    ``u_cat`` / ``logits`` / ``alpha`` are lists with one entry per
-    attention head.
-    """
-
-    def __init__(self, h_cat, u_cat, logits, alpha, z, output):
-        self.h_cat = h_cat
-        self.u_cat = u_cat
-        self.logits = logits  # raw (pre-LeakyReLU) attention scores
-        self.alpha = alpha
-        self.z = z
-        self.output = output
 
 
 class GATTrainer(ECGraphTrainer):
     """Full-batch distributed GAT training (``num_heads`` averaged heads).
 
     Reuses the ECGraphTrainer's setup (partitioning, worker states,
-    parameter servers, policies, NAC) and replaces the per-layer math.
-    The forward policy (raw / compress / ReqEC-FP) governs the embedding
-    fetches exactly as for GCN; the backward policy (raw / compress /
-    ResEC-BP) governs the reverse partial-gradient pushes.
+    parameter servers, policies, transport) and swaps in the GAT
+    backend's per-layer math. The forward policy (raw / compress /
+    ReqEC-FP) governs the embedding fetches exactly as for GCN; the
+    backward policy (raw / compress / ResEC-BP) governs the reverse
+    partial-gradient pushes.
     """
 
     def __init__(self, *args, num_heads: int = 1, **kwargs):
@@ -118,306 +50,17 @@ class GATTrainer(ECGraphTrainer):
         super().__init__(*args, **kwargs)
         self.num_heads = num_heads
 
-    def setup(self) -> None:
-        if self._setup_done:
-            return
-        super().setup()
-        # Attention (and extra-head weight) parameters join the servers
-        # next to each layer's W/b. Head 0 reuses the base W so a
-        # one-head GAT shares the GCN parameter layout.
-        rng = np.random.default_rng(self.config.seed + 7)
-        for layer in range(self.params.num_layers):
-            d_in, d_out = self.params.dims[layer], self.params.dims[layer + 1]
-            for head in range(self.num_heads):
-                if head > 0:
-                    self.servers.register(
-                        head_weight_name(layer, head),
-                        glorot_uniform((d_in, d_out), rng),
-                    )
-                self.servers.register(
-                    attn_src_name(layer, head),
-                    glorot_uniform((d_out,), rng) * 0.5,
-                )
-                self.servers.register(
-                    attn_dst_name(layer, head),
-                    glorot_uniform((d_out,), rng) * 0.5,
-                )
-        self._edges = [_EdgeSpace(state) for state in self.workers]
-        self._gat_caches: list[list[_GATCache | None]] = []
+    def _make_backend(self) -> GATBackend:
+        return GATBackend(num_heads=self.num_heads)
 
+    # ------------------------------------------------------------------
+    # Compatibility shims over the backend (exercised by the test suite)
     # ------------------------------------------------------------------
     def _layer_params(self, layer: int) -> list[str]:
-        names = []
-        for head in range(self.num_heads):
-            names.extend([
-                head_weight_name(layer - 1, head),
-                attn_src_name(layer - 1, head),
-                attn_dst_name(layer - 1, head),
-            ])
-        if self.params.use_bias:
-            names.append(bias_name(layer - 1))
-        return names
+        return self._backend.layer_param_names(layer)
 
-    def _head_params(self, params: dict, layer: int, head: int):
-        return (
-            params[head_weight_name(layer - 1, head)],
-            params[attn_src_name(layer - 1, head)],
-            params[attn_dst_name(layer - 1, head)],
+    def _gat_layer_forward(self, worker: int, h_cat: np.ndarray,
+                           params: dict, layer: int, is_last: bool):
+        return self._backend.gat_layer_forward(
+            worker, h_cat, params, layer, is_last=is_last
         )
-
-    def _gat_layer_forward(self, worker: int, h_cat, params: dict,
-                           layer: int, is_last: bool) -> _GATCache:
-        """One multi-head GAT layer on a worker's local vertices."""
-        edges = self._edges[worker]
-        u_heads, logit_heads, alpha_heads = [], [], []
-        z = None
-        for head in range(self.num_heads):
-            weight, a_src, a_dst = self._head_params(params, layer, head)
-            u_cat = (h_cat @ weight).astype(np.float32)
-            s = u_cat[:edges.num_local] @ a_src
-            d = u_cat @ a_dst
-            logits = s[edges.src] + d[edges.col]
-            alpha = edges.segment_softmax(_leaky(logits))
-            z_head = np.zeros(
-                (edges.num_local, u_cat.shape[1]), dtype=np.float32
-            )
-            np.add.at(z_head, edges.src, alpha[:, None] * u_cat[edges.col])
-            z = z_head if z is None else z + z_head
-            u_heads.append(u_cat)
-            logit_heads.append(logits)
-            alpha_heads.append(alpha)
-        z = (z / self.num_heads).astype(np.float32)
-        bias = params.get(bias_name(layer - 1))
-        if bias is not None:
-            z = z + bias
-        output = z if is_last else self.params.activation(z).astype(np.float32)
-        return _GATCache(h_cat, u_heads, logit_heads, alpha_heads, z, output)
-
-    def _forward(self, t: int):
-        num_layers = self.params.num_layers
-        self._gat_caches = [
-            [None] * (num_layers + 1) for _ in self.workers
-        ]
-        for state in self.workers:
-            state.reset_iteration(num_layers)
-
-        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
-        total_loss = 0.0
-
-        for layer in range(1, num_layers + 1):
-            names = self._layer_params(layer)
-            pulled = {
-                state.worker_id: self.servers.pull(state.worker_id, names)
-                for state in self.workers
-            }
-            halos = self._forward_halos_gat(layer, t)
-            for state in self.workers:
-                i = state.worker_id
-                prev = (
-                    state.features
-                    if layer == 1
-                    else self._gat_caches[i][layer - 1].output
-                )
-                with self.runtime.worker_compute(i):
-                    h_cat = np.concatenate([prev, halos[i]], axis=0)
-                    cache = self._gat_layer_forward(
-                        i, h_cat, pulled[i], layer,
-                        is_last=(layer == num_layers),
-                    )
-                self._gat_caches[i][layer] = cache
-
-        for state in self.workers:
-            i = state.worker_id
-            logits = self._gat_caches[i][num_layers].output
-            with self.runtime.worker_compute(i):
-                result = softmax_cross_entropy(
-                    logits, state.labels, state.train_mask
-                )
-                local = int(state.train_mask.sum())
-                scale = local / self._global_train_count if local else 0.0
-                state.grad_rows[num_layers] = (result.grad * scale).astype(
-                    np.float32
-                )
-                total_loss += result.loss * scale
-                counters["train"][0] += result.correct
-                counters["train"][1] += result.count
-                predictions = logits.argmax(axis=1)
-                for split, mask in (("val", state.val_mask),
-                                    ("test", state.test_mask)):
-                    counters[split][0] += int(
-                        (predictions[mask] == state.labels[mask]).sum()
-                    )
-                    counters[split][1] += int(mask.sum())
-
-        if self.config.fp_mode == "reqec":
-            for pair, proportion in self.nac.last_proportions().items():
-                self.tuner.update(pair, proportion)
-        return total_loss, {
-            split: (c, n) for split, (c, n) in counters.items()
-        }
-
-    def _forward_halos_gat(self, layer: int, t: int):
-        if layer == 1 and self.config.cache_first_hop:
-            return [state.halo_features for state in self.workers]
-        if layer == 1:
-            return self.nac.exchange(
-                layer=0, t=t, rows_of=lambda s: s.features,
-                policy=self._fp_policy, category="fp_embeddings",
-                dim=self.graph.feature_dim,
-            )
-        return self.nac.exchange(
-            layer=layer - 1, t=t,
-            rows_of=lambda s, _l=layer: self._gat_caches[s.worker_id][
-                _l - 1
-            ].output,
-            policy=self._fp_policy, category="fp_embeddings",
-            dim=self.params.dims[layer - 1],
-        )
-
-    # ------------------------------------------------------------------
-    def _backward(self, t: int) -> None:
-        num_layers = self.params.num_layers
-        grads: dict[int, dict[str, np.ndarray]] = {
-            state.worker_id: {} for state in self.workers
-        }
-
-        for layer in range(num_layers, 0, -1):
-            head_params = [
-                (
-                    self.servers.get(head_weight_name(layer - 1, head)),
-                    self.servers.get(attn_src_name(layer - 1, head)),
-                    self.servers.get(attn_dst_name(layer - 1, head)),
-                )
-                for head in range(self.num_heads)
-            ]
-
-            # Each worker computes its partial dH over the cat space
-            # (summed over heads) plus its parameter-gradient shares.
-            dh_partials: list[np.ndarray] = []
-            for state in self.workers:
-                i = state.worker_id
-                edges = self._edges[i]
-                cache = self._gat_caches[i][layer]
-                # Head averaging: each head sees G / num_heads.
-                g = state.grad_rows[layer] / self.num_heads
-                with self.runtime.worker_compute(i):
-                    dh = np.zeros_like(cache.h_cat)
-                    g_src = g[edges.src]
-                    for head, (weight, a_src, a_dst) in enumerate(head_params):
-                        u_cat = cache.u_cat[head]
-                        alpha = cache.alpha[head]
-                        logits = cache.logits[head]
-                        du = np.zeros_like(u_cat)
-                        u_col = u_cat[edges.col]
-                        # Through the weighted sum Z_i = sum alpha U_j.
-                        np.add.at(du, edges.col, alpha[:, None] * g_src)
-                        # Through the attention coefficients.
-                        dalpha = np.einsum("ed,ed->e", g_src, u_col)
-                        seg_dot = np.zeros(edges.num_local, dtype=np.float64)
-                        np.add.at(seg_dot, edges.src, alpha * dalpha)
-                        de = alpha * (dalpha - seg_dot[edges.src])
-                        dr = (de * _leaky_grad(logits)).astype(np.float32)
-                        ds = np.zeros(edges.num_local, dtype=np.float32)
-                        np.add.at(ds, edges.src, dr)
-                        dd = np.zeros(edges.num_cat, dtype=np.float32)
-                        np.add.at(dd, edges.col, dr)
-                        du[:edges.num_local] += ds[:, None] * a_src[None, :]
-                        du += dd[:, None] * a_dst[None, :]
-
-                        grads[i][attn_src_name(layer - 1, head)] = (
-                            ds @ u_cat[:edges.num_local]
-                        ).astype(np.float32)
-                        grads[i][attn_dst_name(layer - 1, head)] = (
-                            dd @ u_cat
-                        ).astype(np.float32)
-                        grads[i][head_weight_name(layer - 1, head)] = (
-                            cache.h_cat.T @ du
-                        ).astype(np.float32)
-                        dh += du @ weight.T
-                    if self.params.use_bias:
-                        grads[i][bias_name(layer - 1)] = (
-                            state.grad_rows[layer].sum(axis=0)
-                        ).astype(np.float32)
-                dh_partials.append(dh)
-
-            if layer > 1:
-                # Owners collect the halo partials of dH (the paper's
-                # "embedding gradients from out-neighbors").
-                remote_sums = self.nac.reverse_exchange(
-                    layer=layer, t=t,
-                    halo_rows_of=lambda s: dh_partials[s.worker_id][
-                        s.num_local:
-                    ],
-                    policy=self._bp_policy, category="bp_gradients",
-                    dim=self.params.dims[layer - 1],
-                )
-                for state in self.workers:
-                    i = state.worker_id
-                    cache_prev = self._gat_caches[i][layer - 1]
-                    with self.runtime.worker_compute(i):
-                        dh_total = (
-                            dh_partials[i][:state.num_local] + remote_sums[i]
-                        )
-                        state.grad_rows[layer - 1] = (
-                            dh_total * self.params.activation.derivative(
-                                cache_prev.z
-                            )
-                        ).astype(np.float32)
-
-        for state in self.workers:
-            self.servers.push(state.worker_id, grads[state.worker_id])
-        self.servers.apply_updates()
-
-    # ------------------------------------------------------------------
-    def evaluate_exact(self) -> dict[str, float]:
-        """Exact-communication GAT inference (mirrors the GCN version)."""
-        from repro.cluster.engine import ClusterRuntime
-        from repro.core.messages import RawPolicy
-        from repro.core.nac import NeighborAccessController
-
-        self.setup()
-        scratch_runtime = ClusterRuntime(self.spec)
-        scratch_nac = NeighborAccessController(
-            scratch_runtime, self.workers, self.config.codec_speedup
-        )
-        raw = RawPolicy()
-        num_layers = self.params.num_layers
-
-        outputs = [state.features for state in self.workers]
-        for layer in range(1, num_layers + 1):
-            params = {
-                name: self.servers.get(name)
-                for name in self._layer_params(layer)
-            }
-            if layer == 1 and self.config.cache_first_hop:
-                halos = [state.halo_features for state in self.workers]
-            else:
-                halos = scratch_nac.exchange(
-                    layer=layer - 1, t=0,
-                    rows_of=lambda s: outputs[s.worker_id],
-                    policy=raw, category="eval",
-                    dim=outputs[0].shape[1],
-                )
-            new_outputs = []
-            for state in self.workers:
-                i = state.worker_id
-                h_cat = np.concatenate([outputs[i], halos[i]], axis=0)
-                cache = self._gat_layer_forward(
-                    i, h_cat, params, layer,
-                    is_last=(layer == num_layers),
-                )
-                new_outputs.append(cache.output)
-            outputs = new_outputs
-
-        metrics = {}
-        for split, mask_of in (("train", lambda s: s.train_mask),
-                               ("val", lambda s: s.val_mask),
-                               ("test", lambda s: s.test_mask)):
-            correct = count = 0
-            for state in self.workers:
-                mask = mask_of(state)
-                predictions = outputs[state.worker_id].argmax(axis=1)
-                correct += int((predictions[mask] == state.labels[mask]).sum())
-                count += int(mask.sum())
-            metrics[split] = correct / count if count else 0.0
-        return metrics

@@ -2,58 +2,32 @@
 
 The NAC mediates every halo exchange: local neighbours come out of shared
 memory for free, remote neighbours go through an exchange policy, the
-traffic meter and the compute clocks. Since the simulator runs workers
-sequentially, responder and requester codec time is measured directly and
-charged to the right worker, scaled by the configured codec speedup
-(emulating the original C++ compression kernels; see DESIGN.md).
+traffic meter and the compute clocks.
 
-Two optional hot-path optimizations (both off by default, see
-``docs/performance.md``):
-
-* **buffer pooling** — halo (and reverse-accumulator) matrices are
-  reused across exchanges, keyed by ``(kind, worker, dim)`` and zeroed
-  in place, instead of being reallocated per layer per iteration
-  (DGL-style zero-copy halo buffers). Pooled buffers are only valid
-  until the next exchange call; every caller consumes them immediately.
-* **thread-pool fan-out** — the independent (responder, requester)
-  channels encode and decode concurrently (numpy releases the GIL in
-  its kernels). Results are merged and charged to the TrafficMeter /
-  ClusterRuntime in the same fixed channel order as the sequential
-  loop, from per-channel measured times, so accounting structure and
-  halo contents are identical to the sequential path. The fan-out
-  engages only on the fault-free, telemetry-off path; otherwise the
-  NAC silently falls back to the sequential loop.
+Since the staged-engine refactor the exchange machinery itself lives in
+:class:`repro.engine.transport.HaloTransport` — one transport layer
+serving the sequential, pooled and threaded paths in both directions
+through per-channel :class:`~repro.engine.transport.ChannelSession`
+plans. ``NeighborAccessController`` is the compatibility name for that
+transport: constructing one is exactly constructing a
+:class:`HaloTransport` (same arguments, same accounting, same
+fault-tolerance behaviour), and existing callers — the benches, the
+robustness suite, direct users of ``exchange``/``reverse_exchange`` —
+keep working unchanged. See ``docs/engine.md`` for the transport's
+design notes (buffer pooling, thread fan-out, degradation ladder).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Callable
-
-import numpy as np
-
-from repro.cluster.engine import ClusterRuntime
-from repro.core.messages import ChannelKey, ChannelMessage, ExchangePolicy
-from repro.core.worker import WorkerState
-from repro.faults.injector import FATE_CORRUPT, FATE_DELAY, FATE_DROP
+from repro.engine.transport import ChannelSession, HaloTransport
 
 __all__ = ["NeighborAccessController"]
 
-
-@dataclass
-class _Channel:
-    """One (responder, requester) exchange planned for this round."""
-
-    key: ChannelKey
-    owner: int
-    requester: int
-    slots: np.ndarray
-    served: np.ndarray
-    rows_idx: np.ndarray | None
+# Historical private alias: the per-channel plan used to be ``_Channel``.
+_Channel = ChannelSession
 
 
-class NeighborAccessController:
+class NeighborAccessController(HaloTransport):
     """Runs one halo exchange across all worker pairs.
 
     When a :class:`~repro.faults.FaultInjector` is attached (see
@@ -71,504 +45,3 @@ class NeighborAccessController:
         threads: Fan the independent channels of one exchange out over
             this many threads; ``0``/``1`` keeps the sequential loop.
     """
-
-    def __init__(
-        self,
-        runtime: ClusterRuntime,
-        workers: list[WorkerState],
-        codec_speedup: float = 20.0,
-        buffer_pool: bool = False,
-        threads: int = 0,
-    ):
-        if codec_speedup <= 0:
-            raise ValueError("codec_speedup must be positive")
-        if threads < 0:
-            raise ValueError("threads must be non-negative")
-        self.runtime = runtime
-        self.workers = workers
-        self.codec_speedup = codec_speedup
-        self.buffer_pool = buffer_pool
-        self.threads = threads
-        self.telemetry = runtime.telemetry
-        # FaultInjector, attached by the trainer when faults are
-        # enabled; None keeps the exchange loop on the fault-free path.
-        self.injector = None
-        self._last_proportions: dict[tuple[int, int], float] = {}
-        # Last successfully received rows per channel, the stale-halo
-        # fallback of last resort. Populated only under fault injection.
-        self._halo_cache: dict[ChannelKey, np.ndarray] = {}
-        # (kind, worker, dim) -> pooled float32 buffer.
-        self._buffers: dict[tuple[str, int, int], np.ndarray] = {}
-        self._executor = None
-
-    # ------------------------------------------------------------------
-    # Buffer pool
-    # ------------------------------------------------------------------
-    def _buffer(self, kind: str, worker: int, rows: int, dim: int) -> np.ndarray:
-        """A zeroed ``(rows, dim)`` float32 buffer, pooled when enabled."""
-        if not self.buffer_pool:
-            return np.zeros((rows, dim), dtype=np.float32)
-        key = (kind, worker, dim)
-        buf = self._buffers.get(key)
-        if buf is None or buf.shape[0] != rows:
-            buf = np.zeros((rows, dim), dtype=np.float32)
-            self._buffers[key] = buf
-        else:
-            buf.fill(0.0)
-        return buf
-
-    # ------------------------------------------------------------------
-    # Thread pool
-    # ------------------------------------------------------------------
-    def _pool(self):
-        if self._executor is None:
-            from concurrent.futures import ThreadPoolExecutor
-
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.threads, thread_name_prefix="nac"
-            )
-        return self._executor
-
-    def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-
-    def _fan_out_ok(self, channels: list[_Channel]) -> bool:
-        """Threaded fan-out needs the fault-free, uninstrumented path:
-        fault fates consume a shared RNG stream in channel order and
-        span tracing timestamps interleave across threads."""
-        return (
-            self.threads > 1
-            and len(channels) > 1
-            and self.injector is None
-            and not self.telemetry.enabled
-        )
-
-    # ------------------------------------------------------------------
-    def exchange(
-        self,
-        layer: int,
-        t: int,
-        rows_of: Callable[[WorkerState], np.ndarray],
-        policy: ExchangePolicy,
-        category: str,
-        dim: int,
-        subset: dict[tuple[int, int], np.ndarray] | None = None,
-    ) -> list[np.ndarray]:
-        """Fetch remote rows for every worker; returns halo matrices.
-
-        Args:
-            layer: Layer id baked into the channel keys.
-            t: Iteration number (policies schedule on it).
-            rows_of: Maps a *responding* worker's state to the local
-                matrix whose rows are being served (e.g. its ``H^{l-1}``).
-            policy: The exchange policy for this direction.
-            category: Traffic category for the meter.
-            dim: Row width, used to size the halo buffers.
-            subset: Optional per-(responder, requester) indices into the
-                channel's full vertex list (sampling mode); channels not
-                present exchange all rows.
-
-        Returns:
-            One ``(num_halo, dim)`` array per worker, rows scattered into
-            the worker's halo ordering. Vertices outside a subset keep 0.
-            With the buffer pool enabled the arrays are only valid until
-            the next exchange.
-        """
-        halos = [
-            self._buffer("halo", state.worker_id, state.num_halo, dim)
-            for state in self.workers
-        ]
-        self._last_proportions.clear()
-        obs = self.telemetry
-        with obs.span("halo_exchange", layer=layer, category=category):
-            channels = self._plan(layer, rows_of, subset)
-            if self._fan_out_ok(channels):
-                self._exchange_threaded(channels, halos, t, policy, category)
-            else:
-                self._exchange_sequential(
-                    channels, halos, t, policy, category, dim
-                )
-        return halos
-
-    def _plan(
-        self,
-        layer: int,
-        rows_of: Callable[[WorkerState], np.ndarray],
-        subset: dict[tuple[int, int], np.ndarray] | None,
-    ) -> list[_Channel]:
-        """Materialize this round's channels in the canonical order.
-
-        The order — requesters ascending, then each requester's owners in
-        halo-slot insertion order — is what the sequential loop always
-        used; the threaded path merges its charges in exactly this order
-        so accounting is execution-schedule independent.
-        """
-        channels: list[_Channel] = []
-        for requester in self.workers:
-            i = requester.worker_id
-            for owner, slots in requester.halo_slots.items():
-                rows_idx = None
-                if subset is not None:
-                    rows_idx = subset.get((owner, i))
-                    if rows_idx is not None and rows_idx.size == 0:
-                        continue
-                responder = self.workers[owner]
-                serve_rows = responder.serves[i]
-                source = rows_of(responder)
-                if rows_idx is None:
-                    served = source[serve_rows]
-                else:
-                    served = source[serve_rows[rows_idx]]
-                channels.append(_Channel(
-                    key=ChannelKey(layer=layer, responder=owner, requester=i),
-                    owner=owner,
-                    requester=i,
-                    slots=slots,
-                    served=served,
-                    rows_idx=rows_idx,
-                ))
-        return channels
-
-    def _exchange_sequential(
-        self,
-        channels: list[_Channel],
-        halos: list[np.ndarray],
-        t: int,
-        policy: ExchangePolicy,
-        category: str,
-        dim: int,
-    ) -> None:
-        obs = self.telemetry
-        for ch in channels:
-            owner, i = ch.owner, ch.requester
-            with obs.span("encode", responder=owner, requester=i):
-                start = time.perf_counter()
-                message = policy.respond(
-                    ch.key, ch.served, t, rows_idx=ch.rows_idx
-                )
-                respond_wall = time.perf_counter() - start
-            self._charge_compute(owner, respond_wall, message.codec_seconds)
-
-            delivered = self._deliver(ch.key, message, owner, i, category)
-            if obs.enabled:
-                obs.metrics.inc(
-                    "halo_rows", ch.served.shape[0], category=category
-                )
-                obs.metrics.observe(
-                    "message_bytes", message.nbytes, category=category
-                )
-
-            if not delivered:
-                self._notify_failure(
-                    policy, ch.key, message, rows_idx=ch.rows_idx
-                )
-                rows = self._degraded_rows(
-                    policy, ch.key, t, ch.served.shape[0], dim
-                )
-                if rows is None:
-                    continue  # zeros: partial aggregation
-                if ch.rows_idx is None:
-                    halos[i][ch.slots] = rows
-                else:
-                    halos[i][ch.slots[ch.rows_idx]] = rows
-                continue
-
-            with obs.span("decode", responder=owner, requester=i):
-                start = time.perf_counter()
-                result = policy.receive(
-                    ch.key, message, t, rows_idx=ch.rows_idx
-                )
-                receive_wall = time.perf_counter() - start
-            self._charge_compute(i, receive_wall, result.codec_seconds)
-
-            if ch.rows_idx is None:
-                halos[i][ch.slots] = result.rows
-                if self.injector is not None:
-                    self._halo_cache[ch.key] = np.array(
-                        result.rows, copy=True
-                    )
-            else:
-                halos[i][ch.slots[ch.rows_idx]] = result.rows
-
-            self._record_proportion(ch, message, result)
-
-    def _exchange_threaded(
-        self,
-        channels: list[_Channel],
-        halos: list[np.ndarray],
-        t: int,
-        policy: ExchangePolicy,
-        category: str,
-    ) -> None:
-        """Encode/decode all channels concurrently, charge in order.
-
-        Channel computations are independent and deterministic given
-        (key, rows, t) and the policy's per-channel state, so the halo
-        contents are bit-identical to the sequential loop no matter how
-        the scheduler interleaves them. Only the *charging* order could
-        differ — so all meter/compute charges happen after each barrier,
-        in the canonical channel order, from per-channel measured times.
-        """
-        pool = self._pool()
-
-        def _respond(ch: _Channel) -> tuple[ChannelMessage, float]:
-            start = time.perf_counter()
-            message = policy.respond(ch.key, ch.served, t, rows_idx=ch.rows_idx)
-            return message, time.perf_counter() - start
-
-        responded = list(pool.map(_respond, channels))
-        for ch, (message, wall) in zip(channels, responded):
-            self._charge_compute(ch.owner, wall, message.codec_seconds)
-            self.runtime.send_worker_to_worker(
-                ch.owner, ch.requester, message.nbytes, category
-            )
-
-        def _receive(item: tuple[_Channel, tuple[ChannelMessage, float]]):
-            ch, (message, _) = item
-            start = time.perf_counter()
-            result = policy.receive(ch.key, message, t, rows_idx=ch.rows_idx)
-            return result, time.perf_counter() - start
-
-        received = list(pool.map(_receive, zip(channels, responded)))
-        for ch, (message, _), (result, wall) in zip(
-            channels, responded, received
-        ):
-            self._charge_compute(ch.requester, wall, result.codec_seconds)
-            if ch.rows_idx is None:
-                halos[ch.requester][ch.slots] = result.rows
-            else:
-                halos[ch.requester][ch.slots[ch.rows_idx]] = result.rows
-            self._record_proportion(ch, message, result)
-
-    def _record_proportion(self, ch, message, result) -> None:
-        proportion = result.meta.get("proportion")
-        if proportion is None:
-            proportion = message.meta.get("proportion")
-        if proportion is not None:
-            self._last_proportions[(ch.owner, ch.requester)] = float(proportion)
-
-    def reverse_exchange(
-        self,
-        layer: int,
-        t: int,
-        halo_rows_of: Callable[[WorkerState], np.ndarray],
-        policy: ExchangePolicy,
-        category: str,
-        dim: int,
-    ) -> list[np.ndarray]:
-        """Push halo-partial gradients back to their owners and sum them.
-
-        The mirror of :meth:`exchange`, needed by models with asymmetric
-        aggregation (GAT): each worker computed *partial* gradients for
-        the remote vertices it consumed; the owners must receive and sum
-        those partials. The paper describes this as fetching "embedding
-        gradients from out-neighbors" in the backward pass.
-
-        Args:
-            halo_rows_of: Maps a worker's state to its ``(num_halo, dim)``
-                partial-gradient matrix (halo ordering).
-
-        Returns:
-            One ``(num_local, dim)`` array per worker: the sum of the
-            partials every consumer computed for that worker's vertices.
-            With the buffer pool enabled the arrays are only valid until
-            the next exchange.
-        """
-        accumulated = [
-            self._buffer("local", state.worker_id, state.num_local, dim)
-            for state in self.workers
-        ]
-        obs = self.telemetry
-        with obs.span("halo_exchange", layer=layer, category=category,
-                      direction="reverse"):
-            for consumer in self.workers:
-                i = consumer.worker_id
-                partials = halo_rows_of(consumer)
-                for owner, slots in consumer.halo_slots.items():
-                    responder_rows = partials[slots]
-                    owner_state = self.workers[owner]
-                    local_rows = owner_state.serves[i]
-                    # Channel direction: consumer responds, owner requests.
-                    key = ChannelKey(layer=layer, responder=i, requester=owner)
-
-                    with obs.span("encode", responder=i, requester=owner):
-                        start = time.perf_counter()
-                        message = policy.respond(key, responder_rows, t)
-                        respond_wall = time.perf_counter() - start
-                    self._charge_compute(i, respond_wall, message.codec_seconds)
-
-                    delivered = self._deliver(key, message, i, owner, category)
-                    if obs.enabled:
-                        obs.metrics.inc(
-                            "halo_rows", responder_rows.shape[0],
-                            category=category,
-                        )
-                        obs.metrics.observe(
-                            "message_bytes", message.nbytes, category=category
-                        )
-
-                    if not delivered:
-                        # Lost partial gradients contribute zero this
-                        # iteration; error-feedback policies fold them
-                        # into the channel residual for the next one.
-                        self._notify_failure(policy, key, message)
-                        self.injector.counters.degraded_zero += 1
-                        if obs.enabled:
-                            obs.metrics.inc(
-                                "fault_degraded", kind="zero",
-                                category=category,
-                            )
-                        continue
-
-                    with obs.span("decode", responder=i, requester=owner):
-                        start = time.perf_counter()
-                        result = policy.receive(key, message, t)
-                        receive_wall = time.perf_counter() - start
-                    self._charge_compute(
-                        owner, receive_wall, result.codec_seconds
-                    )
-
-                    np.add.at(accumulated[owner], local_rows, result.rows)
-        return accumulated
-
-    def last_proportions(self) -> dict[tuple[int, int], float]:
-        """Predicted-selection proportions observed in the last exchange.
-
-        Keyed by (responder, requester); feeds the Bit-Tuner once per
-        iteration, after the final forward layer (Algorithm 3).
-        """
-        return dict(self._last_proportions)
-
-    # ------------------------------------------------------------------
-    # Fault tolerance
-    # ------------------------------------------------------------------
-    def _deliver(
-        self,
-        key: ChannelKey,
-        message: ChannelMessage,
-        src: int,
-        dst: int,
-        category: str,
-    ) -> bool:
-        """Attempt delivery with retransmission; returns success.
-
-        Every attempt — including failed ones, whose bytes were on the
-        wire before the loss — is charged to the traffic meter. Each
-        failed attempt stalls the receiving worker for the network's
-        loss-detection timeout (the RTO a reliable RPC layer waits
-        before declaring the message dead), retransmissions add the
-        retry policy's exponential backoff on top, and late deliveries
-        stall for the configured delay.
-        """
-        self.runtime.send_worker_to_worker(src, dst, message.nbytes, category)
-        injector = self.injector
-        if injector is None:
-            return True
-        obs = self.telemetry
-        timeout = self.runtime.spec.network.loss_detection_seconds(
-            message.nbytes
-        )
-        fate = injector.message_fate(key.layer, src, dst, category, 0)
-        attempt = 0
-        while fate in (FATE_DROP, FATE_CORRUPT):
-            if obs.enabled:
-                obs.metrics.inc(
-                    "fault_message_failures", category=category, fate=fate
-                )
-            self.runtime.add_stall(dst, timeout)
-            attempt += 1
-            if attempt > injector.config.max_retries:
-                return False
-            injector.counters.retries += 1
-            injector.counters.retry_bytes += message.nbytes
-            self.runtime.add_stall(dst, injector.backoff_seconds(attempt))
-            self.runtime.send_worker_to_worker(
-                src, dst, message.nbytes, category
-            )
-            if obs.enabled:
-                obs.metrics.inc("fault_retries", category=category)
-            fate = injector.message_fate(key.layer, src, dst, category, attempt)
-        if fate == FATE_DELAY:
-            self.runtime.add_stall(dst, injector.config.delay_seconds)
-            if obs.enabled:
-                obs.metrics.inc("fault_delays", category=category)
-        return True
-
-    def _notify_failure(
-        self,
-        policy: ExchangePolicy,
-        key: ChannelKey,
-        message: ChannelMessage,
-        rows_idx: np.ndarray | None = None,
-    ) -> None:
-        """Tell a stateful policy its message never arrived.
-
-        ReqEC-FP rolls back an unacknowledged trend snapshot so both
-        ends stay in sync; ResEC-BP folds the lost gradient into the
-        channel residual so error feedback re-ships it next iteration
-        (the handler returns True when it compensated that way).
-        """
-        handler = getattr(policy, "on_delivery_failure", None)
-        if handler is not None and handler(key, message, rows_idx=rows_idx):
-            self.injector.counters.residual_compensations += 1
-            if self.telemetry.enabled:
-                self.telemetry.metrics.inc("fault_residual_compensations")
-
-    def _degraded_rows(
-        self,
-        policy: ExchangePolicy,
-        key: ChannelKey,
-        t: int,
-        num_rows: int,
-        dim: int,
-    ) -> np.ndarray | None:
-        """Stale-halo substitute for an undeliverable forward message.
-
-        Preference order: the ReqEC-FP *predicted* candidate (requester
-        trend state needs no payload at all), then the channel's last
-        successfully received rows, then None (the halo slots keep
-        their zeros — DistGNN-style partial aggregation).
-        """
-        counters = self.injector.counters
-        obs = self.telemetry
-        fallback = getattr(policy, "fallback_rows", None)
-        if fallback is not None:
-            rows = fallback(key, t)
-            if rows is not None and rows.shape == (num_rows, dim):
-                counters.degraded_predicted += 1
-                if obs.enabled:
-                    obs.metrics.inc("fault_degraded", kind="predicted")
-                return rows
-        cached = self._halo_cache.get(key)
-        if cached is not None and cached.shape == (num_rows, dim):
-            counters.degraded_cached += 1
-            if obs.enabled:
-                obs.metrics.inc("fault_degraded", kind="cached")
-            return cached
-        counters.degraded_zero += 1
-        if obs.enabled:
-            obs.metrics.inc("fault_degraded", kind="zero")
-        return None
-
-    def invalidate_worker(self, worker: int) -> None:
-        """Drop cached halo rows touching ``worker`` (crash recovery)."""
-        stale = [
-            key for key in self._halo_cache
-            if worker in (key.responder, key.requester)
-        ]
-        for key in stale:
-            del self._halo_cache[key]
-
-    # ------------------------------------------------------------------
-    def _charge_compute(
-        self, worker: int, wall_seconds: float, codec_seconds: float
-    ) -> None:
-        """Charge policy time, discounting codec work by the speedup."""
-        codec_seconds = min(codec_seconds, wall_seconds)
-        other = wall_seconds - codec_seconds
-        self.runtime.add_compute(
-            worker, other + codec_seconds / self.codec_speedup
-        )

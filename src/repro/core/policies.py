@@ -12,15 +12,67 @@ traffic.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.compression.quantization import BucketQuantizer
 from repro.core.messages import ChannelKey, ChannelMessage, ReceiveResult
 
-__all__ = ["CompressPolicy", "DelayedPolicy", "CodecPolicy"]
+if TYPE_CHECKING:
+    from repro.core.bit_tuner import BitTuner
+    from repro.core.config import ECGraphConfig
+
+__all__ = [
+    "CompressPolicy",
+    "DelayedPolicy",
+    "CodecPolicy",
+    "make_exchange_policy",
+]
 
 _HEADER_BYTES = 24  # frame header + shape word (see cluster.serialize)
+
+
+def make_exchange_policy(
+    direction: str, config: "ECGraphConfig", tuner: "BitTuner | None" = None
+) -> object:
+    """Build the halo-exchange policy one direction of ``config`` asks for.
+
+    This is the single mode-to-policy mapping; the trainer's
+    :class:`~repro.engine.context.ExchangeContext` consults it for both
+    the forward (``fp_mode``) and backward (``bp_mode``) directions.
+    ``reqec`` requires the run's :class:`~repro.core.bit_tuner.BitTuner`.
+    """
+    from repro.core.messages import RawPolicy
+    from repro.core.reqec_fp import ReqECPolicy
+    from repro.core.resec_bp import ResECPolicy
+
+    if direction == "fp":
+        mode = config.fp_mode
+        if mode == "raw":
+            return RawPolicy()
+        if mode == "compress":
+            return CompressPolicy(config.fp_bits, config.table_mode)
+        if mode == "reqec":
+            if tuner is None:
+                raise ValueError("reqec forward policy requires a BitTuner")
+            return ReqECPolicy(
+                tuner,
+                trend_period=config.trend_period,
+                granularity=config.selector_granularity,
+                table_mode=config.table_mode,
+            )
+        return DelayedPolicy(config.delayed_rounds)
+    if direction == "bp":
+        mode = config.bp_mode
+        if mode == "raw":
+            return RawPolicy()
+        if mode == "compress":
+            return CompressPolicy(config.bp_bits, config.table_mode)
+        if mode == "resec":
+            return ResECPolicy(config.bp_bits, config.table_mode)
+        return DelayedPolicy(config.delayed_rounds)
+    raise ValueError(f"unknown exchange direction {direction!r}")
 
 
 class CompressPolicy:

@@ -12,47 +12,27 @@ GCN — embeddings forward, embedding gradients backward — so every
 EC-Graph policy (compression, ReqEC-FP, ResEC-BP, delayed) applies
 unchanged.
 
-The mean aggregation matrix is row-normalized and therefore *not*
-symmetric, but its sparsity structure is (undirected graphs), so the
-backward pass can still aggregate fetched gradient halos locally using
-the transposed weights ``A_row[i, j] = 1 / (deg(i) + 1)``.
+The layer math lives in :class:`repro.engine.backends.SAGEBackend`;
+``SAGETrainer`` is the facade that selects it, sharing the staged
+forward/backward plumbing with GCN and GAT.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from scipy.sparse import csr_matrix
-
-from repro.core.models import bias_name, weight_name
 from repro.core.trainer import ECGraphTrainer
-from repro.nn.init import glorot_uniform
-from repro.nn.losses import softmax_cross_entropy
+from repro.engine import SAGEBackend
+from repro.engine.backends import self_weight_name
 
 __all__ = ["SAGETrainer", "self_weight_name"]
-
-
-def self_weight_name(layer: int) -> str:
-    """Parameter key of a layer's self-transform ``W_self``."""
-    return f"Ws{layer}"
-
-
-class _SAGECache:
-    """Forward state per layer: inputs, neighbour means, pre-activations."""
-
-    def __init__(self, h_local, aggregated, z, output):
-        self.h_local = h_local
-        self.aggregated = aggregated
-        self.z = z
-        self.output = output
 
 
 class SAGETrainer(ECGraphTrainer):
     """Full-batch distributed GraphSAGE-mean training.
 
     ``weight_name(l)`` holds ``W_neigh`` and :func:`self_weight_name`
-    holds ``W_self``; the GCN trainer's setup (row normalization is
-    selected automatically for ``model='sage'``) provides the local mean
-    aggregation rows, and this class adds the transposed-weight rows
+    holds ``W_self``; the base setup (row normalization is selected
+    automatically for ``model='sage'``) provides the local mean
+    aggregation rows, and the backend adds the transposed-weight rows
     needed by the asymmetric backward aggregation.
     """
 
@@ -65,234 +45,13 @@ class SAGETrainer(ECGraphTrainer):
                 f"{self.model_config.model!r}"
             )
         super().setup()
-        rng = np.random.default_rng(self.config.seed + 13)
-        for layer in range(self.params.num_layers):
-            d_in, d_out = self.params.dims[layer], self.params.dims[layer + 1]
-            self.servers.register(
-                self_weight_name(layer), glorot_uniform((d_in, d_out), rng)
-            )
-        self._build_transposed_rows()
-        self._sage_caches: list[list[_SAGECache | None]] = []
 
-    def _build_transposed_rows(self) -> None:
-        """Rows of ``A_row^T`` per worker: entry (j, i) = 1/(deg(i)+1).
+    def _make_backend(self) -> SAGEBackend:
+        return SAGEBackend()
 
-        The structure equals each worker's local adjacency (symmetric
-        graph); only the weights change — they follow the *column*
-        vertex's degree instead of the row's.
-        """
-        degrees = np.diff(self.graph.adjacency.indptr).astype(np.float64)
-        self._a_transposed: list[csr_matrix] = []
-        for state in self.workers:
-            sub = state.sub
-            compact_to_global = np.concatenate(
-                [sub.local_vertices, sub.remote_vertices]
-            )
-            col_global = compact_to_global[sub.indices]
-            weights = (1.0 / (degrees[col_global] + 1.0)).astype(np.float32)
-            self._a_transposed.append(
-                csr_matrix(
-                    (weights, sub.indices, sub.indptr),
-                    shape=state.a_local.shape,
-                )
-            )
-
-    # ------------------------------------------------------------------
     def _sage_layer_forward(self, state, h_cat, w_self, w_neigh, bias,
-                            is_last: bool) -> _SAGECache:
-        h_local = h_cat[:state.num_local]
-        aggregated = state.a_local @ h_cat
-        z = (h_local @ w_self + aggregated @ w_neigh).astype(np.float32)
-        if bias is not None:
-            z = z + bias
-        output = z if is_last else self.params.activation(z).astype(np.float32)
-        return _SAGECache(h_local, aggregated, z, output)
-
-    def _forward(self, t: int):
-        num_layers = self.params.num_layers
-        self._sage_caches = [[None] * (num_layers + 1) for _ in self.workers]
-        for state in self.workers:
-            state.reset_iteration(num_layers)
-
-        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
-        total_loss = 0.0
-        for layer in range(1, num_layers + 1):
-            names = [weight_name(layer - 1), self_weight_name(layer - 1)]
-            if self.params.use_bias:
-                names.append(bias_name(layer - 1))
-            pulled = {
-                state.worker_id: self.servers.pull(state.worker_id, names)
-                for state in self.workers
-            }
-            halos = self._sage_halos(layer, t)
-            for state in self.workers:
-                i = state.worker_id
-                prev = (
-                    state.features if layer == 1
-                    else self._sage_caches[i][layer - 1].output
-                )
-                with self.runtime.worker_compute(i):
-                    h_cat = np.concatenate([prev, halos[i]], axis=0)
-                    cache = self._sage_layer_forward(
-                        state, h_cat,
-                        pulled[i][self_weight_name(layer - 1)],
-                        pulled[i][weight_name(layer - 1)],
-                        pulled[i].get(bias_name(layer - 1)),
-                        is_last=(layer == num_layers),
-                    )
-                self._sage_caches[i][layer] = cache
-
-        for state in self.workers:
-            i = state.worker_id
-            logits = self._sage_caches[i][num_layers].output
-            with self.runtime.worker_compute(i):
-                result = softmax_cross_entropy(
-                    logits, state.labels, state.train_mask
-                )
-                local = int(state.train_mask.sum())
-                scale = local / self._global_train_count if local else 0.0
-                state.grad_rows[num_layers] = (result.grad * scale).astype(
-                    np.float32
-                )
-                total_loss += result.loss * scale
-                counters["train"][0] += result.correct
-                counters["train"][1] += result.count
-                predictions = logits.argmax(axis=1)
-                for split, mask in (("val", state.val_mask),
-                                    ("test", state.test_mask)):
-                    counters[split][0] += int(
-                        (predictions[mask] == state.labels[mask]).sum()
-                    )
-                    counters[split][1] += int(mask.sum())
-
-        if self.config.fp_mode == "reqec":
-            for pair, proportion in self.nac.last_proportions().items():
-                self.tuner.update(pair, proportion)
-        return total_loss, {s: (c, n) for s, (c, n) in counters.items()}
-
-    def _sage_halos(self, layer: int, t: int):
-        if layer == 1 and self.config.cache_first_hop:
-            return [state.halo_features for state in self.workers]
-        if layer == 1:
-            return self.nac.exchange(
-                layer=0, t=t, rows_of=lambda s: s.features,
-                policy=self._fp_policy, category="fp_embeddings",
-                dim=self.graph.feature_dim,
-            )
-        return self.nac.exchange(
-            layer=layer - 1, t=t,
-            rows_of=lambda s, _l=layer: self._sage_caches[s.worker_id][
-                _l - 1
-            ].output,
-            policy=self._fp_policy, category="fp_embeddings",
-            dim=self.params.dims[layer - 1],
+                            is_last: bool):
+        """Compatibility shim over the backend's layer kernel."""
+        return self._backend.sage_layer_forward(
+            state, h_cat, w_self, w_neigh, bias, is_last=is_last
         )
-
-    # ------------------------------------------------------------------
-    def _backward(self, t: int) -> None:
-        num_layers = self.params.num_layers
-        grads: dict[int, dict[str, np.ndarray]] = {
-            state.worker_id: {} for state in self.workers
-        }
-        for layer in range(num_layers, 0, -1):
-            w_self = self.servers.get(self_weight_name(layer - 1))
-            w_neigh = self.servers.get(weight_name(layer - 1))
-            for state in self.workers:
-                i = state.worker_id
-                cache = self._sage_caches[i][layer]
-                g = state.grad_rows[layer]
-                with self.runtime.worker_compute(i):
-                    grads[i][self_weight_name(layer - 1)] = (
-                        cache.h_local.T @ g
-                    ).astype(np.float32)
-                    grads[i][weight_name(layer - 1)] = (
-                        cache.aggregated.T @ g
-                    ).astype(np.float32)
-                    if self.params.use_bias:
-                        grads[i][bias_name(layer - 1)] = g.sum(axis=0).astype(
-                            np.float32
-                        )
-
-            if layer > 1:
-                halos = self.nac.exchange(
-                    layer=layer, t=t,
-                    rows_of=lambda s, _l=layer: s.grad_rows[_l],
-                    policy=self._bp_policy, category="bp_gradients",
-                    dim=self.params.dims[layer],
-                )
-                for state in self.workers:
-                    i = state.worker_id
-                    cache_prev = self._sage_caches[i][layer - 1]
-                    g = state.grad_rows[layer]
-                    with self.runtime.worker_compute(i):
-                        g_cat = np.concatenate([g, halos[i]], axis=0)
-                        # Self path + transposed mean aggregation path.
-                        dh = g @ w_self.T + (
-                            self._a_transposed[i] @ g_cat
-                        ) @ w_neigh.T
-                        state.grad_rows[layer - 1] = (
-                            dh * self.params.activation.derivative(
-                                cache_prev.z
-                            )
-                        ).astype(np.float32)
-
-        for state in self.workers:
-            self.servers.push(state.worker_id, grads[state.worker_id])
-        self.servers.apply_updates()
-
-    # ------------------------------------------------------------------
-    def evaluate_exact(self) -> dict[str, float]:
-        """Exact-communication SAGE inference."""
-        from repro.cluster.engine import ClusterRuntime
-        from repro.core.messages import RawPolicy
-        from repro.core.nac import NeighborAccessController
-
-        self.setup()
-        scratch_runtime = ClusterRuntime(self.spec)
-        scratch_nac = NeighborAccessController(
-            scratch_runtime, self.workers, self.config.codec_speedup
-        )
-        raw = RawPolicy()
-        num_layers = self.params.num_layers
-        outputs = [state.features for state in self.workers]
-        for layer in range(1, num_layers + 1):
-            w_self = self.servers.get(self_weight_name(layer - 1))
-            w_neigh = self.servers.get(weight_name(layer - 1))
-            bias = (
-                self.servers.get(bias_name(layer - 1))
-                if self.params.use_bias else None
-            )
-            if layer == 1 and self.config.cache_first_hop:
-                halos = [state.halo_features for state in self.workers]
-            else:
-                halos = scratch_nac.exchange(
-                    layer=layer - 1, t=0,
-                    rows_of=lambda s: outputs[s.worker_id],
-                    policy=raw, category="eval",
-                    dim=outputs[0].shape[1],
-                )
-            new_outputs = []
-            for state in self.workers:
-                h_cat = np.concatenate(
-                    [outputs[state.worker_id], halos[state.worker_id]],
-                    axis=0,
-                )
-                cache = self._sage_layer_forward(
-                    state, h_cat, w_self, w_neigh, bias,
-                    is_last=(layer == num_layers),
-                )
-                new_outputs.append(cache.output)
-            outputs = new_outputs
-
-        metrics = {}
-        for split, mask_of in (("train", lambda s: s.train_mask),
-                               ("val", lambda s: s.val_mask),
-                               ("test", lambda s: s.test_mask)):
-            correct = count = 0
-            for state in self.workers:
-                mask = mask_of(state)
-                predictions = outputs[state.worker_id].argmax(axis=1)
-                correct += int((predictions[mask] == state.labels[mask]).sum())
-                count += int(mask.sum())
-            metrics[split] = correct / count if count else 0.0
-        return metrics

@@ -17,6 +17,11 @@ is an unbiased estimator of the full sum. ReqEC-FP keeps dense
 per-channel trend state and is therefore not offered in sampling mode
 (the paper describes it for full-batch training); EC-Graph-S runs plain
 quantization forward and ResEC-BP backward.
+
+The sampling machinery itself lives in
+:class:`repro.engine.backends.SampledGCNBackend`;
+``SampledECGraphTrainer`` is the facade that selects it and folds the
+offline sampling pass into preprocessing.
 """
 
 from __future__ import annotations
@@ -26,10 +31,10 @@ from scipy.sparse import csr_matrix
 
 from repro.cluster.topology import ClusterSpec
 from repro.core.config import ECGraphConfig, ModelConfig
-from repro.core.resec_bp import ResECPolicy
 from repro.core.messages import ChannelKey
+from repro.core.resec_bp import ResECPolicy
 from repro.core.trainer import ECGraphTrainer
-from repro.core.worker import WorkerState
+from repro.engine import SampledGCNBackend
 from repro.graph.attributed import AttributedGraph
 from repro.obs.tracing import monotonic_now
 from repro.partition.base import Partition
@@ -88,10 +93,12 @@ class SampledECGraphTrainer(ECGraphTrainer):
         self.fanouts = list(fanouts)
         self.online = online
         self.sampling_speedup = sampling_speedup
-        self._sampled_adj: list[dict[int, csr_matrix]] = []
-        self._subsets: dict[int, dict[tuple[int, int], np.ndarray]] = {}
         self._rng = np.random.default_rng(config.seed + 1)
-        self._sampled_once = False
+
+    def _make_backend(self) -> SampledGCNBackend:
+        return SampledGCNBackend(
+            self.fanouts, self.online, self.sampling_speedup, self._rng
+        )
 
     # ------------------------------------------------------------------
     def setup(self) -> None:
@@ -115,117 +122,26 @@ class SampledECGraphTrainer(ECGraphTrainer):
         if not self.online:
             start = monotonic_now()
             with self.obs.span("sampling", mode="offline"):
-                self._resample()
+                self._backend.resample()
             self._preprocessing_seconds += (
                 monotonic_now() - start
             ) / self.sampling_speedup
-            self._sampled_once = True
+            self._backend.sampled_once = True
 
     # ------------------------------------------------------------------
-    # Sampling
+    # Compatibility shims over the backend (exercised by the test suite)
     # ------------------------------------------------------------------
     def _resample(self) -> None:
-        """Draw a fresh per-layer sampled adjacency for every worker."""
-        self._sampled_adj = []
-        needed_halo: dict[int, list[np.ndarray]] = {
-            layer: [] for layer in range(1, self.params.num_layers + 1)
-        }
-        for state in self.workers:
-            per_layer: dict[int, csr_matrix] = {}
-            for layer in range(1, self.params.num_layers + 1):
-                sampled, used_halo = self._sample_rows(
-                    state, self.fanouts[layer - 1]
-                )
-                per_layer[layer] = sampled
-                needed_halo[layer].append(used_halo)
-            self._sampled_adj.append(per_layer)
+        self._backend.resample()
 
-        self._subsets = {}
-        for layer, per_worker in needed_halo.items():
-            layer_subsets: dict[tuple[int, int], np.ndarray] = {}
-            for state, used in zip(self.workers, per_worker):
-                for owner, slots in state.halo_slots.items():
-                    rows_idx = np.flatnonzero(used[slots]).astype(np.int64)
-                    layer_subsets[(owner, state.worker_id)] = rows_idx
-            self._subsets[layer] = layer_subsets
+    @property
+    def _sampled_adj(self) -> list[dict[int, csr_matrix]]:
+        return self._backend.sampled_adj if self._backend else []
 
-    def _sample_rows(
-        self, state: WorkerState, fanout: int
-    ) -> tuple[csr_matrix, np.ndarray]:
-        """Sample one worker's adjacency rows down to ``fanout`` entries.
+    @property
+    def _subsets(self) -> dict[int, dict[tuple[int, int], np.ndarray]]:
+        return self._backend.subsets if self._backend else {}
 
-        Returns the sampled matrix and a boolean mask over the worker's
-        halo (which remote rows the sampled matrix references).
-        """
-        sub = state.sub
-        indptr = sub.indptr
-        indices = sub.indices
-        weights = (
-            sub.weights
-            if sub.weights is not None
-            else np.ones(sub.num_edges, dtype=np.float32)
-        )
-        out_indices: list[np.ndarray] = []
-        out_weights: list[np.ndarray] = []
-        out_counts = np.zeros(sub.num_local, dtype=np.int64)
-        for row in range(sub.num_local):
-            lo, hi = indptr[row], indptr[row + 1]
-            degree = hi - lo
-            if degree <= fanout:
-                out_indices.append(indices[lo:hi])
-                out_weights.append(weights[lo:hi])
-                out_counts[row] = degree
-            else:
-                pick = self._rng.choice(degree, size=fanout, replace=False)
-                scale = degree / fanout  # unbiased row-sum estimator
-                out_indices.append(indices[lo + pick])
-                out_weights.append(weights[lo + pick] * scale)
-                out_counts[row] = fanout
-        new_indptr = np.zeros(sub.num_local + 1, dtype=np.int64)
-        np.cumsum(out_counts, out=new_indptr[1:])
-        new_indices = (
-            np.concatenate(out_indices)
-            if out_indices
-            else np.empty(0, dtype=np.int64)
-        )
-        new_weights = (
-            np.concatenate(out_weights)
-            if out_weights
-            else np.empty(0, dtype=np.float32)
-        )
-        sampled = csr_matrix(
-            (new_weights.astype(np.float32), new_indices, new_indptr),
-            shape=(sub.num_local, sub.num_local + sub.num_remote),
-        )
-        used_halo = np.zeros(sub.num_remote, dtype=bool)
-        remote_cols = new_indices[new_indices >= sub.num_local] - sub.num_local
-        used_halo[remote_cols] = True
-        return sampled, used_halo
-
-    # ------------------------------------------------------------------
-    # Trainer hooks
-    # ------------------------------------------------------------------
-    def _on_epoch_start(self, t: int) -> None:
-        if self.online or not self._sampled_once:
-            start = monotonic_now()
-            with self.obs.span("sampling", mode="online", epoch=t):
-                self._resample()
-            elapsed = (monotonic_now() - start) / self.sampling_speedup
-            self._sampled_once = True
-            self.obs.metrics.inc("resamples")
-            # Online sampling is coordinated by per-worker samplers; the
-            # cost is per-worker compute plus request messages.
-            per_worker = elapsed / max(self.spec.num_workers, 1)
-            for state in self.workers:
-                self.runtime.add_compute(state.worker_id, per_worker)
-                for owner in state.requests:
-                    self.runtime.send_worker_to_worker(
-                        state.worker_id, owner, 64, "sampling"
-                    )
-
-    def _adjacency(self, state: WorkerState, layer: int):
-        return self._sampled_adj[state.worker_id][layer]
-
-    def _exchange_subset(self, layer: int, direction: str):
-        del direction  # forward and backward touch the same sampled halo
-        return self._subsets.get(layer)
+    @property
+    def _sampled_once(self) -> bool:
+        return bool(self._backend) and self._backend.sampled_once

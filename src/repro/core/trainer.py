@@ -14,11 +14,21 @@ servers, and then drives synchronous training iterations:
 The same class also covers the baselines that differ only in exchange
 policy (Non-cp, Cp-fp/Cp-bp, DistGNN's delayed aggregation) and the
 single-machine standalone configuration (one worker = no halo at all).
+
+Since the staged-engine refactor the iteration itself runs in
+:mod:`repro.engine`: ``setup()`` assembles a single
+:class:`~repro.engine.context.ExchangeContext` (policies, Bit-Tuner,
+transport, fault injector, telemetry, recovery hooks) and a
+:class:`~repro.engine.core.TrainerCore` driving the
+``HaloPlanStage -> ForwardStage -> BackwardStage -> OptimizeStage ->
+EvalStage`` pipeline over a :class:`~repro.engine.backends.ModelBackend`.
+``ECGraphTrainer`` remains the stable public facade — construction
+arguments, ``run_epoch``/``train``/``evaluate_exact``, the policy and
+counter attributes, and the private hooks the test suite exercises all
+behave exactly as before, bit-identically.
 """
 
 from __future__ import annotations
-
-from pathlib import Path
 
 import numpy as np
 
@@ -27,24 +37,21 @@ from repro.cluster.param_server import ParameterServerGroup
 from repro.cluster.topology import ClusterSpec
 from repro.core.bit_tuner import BitTuner
 from repro.core.config import ECGraphConfig, ModelConfig
-from repro.core.gcn_math import (
-    bias_gradient,
-    layer_backward_inputs,
-    layer_forward,
-    weight_gradient,
-)
-from repro.core.messages import RawPolicy
-from repro.core.models import GNNParameters, bias_name, build_parameters, weight_name
+from repro.core.models import GNNParameters, build_parameters
 from repro.core.nac import NeighborAccessController
-from repro.core.policies import CompressPolicy, DelayedPolicy
-from repro.core.reqec_fp import ReqECPolicy
-from repro.core.resec_bp import ResECPolicy
+from repro.core.policies import make_exchange_policy
 from repro.core.results import ConvergenceRun, EpochResult
 from repro.core.worker import WorkerState, build_worker_states
+from repro.engine import (
+    ExchangeContext,
+    GCNBackend,
+    ModelBackend,
+    RecoveryManager,
+    TrainerCore,
+)
 from repro.faults.injector import FaultCounters, FaultInjector
 from repro.graph.attributed import AttributedGraph
 from repro.graph.normalize import normalized_adjacency
-from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import make_optimizer
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracing import monotonic_now
@@ -52,31 +59,6 @@ from repro.partition import make_partitioner
 from repro.partition.base import Partition
 
 __all__ = ["ECGraphTrainer"]
-
-
-def _make_fp_policy(config: ECGraphConfig, tuner: BitTuner):
-    if config.fp_mode == "raw":
-        return RawPolicy()
-    if config.fp_mode == "compress":
-        return CompressPolicy(config.fp_bits, config.table_mode)
-    if config.fp_mode == "reqec":
-        return ReqECPolicy(
-            tuner,
-            trend_period=config.trend_period,
-            granularity=config.selector_granularity,
-            table_mode=config.table_mode,
-        )
-    return DelayedPolicy(config.delayed_rounds)
-
-
-def _make_bp_policy(config: ECGraphConfig):
-    if config.bp_mode == "raw":
-        return RawPolicy()
-    if config.bp_mode == "compress":
-        return CompressPolicy(config.bp_bits, config.table_mode)
-    if config.bp_mode == "resec":
-        return ResECPolicy(config.bp_bits, config.table_mode)
-    return DelayedPolicy(config.delayed_rounds)
 
 
 class ECGraphTrainer:
@@ -120,6 +102,7 @@ class ECGraphTrainer:
         self.tuner: BitTuner | None = None
         self.nac: NeighborAccessController | None = None
         self.partition: Partition | None = None
+        self.engine: TrainerCore | None = None
         self._fp_policy = fp_policy
         self._bp_policy = bp_policy
         self._fp_policy_override = fp_policy is not None
@@ -129,7 +112,9 @@ class ECGraphTrainer:
         self._setup_done = False
         self._lr_schedule = None
         self._injector: FaultInjector | None = None
-        self._param_snapshot: tuple[int, dict[str, np.ndarray]] | None = None
+        self._ctx: ExchangeContext | None = None
+        self._backend: ModelBackend | None = None
+        self._recovery: RecoveryManager | None = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -185,9 +170,9 @@ class ECGraphTrainer:
             enabled=self.config.adaptive_bits,
         )
         if not self._fp_policy_override:
-            self._fp_policy = _make_fp_policy(self.config, self.tuner)
+            self._fp_policy = make_exchange_policy("fp", self.config, self.tuner)
         if not self._bp_policy_override:
-            self._bp_policy = _make_bp_policy(self.config)
+            self._bp_policy = make_exchange_policy("bp", self.config)
         self.nac = NeighborAccessController(
             self.runtime, self.workers, self.config.codec_speedup,
             buffer_pool=self.config.halo_buffer_pool,
@@ -206,6 +191,8 @@ class ECGraphTrainer:
         if self.config.cache_first_hop:
             self._cache_halo_features()
 
+        self._build_engine()
+
         self._preprocessing_seconds = (
             monotonic_now() - start + self.partition.seconds
         )
@@ -223,6 +210,35 @@ class ECGraphTrainer:
             # (it stays in the lifetime scope either way).
             self.obs.metrics.reset_epoch()
         self._setup_done = True
+
+    def _make_backend(self) -> ModelBackend:
+        """Architecture hook: subclasses supply their own backend."""
+        return GCNBackend()
+
+    def _build_engine(self) -> None:
+        """Assemble the ExchangeContext and the staged TrainerCore."""
+        self._backend = self._make_backend()
+        self._ctx = ExchangeContext(
+            config=self.config,
+            model_config=self.model_config,
+            graph=self.graph,
+            spec=self.spec,
+            runtime=self.runtime,
+            servers=self.servers,
+            workers=self.workers,
+            params=self.params,
+            tuner=self.tuner,
+            fp_policy=self._fp_policy,
+            bp_policy=self._bp_policy,
+            transport=self.nac,
+            telemetry=self.obs,
+            injector=self._injector,
+            global_train_count=self._global_train_count,
+        )
+        self._recovery = RecoveryManager(self._ctx, self)
+        self.engine = TrainerCore(
+            self._ctx, self._backend, recovery=self._recovery
+        )
 
     def _wire_telemetry(self) -> None:
         """Attach the health monitor and topology gauges (enabled only)."""
@@ -257,198 +273,30 @@ class ECGraphTrainer:
             state.halo_features = halo
 
     # ------------------------------------------------------------------
-    # Hooks overridden by the sampling trainer
+    # Compatibility hooks: the historical private surface, delegated to
+    # the staged engine (the test suite and subclasses exercise these).
     # ------------------------------------------------------------------
     def _adjacency(self, state: WorkerState, layer: int):
         """Adjacency rows used by ``state`` at ``layer`` (1-based)."""
-        return state.a_local
+        return self._backend.adjacency(state, layer)
 
     def _exchange_subset(
         self, layer: int, direction: str
     ) -> dict[tuple[int, int], np.ndarray] | None:
         """Per-channel row subsets for a sampled exchange (None = all)."""
-        del layer, direction
-        return None
+        return self._backend.exchange_subset(layer, direction)
 
     def _on_epoch_start(self, t: int) -> None:
         """Called before each iteration (sampling hooks)."""
-        del t
+        self.engine.halo_plan.run(t)
 
-    # ------------------------------------------------------------------
-    # Forward
-    # ------------------------------------------------------------------
     def _forward(self, t: int) -> tuple[float, dict[str, tuple[int, int]]]:
         """Run the forward pass; returns (loss, per-mask correct/count)."""
-        num_layers = self.params.num_layers
-        for state in self.workers:
-            state.reset_iteration(num_layers)
+        return self.engine.forward.run(t)
 
-        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
-        total_loss = 0.0
-
-        for layer in range(1, num_layers + 1):
-            with self.obs.span("layer", layer=layer, direction="fp"):
-                weight_key = weight_name(layer - 1)
-                bias_key = bias_name(layer - 1)
-                pulled: dict[int, dict[str, np.ndarray]] = {}
-                names = self.params.layer_param_names(layer - 1)
-                for state in self.workers:
-                    pulled[state.worker_id] = self.servers.pull(
-                        state.worker_id, names
-                    )
-
-                halos = self._forward_halos(layer, t)
-
-                with self.obs.span("kernel", layer=layer, direction="fp"):
-                    for state in self.workers:
-                        i = state.worker_id
-                        weight = pulled[i][weight_key]
-                        bias = pulled[i].get(bias_key)
-                        prev = (
-                            state.features
-                            if layer == 1
-                            else state.local_output(layer - 1)
-                        )
-                        with self.runtime.worker_compute(i):
-                            h_cat = np.concatenate([prev, halos[i]], axis=0)
-                            cache = layer_forward(
-                                self._adjacency(state, layer),
-                                h_cat,
-                                weight,
-                                bias,
-                                self.params.activation,
-                                is_last=(layer == num_layers),
-                                transform_first=(
-                                    None
-                                    if self.config.transform_first
-                                    else False
-                                ),
-                            )
-                        state.caches[layer] = cache
-
-        # Loss and metrics from the final logits; gradients are scaled by
-        # the *global* train count so server-side summation is exact.
-        with self.obs.span("loss"):
-            for state in self.workers:
-                logits = state.caches[num_layers].output
-                with self.runtime.worker_compute(state.worker_id):
-                    result = softmax_cross_entropy(
-                        logits, state.labels, state.train_mask
-                    )
-                    local = int(state.train_mask.sum())
-                    scale = local / self._global_train_count if local else 0.0
-                    # result.grad is a mean over local train vertices;
-                    # rescale to a global mean so summing worker pushes is
-                    # exact.
-                    state.grad_rows[num_layers] = (result.grad * scale).astype(
-                        np.float32
-                    )
-                    total_loss += result.loss * scale
-                    counters["train"][0] += result.correct
-                    counters["train"][1] += result.count
-                    predictions = logits.argmax(axis=1)
-                    for split, mask in (
-                        ("val", state.val_mask),
-                        ("test", state.test_mask),
-                    ):
-                        counters[split][0] += int(
-                            (predictions[mask] == state.labels[mask]).sum()
-                        )
-                        counters[split][1] += int(mask.sum())
-
-        if self.config.fp_mode == "reqec":
-            for pair, proportion in self.nac.last_proportions().items():
-                self.tuner.update(pair, proportion)
-
-        summary = {
-            split: (correct, count)
-            for split, (correct, count) in counters.items()
-        }
-        return total_loss, summary
-
-    def _forward_halos(self, layer: int, t: int) -> list[np.ndarray]:
-        """Halo embeddings feeding ``layer`` (H^{layer-1} remote rows)."""
-        if layer == 1:
-            if self.config.cache_first_hop:
-                return [state.halo_features for state in self.workers]
-            return self.nac.exchange(
-                layer=0,
-                t=t,
-                rows_of=lambda s: s.features,
-                policy=self._fp_policy,
-                category="fp_embeddings",
-                dim=self.graph.feature_dim,
-                subset=self._exchange_subset(1, "fp"),
-            )
-        return self.nac.exchange(
-            layer=layer - 1,
-            t=t,
-            rows_of=lambda s, _l=layer: s.local_output(_l - 1),
-            policy=self._fp_policy,
-            category="fp_embeddings",
-            dim=self.params.dims[layer - 1],
-            subset=self._exchange_subset(layer, "fp"),
-        )
-
-    # ------------------------------------------------------------------
-    # Backward
-    # ------------------------------------------------------------------
     def _backward(self, t: int) -> None:
-        num_layers = self.params.num_layers
-        grads: dict[int, dict[str, np.ndarray]] = {
-            state.worker_id: {} for state in self.workers
-        }
-
-        for layer in range(num_layers, 0, -1):
-            with self.obs.span("layer", layer=layer, direction="bp"):
-                weight_key = weight_name(layer - 1)
-                with self.obs.span("kernel", layer=layer, direction="bp",
-                                   stage="weight_grad"):
-                    for state in self.workers:
-                        i = state.worker_id
-                        g_local = state.grad_rows[layer]
-                        cache = state.caches[layer]
-                        with self.runtime.worker_compute(i):
-                            grads[i][weight_key] = weight_gradient(
-                                cache, self._adjacency(state, layer), g_local
-                            )
-                            if self.params.use_bias:
-                                grads[i][bias_name(layer - 1)] = bias_gradient(
-                                    g_local
-                                )
-
-                if layer > 1:
-                    halos = self.nac.exchange(
-                        layer=layer,
-                        t=t,
-                        rows_of=lambda s, _l=layer: s.grad_rows[_l],
-                        policy=self._bp_policy,
-                        category="bp_gradients",
-                        dim=self.params.dims[layer],
-                        subset=self._exchange_subset(layer, "bp"),
-                    )
-                    weight = self.servers.get(weight_name(layer - 1))
-                    with self.obs.span("kernel", layer=layer, direction="bp",
-                                       stage="input_grad"):
-                        for state in self.workers:
-                            i = state.worker_id
-                            with self.runtime.worker_compute(i):
-                                g_cat = np.concatenate(
-                                    [state.grad_rows[layer], halos[i]], axis=0
-                                )
-                                state.grad_rows[layer - 1] = (
-                                    layer_backward_inputs(
-                                        self._adjacency(state, layer),
-                                        g_cat,
-                                        weight,
-                                        state.caches[layer - 1].pre_activation,
-                                        self.params.activation,
-                                    )
-                                )
-
-        for state in self.workers:
-            self.servers.push(state.worker_id, grads[state.worker_id])
-        self.servers.apply_updates()
+        grads = self.engine.backward.run(t)
+        self.engine.optimize.run(grads)
 
     # ------------------------------------------------------------------
     # Public API
@@ -456,43 +304,7 @@ class ECGraphTrainer:
     def run_epoch(self, t: int) -> EpochResult:
         """One synchronous training iteration (forward + backward)."""
         self.setup()
-        if self._injector is not None:
-            self._injector.start_epoch(t)
-            crashed = self._injector.take_crashes(t)
-            if crashed:
-                self._recover_workers(crashed)
-        if self._lr_schedule is not None:
-            self.servers.set_learning_rate(self._lr_schedule(t))
-        with self.obs.span("epoch", epoch=t):
-            self._on_epoch_start(t)
-            with self.obs.span("forward", epoch=t):
-                loss, counters = self._forward(t)
-            with self.obs.span("backward", epoch=t):
-                self._backward(t)
-        breakdown = self.runtime.end_epoch()
-        if self._injector is not None:
-            self._maybe_checkpoint(t)
-
-        def _ratio(split: str) -> float:
-            correct, count = counters[split]
-            return correct / count if count else 0.0
-
-        telemetry = None
-        if self.obs.enabled:
-            self.obs.metrics.set_gauge("loss", loss)
-            self.obs.metrics.set_gauge("train_accuracy", _ratio("train"))
-            self.obs.metrics.set_gauge("val_accuracy", _ratio("val"))
-            telemetry = self.obs.end_epoch(t)
-
-        return EpochResult(
-            epoch=t,
-            loss=loss,
-            train_accuracy=_ratio("train"),
-            val_accuracy=_ratio("val"),
-            test_accuracy=_ratio("test"),
-            breakdown=breakdown,
-            telemetry=telemetry,
-        )
+        return self.engine.run_epoch(t, lr_schedule=self._lr_schedule)
 
     # ------------------------------------------------------------------
     # Fault tolerance: checkpointed crash recovery
@@ -502,88 +314,22 @@ class ECGraphTrainer:
         """Injected-fault and tolerance counters (None when disabled)."""
         return self._injector.counters if self._injector else None
 
+    @property
+    def _param_snapshot(self) -> tuple[int, dict[str, np.ndarray]] | None:
+        """In-memory parameter snapshot (held by the recovery manager)."""
+        return self._recovery.param_snapshot if self._recovery else None
+
     def _maybe_checkpoint(self, t: int) -> None:
         """Auto-checkpoint the server parameters after epoch ``t``."""
-        faults = self.config.faults
-        if (t + 1) % faults.checkpoint_every != 0:
-            return
-        if faults.checkpoint_dir is not None:
-            from repro.core.checkpoint import save_checkpoint
-
-            path = Path(faults.checkpoint_dir) / "latest.npz"
-            save_checkpoint(self, path, epoch=t + 1)
-        self._param_snapshot = (t + 1, self.servers.state_dict())
+        self._recovery.maybe_checkpoint(t)
 
     def _recover_workers(self, crashed: list[int]) -> None:
-        """Rebuild crashed workers and resynchronize the exchange state.
-
-        The static partition state (adjacency rows, feature shards,
-        request/serve plans) rebuilds from the worker's local storage —
-        charged as ``recovery_seconds`` of stall plus the re-fetch of
-        the first-hop feature cache — while the server-side parameters
-        roll back to the latest checkpoint (``restore_params``) and the
-        error-compensation channel state touching the dead worker is
-        zeroed (``reset_residuals``), restoring the Theorem-1 initial
-        condition ``delta = 0`` for those channels.
-        """
-        faults = self.config.faults
-        counters = self._injector.counters
-        for worker in crashed:
-            counters.crashes += 1
-            if self.obs.enabled:
-                self.obs.metrics.inc("fault_crashes", worker=worker)
-            self.runtime.add_stall(worker, faults.recovery_seconds)
-            state = self.workers[worker]
-            rebuild_halo = (
-                self.config.cache_first_hop
-                and state.halo_features is not None
-            )
-            state.crash_reset(self.params.num_layers)
-            if rebuild_halo:
-                halo = np.zeros(
-                    (state.num_halo, self.graph.feature_dim),
-                    dtype=np.float32,
-                )
-                for owner, slots in state.halo_slots.items():
-                    responder = self.workers[owner]
-                    rows = responder.features[responder.serves[worker]]
-                    halo[slots] = rows
-                    self.runtime.send_worker_to_worker(
-                        owner, worker, rows.nbytes + 16, "recovery"
-                    )
-                state.halo_features = halo
-            if faults.reset_residuals:
-                for policy in (self._fp_policy, self._bp_policy):
-                    invalidate = getattr(policy, "invalidate_worker", None)
-                    if invalidate is not None:
-                        invalidate(worker)
-            self.nac.invalidate_worker(worker)
-        if faults.restore_params and self._restore_latest_checkpoint():
-            counters.params_rolled_back += 1
-            if self.obs.enabled:
-                self.obs.metrics.inc("fault_params_rolled_back")
+        """Rebuild crashed workers and resynchronize the exchange state."""
+        self._recovery.recover_workers(crashed)
 
     def _restore_latest_checkpoint(self) -> bool:
-        """Load the newest parameter checkpoint into the servers."""
-        faults = self.config.faults
-        if faults.checkpoint_dir is not None:
-            from repro.core.checkpoint import CheckpointError, load_checkpoint
-
-            path = Path(faults.checkpoint_dir) / "latest.npz"
-            try:
-                state = load_checkpoint(path)
-            except (FileNotFoundError, CheckpointError):
-                state = None
-            if state is not None:
-                for name, value in state["params"].items():
-                    self.servers.set(name, value)
-                return True
-        if self._param_snapshot is not None:
-            _, params = self._param_snapshot
-            for name, value in params.items():
-                self.servers.set(name, value.copy())
-            return True
-        return False
+        """Load the newest readable parameter checkpoint into the servers."""
+        return self._recovery.restore_latest_checkpoint()
 
     def train(
         self,
@@ -650,62 +396,7 @@ class ECGraphTrainer:
         the Table V measurement.
         """
         self.setup()
-        scratch_runtime = ClusterRuntime(self.spec)
-        scratch_nac = NeighborAccessController(
-            scratch_runtime, self.workers, self.config.codec_speedup
-        )
-        raw = RawPolicy()
-        num_layers = self.params.num_layers
-
-        outputs: list[np.ndarray] = [state.features for state in self.workers]
-        for layer in range(1, num_layers + 1):
-            weight = self.servers.get(weight_name(layer - 1))
-            bias = (
-                self.servers.get(bias_name(layer - 1))
-                if self.params.use_bias
-                else None
-            )
-            if layer == 1 and self.config.cache_first_hop:
-                halos = [state.halo_features for state in self.workers]
-            else:
-                halos = scratch_nac.exchange(
-                    layer=layer - 1,
-                    t=0,
-                    rows_of=lambda s: outputs[s.worker_id],
-                    policy=raw,
-                    category="eval",
-                    dim=outputs[0].shape[1],
-                )
-            new_outputs = []
-            for state in self.workers:
-                h_cat = np.concatenate(
-                    [outputs[state.worker_id], halos[state.worker_id]], axis=0
-                )
-                cache = layer_forward(
-                    state.a_local,
-                    h_cat,
-                    weight,
-                    bias,
-                    self.params.activation,
-                    is_last=(layer == num_layers),
-                )
-                new_outputs.append(cache.output)
-            outputs = new_outputs
-
-        metrics = {}
-        for split, mask_of in (
-            ("train", lambda s: s.train_mask),
-            ("val", lambda s: s.val_mask),
-            ("test", lambda s: s.test_mask),
-        ):
-            correct = count = 0
-            for state in self.workers:
-                mask = mask_of(state)
-                predictions = outputs[state.worker_id].argmax(axis=1)
-                correct += int((predictions[mask] == state.labels[mask]).sum())
-                count += int(mask.sum())
-            metrics[split] = correct / count if count else 0.0
-        return metrics
+        return self.engine.evaluate_exact()
 
     @property
     def preprocessing_seconds(self) -> float:

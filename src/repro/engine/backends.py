@@ -1,0 +1,824 @@
+"""Model backends: the per-architecture math behind one plumbing path.
+
+The staged engine (:mod:`repro.engine.stages`) owns everything the
+paper's Algorithms 1–2 share between architectures — parameter pulls,
+halo exchanges, the loss/metric scan, gradient pushes, Bit-Tuner
+feedback — and delegates the per-layer math to a
+:class:`ModelBackend`. GCN, GraphSAGE, GAT and the sampled GCN variant
+therefore differ only in the backend object they plug in, instead of
+each subclass re-implementing the forward/backward plumbing.
+
+A backend is bound to one :class:`~repro.engine.context.ExchangeContext`
+for its lifetime (``bind`` registers any extra parameters and builds
+auxiliary structures) and then answers the stage's questions:
+
+* ``layer_param_names`` — which server parameters a layer pulls;
+* ``layer_input`` / ``layer_output`` — local embedding rows feeding and
+  produced by a layer (the exchange serves ``layer_output`` rows);
+* ``forward_layer`` — one local layer kernel (runs inside the worker's
+  compute clock; stores whatever cache the backward pass needs);
+* ``final_logits`` — the classification outputs after the last layer;
+* ``backward_layer`` — one layer of the backward pass, including any
+  gradient halo exchange it needs (GCN/SAGE fetch gradient halos
+  forward-style; GAT pushes partial gradients through the reverse
+  exchange);
+* ``eval_layer`` — the exact-communication inference kernel
+  (full adjacency, raw exchange) used by Table-V style evaluation.
+
+Backends with sampling or per-iteration state additionally implement
+``on_epoch_start`` (resampling) and ``exchange_subset`` (per-channel
+sampled row subsets).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.core.gcn_math import (
+    bias_gradient,
+    layer_backward_inputs,
+    layer_forward,
+    weight_gradient,
+)
+from repro.core.models import bias_name, weight_name
+from repro.core.worker import WorkerState
+from repro.engine.context import ExchangeContext
+from repro.nn.init import glorot_uniform
+from repro.obs.tracing import monotonic_now
+
+__all__ = [
+    "ModelBackend",
+    "GCNBackend",
+    "SampledGCNBackend",
+    "SAGEBackend",
+    "GATBackend",
+    "self_weight_name",
+    "attn_src_name",
+    "attn_dst_name",
+    "head_weight_name",
+]
+
+
+@runtime_checkable
+class ModelBackend(Protocol):
+    """What the staged engine needs from a model architecture."""
+
+    name: str
+
+    def bind(self, ctx: ExchangeContext) -> None:
+        """Attach the context; register extra parameters, build caches."""
+
+    def on_epoch_start(self, t: int) -> None:
+        """Per-iteration hook before the forward pass (sampling)."""
+
+    def begin_iteration(self) -> None:
+        """Reset per-iteration caches before a forward pass."""
+
+    def adjacency(self, state: WorkerState, layer: int):
+        """Aggregation rows used by ``state`` at ``layer`` (1-based)."""
+
+    def exchange_subset(
+        self, layer: int, direction: str
+    ) -> dict[tuple[int, int], np.ndarray] | None:
+        """Per-channel sampled row subsets (None = exchange all rows)."""
+
+    def layer_param_names(self, layer: int) -> list[str]:
+        """Server parameter names pulled for ``layer`` (1-based)."""
+
+    def layer_input(self, state: WorkerState, layer: int) -> np.ndarray:
+        """Local rows feeding ``layer`` (features or H^{layer-1})."""
+
+    def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
+        """Local output rows of ``layer`` (what halo exchanges serve)."""
+
+    def forward_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        pulled: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> None:
+        """One local layer kernel; caches whatever backward needs."""
+
+    def final_logits(self, state: WorkerState) -> np.ndarray:
+        """Classification logits for the worker's local vertices."""
+
+    def backward_layer(
+        self, t: int, layer: int, grads: dict[int, dict[str, np.ndarray]]
+    ) -> None:
+        """One backward layer: parameter-gradient shares into ``grads``
+        plus the input-gradient propagation (with its halo exchange)."""
+
+    def eval_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        params: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> np.ndarray:
+        """Exact-inference layer output (full adjacency, no caching)."""
+
+
+class _BackendBase:
+    """Default hooks shared by the concrete backends."""
+
+    ctx: ExchangeContext
+
+    def bind(self, ctx: ExchangeContext) -> None:
+        self.ctx = ctx
+
+    def on_epoch_start(self, t: int) -> None:
+        del t
+
+    def adjacency(self, state: WorkerState, layer: int):
+        del layer
+        return state.a_local
+
+    def exchange_subset(
+        self, layer: int, direction: str
+    ) -> dict[tuple[int, int], np.ndarray] | None:
+        del layer, direction
+        return None
+
+
+# ----------------------------------------------------------------------
+# GCN
+# ----------------------------------------------------------------------
+class GCNBackend(_BackendBase):
+    """Full-batch GCN (paper Algorithms 1–2); caches live in the
+    :class:`~repro.core.worker.WorkerState` layer caches."""
+
+    name = "gcn"
+
+    def begin_iteration(self) -> None:
+        num_layers = self.ctx.params.num_layers
+        for state in self.ctx.workers:
+            state.reset_iteration(num_layers)
+
+    def layer_param_names(self, layer: int) -> list[str]:
+        return self.ctx.params.layer_param_names(layer - 1)
+
+    def layer_input(self, state: WorkerState, layer: int) -> np.ndarray:
+        return state.features if layer == 1 else state.local_output(layer - 1)
+
+    def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
+        return state.local_output(layer)
+
+    def forward_layer(self, state, h_cat, pulled, layer, is_last) -> None:
+        ctx = self.ctx
+        state.caches[layer] = layer_forward(
+            self.adjacency(state, layer),
+            h_cat,
+            pulled[weight_name(layer - 1)],
+            pulled.get(bias_name(layer - 1)),
+            ctx.params.activation,
+            is_last=is_last,
+            transform_first=(None if ctx.config.transform_first else False),
+        )
+
+    def final_logits(self, state: WorkerState) -> np.ndarray:
+        return state.caches[self.ctx.params.num_layers].output
+
+    def backward_layer(self, t, layer, grads) -> None:
+        ctx = self.ctx
+        obs = ctx.telemetry
+        weight_key = weight_name(layer - 1)
+        with obs.span("kernel", layer=layer, direction="bp",
+                      stage="weight_grad"):
+            for state in ctx.workers:
+                i = state.worker_id
+                g_local = state.grad_rows[layer]
+                cache = state.caches[layer]
+                with ctx.runtime.worker_compute(i):
+                    grads[i][weight_key] = weight_gradient(
+                        cache, self.adjacency(state, layer), g_local
+                    )
+                    if ctx.params.use_bias:
+                        grads[i][bias_name(layer - 1)] = bias_gradient(
+                            g_local
+                        )
+
+        if layer > 1:
+            halos = ctx.exchange(
+                "bp",
+                layer,
+                t,
+                rows_of=lambda s, _l=layer: s.grad_rows[_l],
+                dim=ctx.params.dims[layer],
+                subset=self.exchange_subset(layer, "bp"),
+            )
+            weight = ctx.servers.get(weight_key)
+            with obs.span("kernel", layer=layer, direction="bp",
+                          stage="input_grad"):
+                for state in ctx.workers:
+                    i = state.worker_id
+                    with ctx.runtime.worker_compute(i):
+                        g_cat = np.concatenate(
+                            [state.grad_rows[layer], halos[i]], axis=0
+                        )
+                        state.grad_rows[layer - 1] = (
+                            layer_backward_inputs(
+                                self.adjacency(state, layer),
+                                g_cat,
+                                weight,
+                                state.caches[layer - 1].pre_activation,
+                                ctx.params.activation,
+                            )
+                        )
+
+    def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
+        # Exact inference always aggregates over the full local
+        # adjacency (not a sampled one) with default kernel ordering.
+        return layer_forward(
+            state.a_local,
+            h_cat,
+            params[weight_name(layer - 1)],
+            params.get(bias_name(layer - 1)),
+            self.ctx.params.activation,
+            is_last=is_last,
+        ).output
+
+
+# ----------------------------------------------------------------------
+# Sampled GCN (EC-Graph-S / DistDGL baseline)
+# ----------------------------------------------------------------------
+class SampledGCNBackend(GCNBackend):
+    """GCN over per-layer fanout-sampled adjacencies.
+
+    Offline mode samples once (the trainer folds the cost into
+    preprocessing); online mode resamples at every ``on_epoch_start``,
+    charging per-worker sampling compute and coordination messages.
+    """
+
+    name = "sampled-gcn"
+
+    def __init__(
+        self,
+        fanouts: list[int],
+        online: bool,
+        sampling_speedup: float,
+        rng: np.random.Generator,
+    ):
+        self.fanouts = list(fanouts)
+        self.online = online
+        self.sampling_speedup = sampling_speedup
+        self.rng = rng
+        self.sampled_adj: list[dict[int, csr_matrix]] = []
+        self.subsets: dict[int, dict[tuple[int, int], np.ndarray]] = {}
+        self.sampled_once = False
+
+    def adjacency(self, state: WorkerState, layer: int):
+        return self.sampled_adj[state.worker_id][layer]
+
+    def exchange_subset(self, layer: int, direction: str):
+        del direction  # forward and backward touch the same sampled halo
+        return self.subsets.get(layer)
+
+    def on_epoch_start(self, t: int) -> None:
+        ctx = self.ctx
+        if self.online or not self.sampled_once:
+            start = monotonic_now()
+            with ctx.telemetry.span("sampling", mode="online", epoch=t):
+                self.resample()
+            elapsed = (monotonic_now() - start) / self.sampling_speedup
+            self.sampled_once = True
+            ctx.telemetry.metrics.inc("resamples")
+            # Online sampling is coordinated by per-worker samplers; the
+            # cost is per-worker compute plus request messages.
+            per_worker = elapsed / max(ctx.spec.num_workers, 1)
+            for state in ctx.workers:
+                ctx.runtime.add_compute(state.worker_id, per_worker)
+                for owner in state.requests:
+                    ctx.runtime.send_worker_to_worker(
+                        state.worker_id, owner, 64, "sampling"
+                    )
+
+    # ------------------------------------------------------------------
+    def resample(self) -> None:
+        """Draw a fresh per-layer sampled adjacency for every worker."""
+        ctx = self.ctx
+        self.sampled_adj = []
+        needed_halo: dict[int, list[np.ndarray]] = {
+            layer: [] for layer in range(1, ctx.params.num_layers + 1)
+        }
+        for state in ctx.workers:
+            per_layer: dict[int, csr_matrix] = {}
+            for layer in range(1, ctx.params.num_layers + 1):
+                sampled, used_halo = self._sample_rows(
+                    state, self.fanouts[layer - 1]
+                )
+                per_layer[layer] = sampled
+                needed_halo[layer].append(used_halo)
+            self.sampled_adj.append(per_layer)
+
+        self.subsets = {}
+        for layer, per_worker in needed_halo.items():
+            layer_subsets: dict[tuple[int, int], np.ndarray] = {}
+            for state, used in zip(ctx.workers, per_worker):
+                for owner, slots in state.halo_slots.items():
+                    rows_idx = np.flatnonzero(used[slots]).astype(np.int64)
+                    layer_subsets[(owner, state.worker_id)] = rows_idx
+            self.subsets[layer] = layer_subsets
+
+    def _sample_rows(
+        self, state: WorkerState, fanout: int
+    ) -> tuple[csr_matrix, np.ndarray]:
+        """Sample one worker's adjacency rows down to ``fanout`` entries.
+
+        Returns the sampled matrix and a boolean mask over the worker's
+        halo (which remote rows the sampled matrix references).
+        """
+        sub = state.sub
+        indptr = sub.indptr
+        indices = sub.indices
+        weights = (
+            sub.weights
+            if sub.weights is not None
+            else np.ones(sub.num_edges, dtype=np.float32)
+        )
+        out_indices: list[np.ndarray] = []
+        out_weights: list[np.ndarray] = []
+        out_counts = np.zeros(sub.num_local, dtype=np.int64)
+        for row in range(sub.num_local):
+            lo, hi = indptr[row], indptr[row + 1]
+            degree = hi - lo
+            if degree <= fanout:
+                out_indices.append(indices[lo:hi])
+                out_weights.append(weights[lo:hi])
+                out_counts[row] = degree
+            else:
+                pick = self.rng.choice(degree, size=fanout, replace=False)
+                scale = degree / fanout  # unbiased row-sum estimator
+                out_indices.append(indices[lo + pick])
+                out_weights.append(weights[lo + pick] * scale)
+                out_counts[row] = fanout
+        new_indptr = np.zeros(sub.num_local + 1, dtype=np.int64)
+        np.cumsum(out_counts, out=new_indptr[1:])
+        new_indices = (
+            np.concatenate(out_indices)
+            if out_indices
+            else np.empty(0, dtype=np.int64)
+        )
+        new_weights = (
+            np.concatenate(out_weights)
+            if out_weights
+            else np.empty(0, dtype=np.float32)
+        )
+        sampled = csr_matrix(
+            (new_weights.astype(np.float32), new_indices, new_indptr),
+            shape=(sub.num_local, sub.num_local + sub.num_remote),
+        )
+        used_halo = np.zeros(sub.num_remote, dtype=bool)
+        remote_cols = new_indices[new_indices >= sub.num_local] - sub.num_local
+        used_halo[remote_cols] = True
+        return sampled, used_halo
+
+
+# ----------------------------------------------------------------------
+# GraphSAGE (mean aggregator, concatenation variant)
+# ----------------------------------------------------------------------
+def self_weight_name(layer: int) -> str:
+    """Parameter key of a layer's self-transform ``W_self``."""
+    return f"Ws{layer}"
+
+
+class _SAGECache:
+    """Forward state per layer: inputs, neighbour means, pre-activations."""
+
+    def __init__(self, h_local, aggregated, z, output):
+        self.h_local = h_local
+        self.aggregated = aggregated
+        self.z = z
+        self.output = output
+
+
+class SAGEBackend(_BackendBase):
+    """GraphSAGE-mean: ``Z = H W_self + (A_row H_cat) W_neigh + b``.
+
+    ``weight_name(l)`` holds ``W_neigh`` and :func:`self_weight_name`
+    holds ``W_self``. The mean aggregation matrix is row-normalized and
+    therefore not symmetric, but its sparsity structure is (undirected
+    graphs), so the backward pass aggregates fetched gradient halos
+    locally through the transposed-weight rows built at bind time.
+    """
+
+    name = "sage"
+
+    def bind(self, ctx: ExchangeContext) -> None:
+        super().bind(ctx)
+        rng = np.random.default_rng(ctx.config.seed + 13)
+        for layer in range(ctx.params.num_layers):
+            d_in, d_out = ctx.params.dims[layer], ctx.params.dims[layer + 1]
+            ctx.servers.register(
+                self_weight_name(layer), glorot_uniform((d_in, d_out), rng)
+            )
+        self._build_transposed_rows()
+        self.caches: list[list[_SAGECache | None]] = []
+
+    def _build_transposed_rows(self) -> None:
+        """Rows of ``A_row^T`` per worker: entry (j, i) = 1/(deg(i)+1).
+
+        The structure equals each worker's local adjacency (symmetric
+        graph); only the weights change — they follow the *column*
+        vertex's degree instead of the row's.
+        """
+        ctx = self.ctx
+        degrees = np.diff(ctx.graph.adjacency.indptr).astype(np.float64)
+        self.a_transposed: list[csr_matrix] = []
+        for state in ctx.workers:
+            sub = state.sub
+            compact_to_global = np.concatenate(
+                [sub.local_vertices, sub.remote_vertices]
+            )
+            col_global = compact_to_global[sub.indices]
+            weights = (1.0 / (degrees[col_global] + 1.0)).astype(np.float32)
+            self.a_transposed.append(
+                csr_matrix(
+                    (weights, sub.indices, sub.indptr),
+                    shape=state.a_local.shape,
+                )
+            )
+
+    def begin_iteration(self) -> None:
+        num_layers = self.ctx.params.num_layers
+        self.caches = [[None] * (num_layers + 1) for _ in self.ctx.workers]
+        for state in self.ctx.workers:
+            state.reset_iteration(num_layers)
+
+    def layer_param_names(self, layer: int) -> list[str]:
+        names = [weight_name(layer - 1), self_weight_name(layer - 1)]
+        if self.ctx.params.use_bias:
+            names.append(bias_name(layer - 1))
+        return names
+
+    def layer_input(self, state: WorkerState, layer: int) -> np.ndarray:
+        if layer == 1:
+            return state.features
+        return self.caches[state.worker_id][layer - 1].output
+
+    def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
+        return self.caches[state.worker_id][layer].output
+
+    def sage_layer_forward(self, state, h_cat, w_self, w_neigh, bias,
+                           is_last: bool) -> _SAGECache:
+        h_local = h_cat[:state.num_local]
+        aggregated = state.a_local @ h_cat
+        z = (h_local @ w_self + aggregated @ w_neigh).astype(np.float32)
+        if bias is not None:
+            z = z + bias
+        output = (
+            z if is_last
+            else self.ctx.params.activation(z).astype(np.float32)
+        )
+        return _SAGECache(h_local, aggregated, z, output)
+
+    def forward_layer(self, state, h_cat, pulled, layer, is_last) -> None:
+        self.caches[state.worker_id][layer] = self.sage_layer_forward(
+            state,
+            h_cat,
+            pulled[self_weight_name(layer - 1)],
+            pulled[weight_name(layer - 1)],
+            pulled.get(bias_name(layer - 1)),
+            is_last=is_last,
+        )
+
+    def final_logits(self, state: WorkerState) -> np.ndarray:
+        return self.caches[state.worker_id][self.ctx.params.num_layers].output
+
+    def backward_layer(self, t, layer, grads) -> None:
+        ctx = self.ctx
+        w_self = ctx.servers.get(self_weight_name(layer - 1))
+        w_neigh = ctx.servers.get(weight_name(layer - 1))
+        for state in ctx.workers:
+            i = state.worker_id
+            cache = self.caches[i][layer]
+            g = state.grad_rows[layer]
+            with ctx.runtime.worker_compute(i):
+                grads[i][self_weight_name(layer - 1)] = (
+                    cache.h_local.T @ g
+                ).astype(np.float32)
+                grads[i][weight_name(layer - 1)] = (
+                    cache.aggregated.T @ g
+                ).astype(np.float32)
+                if ctx.params.use_bias:
+                    grads[i][bias_name(layer - 1)] = g.sum(axis=0).astype(
+                        np.float32
+                    )
+
+        if layer > 1:
+            halos = ctx.exchange(
+                "bp",
+                layer,
+                t,
+                rows_of=lambda s, _l=layer: s.grad_rows[_l],
+                dim=ctx.params.dims[layer],
+            )
+            for state in ctx.workers:
+                i = state.worker_id
+                cache_prev = self.caches[i][layer - 1]
+                g = state.grad_rows[layer]
+                with ctx.runtime.worker_compute(i):
+                    g_cat = np.concatenate([g, halos[i]], axis=0)
+                    # Self path + transposed mean aggregation path.
+                    dh = g @ w_self.T + (
+                        self.a_transposed[i] @ g_cat
+                    ) @ w_neigh.T
+                    state.grad_rows[layer - 1] = (
+                        dh * ctx.params.activation.derivative(cache_prev.z)
+                    ).astype(np.float32)
+
+    def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
+        return self.sage_layer_forward(
+            state,
+            h_cat,
+            params[self_weight_name(layer - 1)],
+            params[weight_name(layer - 1)],
+            params.get(bias_name(layer - 1)),
+            is_last=is_last,
+        ).output
+
+
+# ----------------------------------------------------------------------
+# GAT (multi-head, head-averaging)
+# ----------------------------------------------------------------------
+_LEAKY_SLOPE = 0.2
+
+
+def attn_src_name(layer: int, head: int = 0) -> str:
+    """Parameter key of a head's source attention vector ``a_src``."""
+    return f"asrc{layer}" if head == 0 else f"asrc{layer}h{head}"
+
+
+def attn_dst_name(layer: int, head: int = 0) -> str:
+    """Parameter key of a head's target attention vector ``a_dst``."""
+    return f"adst{layer}" if head == 0 else f"adst{layer}h{head}"
+
+
+def head_weight_name(layer: int, head: int = 0) -> str:
+    """Parameter key of a head's transform ``W``; head 0 reuses ``W{l}``."""
+    return weight_name(layer) if head == 0 else f"W{layer}h{head}"
+
+
+def _leaky(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0.0, x, _LEAKY_SLOPE * x)
+
+
+def _leaky_grad(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0.0, 1.0, _LEAKY_SLOPE).astype(np.float32)
+
+
+class _EdgeSpace:
+    """Per-worker edge arrays derived from the local adjacency structure.
+
+    Attributes:
+        src: Edge source (local row id) per edge, aligned with ``col``.
+        col: Edge target in the worker's compact (local + halo) space.
+        num_local / num_cat: Row/column counts of the local adjacency.
+    """
+
+    def __init__(self, state: WorkerState):
+        indptr = state.a_local.indptr
+        self.col = state.a_local.indices.astype(np.int64)
+        self.src = np.repeat(
+            np.arange(state.num_local, dtype=np.int64), np.diff(indptr)
+        )
+        self.num_local = state.num_local
+        self.num_cat = state.num_local + state.num_halo
+
+    def segment_softmax(self, logits: np.ndarray) -> np.ndarray:
+        """Softmax of edge logits within each source vertex's edge set."""
+        seg_max = np.full(self.num_local, -np.inf, dtype=np.float64)
+        np.maximum.at(seg_max, self.src, logits)
+        shifted = np.exp(logits - seg_max[self.src])
+        seg_sum = np.zeros(self.num_local, dtype=np.float64)
+        np.add.at(seg_sum, self.src, shifted)
+        return (shifted / seg_sum[self.src]).astype(np.float32)
+
+
+class _GATCache:
+    """Forward state one worker keeps per layer for the backward pass.
+
+    ``u_cat`` / ``logits`` / ``alpha`` are lists with one entry per
+    attention head.
+    """
+
+    def __init__(self, h_cat, u_cat, logits, alpha, z, output):
+        self.h_cat = h_cat
+        self.u_cat = u_cat
+        self.logits = logits  # raw (pre-LeakyReLU) attention scores
+        self.alpha = alpha
+        self.z = z
+        self.output = output
+
+
+class GATBackend(_BackendBase):
+    """Multi-head, head-averaging GAT (paper section III-B).
+
+    The forward halo exchange is the ordinary embedding fetch (so
+    ReqEC-FP applies unchanged); the backward pass uses the transport's
+    *reverse* exchange — consumers push partial gradients of the remote
+    embeddings they attended over back to the owners (so ResEC-BP
+    applies to those messages). Per layer and head ``k``, with
+    ``U_k = H W_k``, attention logits
+    ``r_ij = LeakyReLU(a_src_k . U_k_i + a_dst_k . U_k_j)`` over edges
+    ``i <- j`` (self-loops included), attention ``alpha_k = softmax_j(r)``
+    and output ``Z_i = mean_k sum_j alpha_k_ij U_k_j + b``.
+    """
+
+    name = "gat"
+
+    def __init__(self, num_heads: int = 1):
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        self.num_heads = num_heads
+
+    def bind(self, ctx: ExchangeContext) -> None:
+        super().bind(ctx)
+        # Attention (and extra-head weight) parameters join the servers
+        # next to each layer's W/b. Head 0 reuses the base W so a
+        # one-head GAT shares the GCN parameter layout.
+        rng = np.random.default_rng(ctx.config.seed + 7)
+        for layer in range(ctx.params.num_layers):
+            d_in, d_out = ctx.params.dims[layer], ctx.params.dims[layer + 1]
+            for head in range(self.num_heads):
+                if head > 0:
+                    ctx.servers.register(
+                        head_weight_name(layer, head),
+                        glorot_uniform((d_in, d_out), rng),
+                    )
+                ctx.servers.register(
+                    attn_src_name(layer, head),
+                    glorot_uniform((d_out,), rng) * 0.5,
+                )
+                ctx.servers.register(
+                    attn_dst_name(layer, head),
+                    glorot_uniform((d_out,), rng) * 0.5,
+                )
+        self.edges = [_EdgeSpace(state) for state in ctx.workers]
+        self.caches: list[list[_GATCache | None]] = []
+
+    def begin_iteration(self) -> None:
+        num_layers = self.ctx.params.num_layers
+        self.caches = [[None] * (num_layers + 1) for _ in self.ctx.workers]
+        for state in self.ctx.workers:
+            state.reset_iteration(num_layers)
+
+    def layer_param_names(self, layer: int) -> list[str]:
+        names = []
+        for head in range(self.num_heads):
+            names.extend([
+                head_weight_name(layer - 1, head),
+                attn_src_name(layer - 1, head),
+                attn_dst_name(layer - 1, head),
+            ])
+        if self.ctx.params.use_bias:
+            names.append(bias_name(layer - 1))
+        return names
+
+    def _head_params(self, params: dict, layer: int, head: int):
+        return (
+            params[head_weight_name(layer - 1, head)],
+            params[attn_src_name(layer - 1, head)],
+            params[attn_dst_name(layer - 1, head)],
+        )
+
+    def layer_input(self, state: WorkerState, layer: int) -> np.ndarray:
+        if layer == 1:
+            return state.features
+        return self.caches[state.worker_id][layer - 1].output
+
+    def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
+        return self.caches[state.worker_id][layer].output
+
+    def gat_layer_forward(self, worker: int, h_cat, params: dict,
+                          layer: int, is_last: bool) -> _GATCache:
+        """One multi-head GAT layer on a worker's local vertices."""
+        edges = self.edges[worker]
+        u_heads, logit_heads, alpha_heads = [], [], []
+        z = None
+        for head in range(self.num_heads):
+            weight, a_src, a_dst = self._head_params(params, layer, head)
+            u_cat = (h_cat @ weight).astype(np.float32)
+            s = u_cat[:edges.num_local] @ a_src
+            d = u_cat @ a_dst
+            logits = s[edges.src] + d[edges.col]
+            alpha = edges.segment_softmax(_leaky(logits))
+            z_head = np.zeros(
+                (edges.num_local, u_cat.shape[1]), dtype=np.float32
+            )
+            np.add.at(z_head, edges.src, alpha[:, None] * u_cat[edges.col])
+            z = z_head if z is None else z + z_head
+            u_heads.append(u_cat)
+            logit_heads.append(logits)
+            alpha_heads.append(alpha)
+        z = (z / self.num_heads).astype(np.float32)
+        bias = params.get(bias_name(layer - 1))
+        if bias is not None:
+            z = z + bias
+        output = (
+            z if is_last
+            else self.ctx.params.activation(z).astype(np.float32)
+        )
+        return _GATCache(h_cat, u_heads, logit_heads, alpha_heads, z, output)
+
+    def forward_layer(self, state, h_cat, pulled, layer, is_last) -> None:
+        self.caches[state.worker_id][layer] = self.gat_layer_forward(
+            state.worker_id, h_cat, pulled, layer, is_last=is_last
+        )
+
+    def final_logits(self, state: WorkerState) -> np.ndarray:
+        return self.caches[state.worker_id][self.ctx.params.num_layers].output
+
+    def backward_layer(self, t, layer, grads) -> None:
+        ctx = self.ctx
+        head_params = [
+            (
+                ctx.servers.get(head_weight_name(layer - 1, head)),
+                ctx.servers.get(attn_src_name(layer - 1, head)),
+                ctx.servers.get(attn_dst_name(layer - 1, head)),
+            )
+            for head in range(self.num_heads)
+        ]
+
+        # Each worker computes its partial dH over the cat space
+        # (summed over heads) plus its parameter-gradient shares.
+        dh_partials: list[np.ndarray] = []
+        for state in ctx.workers:
+            i = state.worker_id
+            edges = self.edges[i]
+            cache = self.caches[i][layer]
+            # Head averaging: each head sees G / num_heads.
+            g = state.grad_rows[layer] / self.num_heads
+            with ctx.runtime.worker_compute(i):
+                dh = np.zeros_like(cache.h_cat)
+                g_src = g[edges.src]
+                for head, (weight, a_src, a_dst) in enumerate(head_params):
+                    u_cat = cache.u_cat[head]
+                    alpha = cache.alpha[head]
+                    logits = cache.logits[head]
+                    du = np.zeros_like(u_cat)
+                    u_col = u_cat[edges.col]
+                    # Through the weighted sum Z_i = sum alpha U_j.
+                    np.add.at(du, edges.col, alpha[:, None] * g_src)
+                    # Through the attention coefficients.
+                    dalpha = np.einsum("ed,ed->e", g_src, u_col)
+                    seg_dot = np.zeros(edges.num_local, dtype=np.float64)
+                    np.add.at(seg_dot, edges.src, alpha * dalpha)
+                    de = alpha * (dalpha - seg_dot[edges.src])
+                    dr = (de * _leaky_grad(logits)).astype(np.float32)
+                    ds = np.zeros(edges.num_local, dtype=np.float32)
+                    np.add.at(ds, edges.src, dr)
+                    dd = np.zeros(edges.num_cat, dtype=np.float32)
+                    np.add.at(dd, edges.col, dr)
+                    du[:edges.num_local] += ds[:, None] * a_src[None, :]
+                    du += dd[:, None] * a_dst[None, :]
+
+                    grads[i][attn_src_name(layer - 1, head)] = (
+                        ds @ u_cat[:edges.num_local]
+                    ).astype(np.float32)
+                    grads[i][attn_dst_name(layer - 1, head)] = (
+                        dd @ u_cat
+                    ).astype(np.float32)
+                    grads[i][head_weight_name(layer - 1, head)] = (
+                        cache.h_cat.T @ du
+                    ).astype(np.float32)
+                    dh += du @ weight.T
+                if ctx.params.use_bias:
+                    grads[i][bias_name(layer - 1)] = (
+                        state.grad_rows[layer].sum(axis=0)
+                    ).astype(np.float32)
+            dh_partials.append(dh)
+
+        if layer > 1:
+            # Owners collect the halo partials of dH (the paper's
+            # "embedding gradients from out-neighbors").
+            remote_sums = ctx.reverse_exchange(
+                layer,
+                t,
+                halo_rows_of=lambda s: dh_partials[s.worker_id][
+                    s.num_local:
+                ],
+                dim=ctx.params.dims[layer - 1],
+            )
+            for state in ctx.workers:
+                i = state.worker_id
+                cache_prev = self.caches[i][layer - 1]
+                with ctx.runtime.worker_compute(i):
+                    dh_total = (
+                        dh_partials[i][:state.num_local] + remote_sums[i]
+                    )
+                    state.grad_rows[layer - 1] = (
+                        dh_total * ctx.params.activation.derivative(
+                            cache_prev.z
+                        )
+                    ).astype(np.float32)
+
+    def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
+        return self.gat_layer_forward(
+            state.worker_id, h_cat, params, layer, is_last=is_last
+        ).output

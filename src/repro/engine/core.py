@@ -1,0 +1,84 @@
+"""TrainerCore: the object that drives the staged pipeline.
+
+One core owns one :class:`~repro.engine.context.ExchangeContext`, one
+:class:`~repro.engine.backends.ModelBackend` and the five stages, and
+runs them in the paper's synchronous-iteration order::
+
+    HaloPlanStage -> ForwardStage -> BackwardStage -> OptimizeStage
+        -> EvalStage
+
+The trainer classes in :mod:`repro.core` are thin facades over a core:
+they build the context during ``setup()`` and delegate
+``run_epoch``/``evaluate_exact`` (and the private hooks the test suite
+exercises) here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.results import EpochResult
+from repro.engine.backends import ModelBackend
+from repro.engine.context import ExchangeContext
+from repro.engine.recovery import RecoveryManager
+from repro.engine.stages import (
+    BackwardStage,
+    EvalStage,
+    ForwardStage,
+    HaloPlanStage,
+    OptimizeStage,
+)
+
+__all__ = ["TrainerCore"]
+
+
+class TrainerCore:
+    """Drives one synchronous training iteration through the stages."""
+
+    def __init__(
+        self,
+        ctx: ExchangeContext,
+        backend: ModelBackend,
+        recovery: RecoveryManager | None = None,
+    ):
+        self.ctx = ctx
+        self.backend = backend
+        self.recovery = recovery
+        ctx.recovery = recovery
+        backend.bind(ctx)
+        self.halo_plan = HaloPlanStage(ctx, backend)
+        self.forward = ForwardStage(ctx, backend)
+        self.backward = BackwardStage(ctx, backend)
+        self.optimize = OptimizeStage(ctx, backend)
+        self.eval = EvalStage(ctx, backend)
+        self.stages = (
+            self.halo_plan, self.forward, self.backward,
+            self.optimize, self.eval,
+        )
+
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self, t: int, lr_schedule: Callable[[int], float] | None = None
+    ) -> EpochResult:
+        """One synchronous training iteration (forward + backward)."""
+        ctx = self.ctx
+        if self.recovery is not None:
+            self.recovery.begin_epoch(t)
+        if lr_schedule is not None:
+            ctx.servers.set_learning_rate(lr_schedule(t))
+        obs = ctx.telemetry
+        with obs.span("epoch", epoch=t):
+            self.halo_plan.run(t)
+            with obs.span("forward", epoch=t):
+                loss, counters = self.forward.run(t)
+            with obs.span("backward", epoch=t):
+                grads = self.backward.run(t)
+                self.optimize.run(grads)
+        breakdown = ctx.runtime.end_epoch()
+        if self.recovery is not None:
+            self.recovery.end_epoch(t)
+        return self.eval.run(t, loss, counters, breakdown)
+
+    def evaluate_exact(self) -> dict[str, float]:
+        """Exact-communication accuracy (Table V measurement)."""
+        return self.eval.evaluate_exact()

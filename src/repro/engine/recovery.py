@@ -1,0 +1,177 @@
+"""Checkpointing and crash recovery for the staged engine.
+
+The :class:`RecoveryManager` owns the fault-tolerance lifecycle that
+used to be spread across the trainer monolith: advancing the injector's
+epoch clock, rebuilding crashed workers, rotating/saving parameter
+checkpoints and rolling servers back after a crash.
+
+Checkpoint files rotate — before each save, the previous ``latest.npz``
+moves to ``previous.npz`` — so a checkpoint that lands corrupt on disk
+(torn write, bit rot) no longer kills recovery: restore skips it with a
+warning metric (``fault_checkpoint_corrupt`` / the
+``corrupt_checkpoints`` counter) and falls back to the previous file,
+then to the in-memory snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.context import ExchangeContext
+
+__all__ = ["RecoveryManager", "CHECKPOINT_NAME", "PREVIOUS_CHECKPOINT_NAME"]
+
+CHECKPOINT_NAME = "latest.npz"
+PREVIOUS_CHECKPOINT_NAME = "previous.npz"
+
+
+class RecoveryManager:
+    """Drives fault-tolerance hooks around each training iteration.
+
+    Args:
+        ctx: The shared exchange context (injector, runtime, workers,
+            servers, policies, telemetry).
+        trainer: The owning trainer facade — checkpoint serialization
+            (:func:`~repro.core.checkpoint.save_checkpoint`) captures
+            the trainer's model/config metadata.
+    """
+
+    def __init__(self, ctx: ExchangeContext, trainer):
+        self.ctx = ctx
+        self.trainer = trainer
+        # (epoch, params) in-memory snapshot — the rollback of last
+        # resort when no disk checkpoint is configured or readable.
+        self.param_snapshot: tuple[int, dict[str, np.ndarray]] | None = None
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+    def begin_epoch(self, t: int) -> None:
+        """Advance the injector clock and recover scheduled crashes."""
+        injector = self.ctx.injector
+        if injector is None:
+            return
+        injector.start_epoch(t)
+        crashed = injector.take_crashes(t)
+        if crashed:
+            self.recover_workers(crashed)
+
+    def end_epoch(self, t: int) -> None:
+        """Auto-checkpoint the server parameters after epoch ``t``."""
+        if self.ctx.injector is not None:
+            self.maybe_checkpoint(t)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, t: int) -> None:
+        faults = self.ctx.config.faults
+        if (t + 1) % faults.checkpoint_every != 0:
+            return
+        if faults.checkpoint_dir is not None:
+            from repro.core.checkpoint import save_checkpoint
+
+            directory = Path(faults.checkpoint_dir)
+            path = directory / CHECKPOINT_NAME
+            # Rotate so a corrupt newest file still leaves one good
+            # generation on disk (os.replace keeps rotation atomic).
+            if path.exists():
+                import os
+
+                os.replace(path, directory / PREVIOUS_CHECKPOINT_NAME)
+            save_checkpoint(self.trainer, path, epoch=t + 1)
+        self.param_snapshot = (t + 1, self.ctx.servers.state_dict())
+
+    def restore_latest_checkpoint(self) -> bool:
+        """Load the newest readable parameter checkpoint into the servers.
+
+        Tries ``latest.npz``; a corrupt file is *skipped* — counted in
+        ``corrupt_checkpoints`` and the ``fault_checkpoint_corrupt``
+        metric — in favour of the rotated ``previous.npz``, and the
+        in-memory snapshot remains the final fallback. Returns True when
+        any source restored the parameters.
+        """
+        ctx = self.ctx
+        faults = ctx.config.faults
+        if faults.checkpoint_dir is not None:
+            from repro.core.checkpoint import CheckpointError, load_checkpoint
+
+            directory = Path(faults.checkpoint_dir)
+            for name in (CHECKPOINT_NAME, PREVIOUS_CHECKPOINT_NAME):
+                try:
+                    state = load_checkpoint(directory / name)
+                except FileNotFoundError:
+                    continue
+                except CheckpointError:
+                    if ctx.injector is not None:
+                        ctx.injector.counters.corrupt_checkpoints += 1
+                    if ctx.telemetry.enabled:
+                        ctx.telemetry.metrics.inc(
+                            "fault_checkpoint_corrupt", file=name
+                        )
+                    continue
+                for name_, value in state["params"].items():
+                    ctx.servers.set(name_, value)
+                return True
+        if self.param_snapshot is not None:
+            _, params = self.param_snapshot
+            for name, value in params.items():
+                ctx.servers.set(name, value.copy())
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def recover_workers(self, crashed: list[int]) -> None:
+        """Rebuild crashed workers and resynchronize the exchange state.
+
+        The static partition state (adjacency rows, feature shards,
+        request/serve plans) rebuilds from the worker's local storage —
+        charged as ``recovery_seconds`` of stall plus the re-fetch of
+        the first-hop feature cache — while the server-side parameters
+        roll back to the latest checkpoint (``restore_params``) and the
+        error-compensation channel state touching the dead worker is
+        zeroed (``reset_residuals``), restoring the Theorem-1 initial
+        condition ``delta = 0`` for those channels.
+        """
+        ctx = self.ctx
+        faults = ctx.config.faults
+        counters = ctx.injector.counters
+        obs = ctx.telemetry
+        for worker in crashed:
+            counters.crashes += 1
+            if obs.enabled:
+                obs.metrics.inc("fault_crashes", worker=worker)
+            ctx.runtime.add_stall(worker, faults.recovery_seconds)
+            state = ctx.workers[worker]
+            rebuild_halo = (
+                ctx.config.cache_first_hop
+                and state.halo_features is not None
+            )
+            state.crash_reset(ctx.params.num_layers)
+            if rebuild_halo:
+                halo = np.zeros(
+                    (state.num_halo, ctx.graph.feature_dim),
+                    dtype=np.float32,
+                )
+                for owner, slots in state.halo_slots.items():
+                    responder = ctx.workers[owner]
+                    rows = responder.features[responder.serves[worker]]
+                    halo[slots] = rows
+                    ctx.runtime.send_worker_to_worker(
+                        owner, worker, rows.nbytes + 16, "recovery"
+                    )
+                state.halo_features = halo
+            if faults.reset_residuals:
+                for policy in (ctx.fp_policy, ctx.bp_policy):
+                    invalidate = getattr(policy, "invalidate_worker", None)
+                    if invalidate is not None:
+                        invalidate(worker)
+            ctx.transport.invalidate_worker(worker)
+        if faults.restore_params and self.restore_latest_checkpoint():
+            counters.params_rolled_back += 1
+            if obs.enabled:
+                obs.metrics.inc("fault_params_rolled_back")

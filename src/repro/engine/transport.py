@@ -1,0 +1,634 @@
+"""The unified halo transport: one code path for every exchange.
+
+Historically the Neighbor Access Controller carried three hand-written
+exchange loops — sequential forward, thread-pooled forward, and
+sequential reverse — each re-implementing encode/deliver/decode, fault
+retry, degradation and metering with small copy-paste drift. This module
+folds them into one transport layer:
+
+* :class:`ChannelSession` materializes one planned (responder,
+  requester) channel — the rows it serves, where the decoded rows land
+  (forward scatter into halo slots, or reverse accumulation into the
+  owner's local rows) — so the runner loops are direction-agnostic;
+* :class:`HaloTransport` plans the sessions in the canonical order
+  (requesters ascending, then halo-slot insertion order; reverse:
+  consumers ascending, then their owners), then drives them through a
+  single sequential runner or a thread-pooled runner that merges its
+  charges in the same canonical order.
+
+Fault retry (:meth:`HaloTransport._deliver`), policy failure
+notification, stale-halo degradation and codec-time charging therefore
+exist exactly once, shared by both directions. Accounting and halo
+contents are bit-identical to the historical loops: channel order,
+float scatter/accumulation order and the fault RNG's (epoch, layer,
+responder, requester, attempt) fate keys are all preserved.
+
+Two optional hot-path optimizations (both off by default, see
+``docs/performance.md``):
+
+* **buffer pooling** — halo (and reverse-accumulator) matrices are
+  reused across exchanges, keyed by ``(kind, worker, dim)`` and zeroed
+  in place, instead of being reallocated per layer per iteration.
+  Pooled buffers are only valid until the next exchange call.
+* **thread-pool fan-out** — the independent channels encode and decode
+  concurrently (numpy releases the GIL in its kernels); results are
+  merged and charged in the canonical channel order from per-channel
+  measured times. The fan-out engages only on the fault-free,
+  telemetry-off path; otherwise the transport silently falls back to
+  the sequential runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.engine import ClusterRuntime
+from repro.core.messages import ChannelKey, ChannelMessage, ExchangePolicy
+from repro.core.worker import WorkerState
+from repro.faults.injector import FATE_CORRUPT, FATE_DELAY, FATE_DROP
+
+__all__ = ["ChannelSession", "HaloTransport"]
+
+
+@dataclass
+class ChannelSession:
+    """One planned (responder, requester) channel of a halo exchange.
+
+    A session binds the channel key to the rows the responder serves and
+    to the scatter target on the receiving side. Forward sessions write
+    ``outputs[consumer][slots] = rows``; reverse sessions accumulate
+    ``outputs[consumer] += rows`` at ``accumulate_rows`` (the owner's
+    local row ids), preserving the float addition order of the planned
+    sequence.
+    """
+
+    key: ChannelKey
+    served: np.ndarray
+    slots: np.ndarray | None = None
+    rows_idx: np.ndarray | None = None
+    accumulate_rows: np.ndarray | None = None
+
+    @property
+    def responder(self) -> int:
+        return self.key.responder
+
+    @property
+    def consumer(self) -> int:
+        return self.key.requester
+
+    @property
+    def reverse(self) -> bool:
+        return self.accumulate_rows is not None
+
+    def scatter(self, outputs: list[np.ndarray], rows: np.ndarray) -> None:
+        """Place decoded ``rows`` into the consumer's output matrix."""
+        if self.accumulate_rows is not None:
+            np.add.at(outputs[self.consumer], self.accumulate_rows, rows)
+        elif self.rows_idx is None:
+            outputs[self.consumer][self.slots] = rows
+        else:
+            outputs[self.consumer][self.slots[self.rows_idx]] = rows
+
+
+class HaloTransport:
+    """Runs halo exchanges — forward and reverse — across worker pairs.
+
+    When a :class:`~repro.faults.FaultInjector` is attached (see
+    :attr:`injector`), every delivery can drop, corrupt or stall; the
+    transport retransmits with exponential backoff — retry bytes hit the
+    traffic meter and backoff stalls the requester, so the modelled
+    epoch time reflects the faults — and when retries are exhausted it
+    *degrades* instead of aborting: forward channels substitute the
+    ReqEC-FP predicted candidate, the last successfully received rows,
+    or zeros (partial aggregation), in that order; reverse channels
+    contribute zero and let error-feedback policies fold the loss into
+    their residuals.
+
+    Args:
+        buffer_pool: Reuse halo buffers across exchanges (zeroed in
+            place) instead of allocating fresh ones every call.
+        threads: Fan the independent channels of one exchange out over
+            this many threads; ``0``/``1`` keeps the sequential loop.
+    """
+
+    def __init__(
+        self,
+        runtime: ClusterRuntime,
+        workers: list[WorkerState],
+        codec_speedup: float = 20.0,
+        buffer_pool: bool = False,
+        threads: int = 0,
+    ):
+        if codec_speedup <= 0:
+            raise ValueError("codec_speedup must be positive")
+        if threads < 0:
+            raise ValueError("threads must be non-negative")
+        self.runtime = runtime
+        self.workers = workers
+        self.codec_speedup = codec_speedup
+        self.buffer_pool = buffer_pool
+        self.threads = threads
+        self.telemetry = runtime.telemetry
+        # FaultInjector, attached by the trainer when faults are
+        # enabled; None keeps the exchange loop on the fault-free path.
+        self.injector = None
+        self._last_proportions: dict[tuple[int, int], float] = {}
+        # Last successfully received rows per channel, the stale-halo
+        # fallback of last resort. Populated only under fault injection.
+        self._halo_cache: dict[ChannelKey, np.ndarray] = {}
+        # (kind, worker, dim) -> pooled float32 buffer.
+        self._buffers: dict[tuple[str, int, int], np.ndarray] = {}
+        self._executor = None
+
+    # ------------------------------------------------------------------
+    # Buffer pool
+    # ------------------------------------------------------------------
+    def _buffer(self, kind: str, worker: int, rows: int, dim: int) -> np.ndarray:
+        """A zeroed ``(rows, dim)`` float32 buffer, pooled when enabled."""
+        if not self.buffer_pool:
+            return np.zeros((rows, dim), dtype=np.float32)
+        key = (kind, worker, dim)
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape[0] != rows:
+            buf = np.zeros((rows, dim), dtype=np.float32)
+            self._buffers[key] = buf
+        else:
+            buf.fill(0.0)
+        return buf
+
+    # ------------------------------------------------------------------
+    # Thread pool
+    # ------------------------------------------------------------------
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="nac"
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _fan_out_ok(self, sessions: list[ChannelSession]) -> bool:
+        """Threaded fan-out needs the fault-free, uninstrumented path:
+        fault fates consume a shared RNG stream in channel order and
+        span tracing timestamps interleave across threads."""
+        return (
+            self.threads > 1
+            and len(sessions) > 1
+            and self.injector is None
+            and not self.telemetry.enabled
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        layer: int,
+        t: int,
+        rows_of: Callable[[WorkerState], np.ndarray],
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+        subset: dict[tuple[int, int], np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Fetch remote rows for every worker; returns halo matrices.
+
+        Args:
+            layer: Layer id baked into the channel keys.
+            t: Iteration number (policies schedule on it).
+            rows_of: Maps a *responding* worker's state to the local
+                matrix whose rows are being served (e.g. its ``H^{l-1}``).
+            policy: The exchange policy for this direction.
+            category: Traffic category for the meter.
+            dim: Row width, used to size the halo buffers.
+            subset: Optional per-(responder, requester) indices into the
+                channel's full vertex list (sampling mode); channels not
+                present exchange all rows.
+
+        Returns:
+            One ``(num_halo, dim)`` array per worker, rows scattered into
+            the worker's halo ordering. Vertices outside a subset keep 0.
+            With the buffer pool enabled the arrays are only valid until
+            the next exchange.
+        """
+        halos = [
+            self._buffer("halo", state.worker_id, state.num_halo, dim)
+            for state in self.workers
+        ]
+        self._last_proportions.clear()
+        obs = self.telemetry
+        with obs.span("halo_exchange", layer=layer, category=category):
+            sessions = self._plan_forward(layer, rows_of, subset)
+            self._run(sessions, halos, t, policy, category, dim)
+        return halos
+
+    def reverse_exchange(
+        self,
+        layer: int,
+        t: int,
+        halo_rows_of: Callable[[WorkerState], np.ndarray],
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+    ) -> list[np.ndarray]:
+        """Push halo-partial gradients back to their owners and sum them.
+
+        The mirror of :meth:`exchange`, needed by models with asymmetric
+        aggregation (GAT): each worker computed *partial* gradients for
+        the remote vertices it consumed; the owners must receive and sum
+        those partials. The paper describes this as fetching "embedding
+        gradients from out-neighbors" in the backward pass.
+
+        Args:
+            halo_rows_of: Maps a worker's state to its ``(num_halo, dim)``
+                partial-gradient matrix (halo ordering).
+
+        Returns:
+            One ``(num_local, dim)`` array per worker: the sum of the
+            partials every consumer computed for that worker's vertices.
+            With the buffer pool enabled the arrays are only valid until
+            the next exchange.
+        """
+        accumulated = [
+            self._buffer("local", state.worker_id, state.num_local, dim)
+            for state in self.workers
+        ]
+        obs = self.telemetry
+        with obs.span("halo_exchange", layer=layer, category=category,
+                      direction="reverse"):
+            sessions = self._plan_reverse(layer, halo_rows_of)
+            self._run(sessions, accumulated, t, policy, category, dim)
+        return accumulated
+
+    def last_proportions(self) -> dict[tuple[int, int], float]:
+        """Predicted-selection proportions observed in the last exchange.
+
+        Keyed by (responder, requester); feeds the Bit-Tuner once per
+        iteration, after the final forward layer (Algorithm 3).
+        """
+        return dict(self._last_proportions)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan_forward(
+        self,
+        layer: int,
+        rows_of: Callable[[WorkerState], np.ndarray],
+        subset: dict[tuple[int, int], np.ndarray] | None,
+    ) -> list[ChannelSession]:
+        """Materialize this round's sessions in the canonical order.
+
+        The order — requesters ascending, then each requester's owners in
+        halo-slot insertion order — is what the sequential loop always
+        used; the threaded runner merges its charges in exactly this
+        order so accounting is execution-schedule independent.
+        """
+        sessions: list[ChannelSession] = []
+        for requester in self.workers:
+            i = requester.worker_id
+            for owner, slots in requester.halo_slots.items():
+                rows_idx = None
+                if subset is not None:
+                    rows_idx = subset.get((owner, i))
+                    if rows_idx is not None and rows_idx.size == 0:
+                        continue
+                responder = self.workers[owner]
+                serve_rows = responder.serves[i]
+                source = rows_of(responder)
+                if rows_idx is None:
+                    served = source[serve_rows]
+                else:
+                    served = source[serve_rows[rows_idx]]
+                sessions.append(ChannelSession(
+                    key=ChannelKey(layer=layer, responder=owner, requester=i),
+                    served=served,
+                    slots=slots,
+                    rows_idx=rows_idx,
+                ))
+        return sessions
+
+    def _plan_reverse(
+        self,
+        layer: int,
+        halo_rows_of: Callable[[WorkerState], np.ndarray],
+    ) -> list[ChannelSession]:
+        """Reverse sessions: consumers ascending, owners in slot order.
+
+        Channel direction flips — the consumer responds with its halo
+        partials and the owner "requests" them — so the key is
+        ``ChannelKey(layer, responder=consumer, requester=owner)`` and
+        the scatter accumulates into the owner's served local rows.
+        """
+        sessions: list[ChannelSession] = []
+        for consumer in self.workers:
+            i = consumer.worker_id
+            partials = halo_rows_of(consumer)
+            for owner, slots in consumer.halo_slots.items():
+                owner_state = self.workers[owner]
+                sessions.append(ChannelSession(
+                    key=ChannelKey(layer=layer, responder=i, requester=owner),
+                    served=partials[slots],
+                    accumulate_rows=owner_state.serves[i],
+                ))
+        return sessions
+
+    # ------------------------------------------------------------------
+    # Runners
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        sessions: list[ChannelSession],
+        outputs: list[np.ndarray],
+        t: int,
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+    ) -> None:
+        if self._fan_out_ok(sessions):
+            self._run_threaded(sessions, outputs, t, policy, category)
+        else:
+            self._run_sequential(sessions, outputs, t, policy, category, dim)
+
+    def _run_sequential(
+        self,
+        sessions: list[ChannelSession],
+        outputs: list[np.ndarray],
+        t: int,
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+    ) -> None:
+        obs = self.telemetry
+        for ch in sessions:
+            responder, consumer = ch.responder, ch.consumer
+            with obs.span("encode", responder=responder, requester=consumer):
+                start = time.perf_counter()
+                message = policy.respond(
+                    ch.key, ch.served, t, rows_idx=ch.rows_idx
+                )
+                respond_wall = time.perf_counter() - start
+            self._charge_compute(responder, respond_wall, message.codec_seconds)
+
+            delivered = self._deliver(
+                ch.key, message, responder, consumer, category
+            )
+            if obs.enabled:
+                obs.metrics.inc(
+                    "halo_rows", ch.served.shape[0], category=category
+                )
+                obs.metrics.observe(
+                    "message_bytes", message.nbytes, category=category
+                )
+
+            if not delivered:
+                self._degrade(ch, message, outputs, t, policy, category, dim)
+                continue
+
+            with obs.span("decode", responder=responder, requester=consumer):
+                start = time.perf_counter()
+                result = policy.receive(
+                    ch.key, message, t, rows_idx=ch.rows_idx
+                )
+                receive_wall = time.perf_counter() - start
+            self._charge_compute(consumer, receive_wall, result.codec_seconds)
+
+            ch.scatter(outputs, result.rows)
+            if (
+                not ch.reverse
+                and ch.rows_idx is None
+                and self.injector is not None
+            ):
+                self._halo_cache[ch.key] = np.array(result.rows, copy=True)
+            self._record_proportion(ch, message, result)
+
+    def _run_threaded(
+        self,
+        sessions: list[ChannelSession],
+        outputs: list[np.ndarray],
+        t: int,
+        policy: ExchangePolicy,
+        category: str,
+    ) -> None:
+        """Encode/decode all channels concurrently, charge in order.
+
+        Channel computations are independent and deterministic given
+        (key, rows, t) and the policy's per-channel state, so the
+        scattered contents are bit-identical to the sequential runner no
+        matter how the scheduler interleaves them — scatters (including
+        reverse accumulation, whose float addition order matters) happen
+        after the barrier in the canonical session order. Only the
+        *charging* order could differ — so all meter/compute charges
+        happen after each barrier, in the canonical order, from
+        per-channel measured times.
+        """
+        pool = self._pool()
+
+        def _respond(ch: ChannelSession) -> tuple[ChannelMessage, float]:
+            start = time.perf_counter()
+            message = policy.respond(ch.key, ch.served, t, rows_idx=ch.rows_idx)
+            return message, time.perf_counter() - start
+
+        responded = list(pool.map(_respond, sessions))
+        for ch, (message, wall) in zip(sessions, responded):
+            self._charge_compute(ch.responder, wall, message.codec_seconds)
+            self.runtime.send_worker_to_worker(
+                ch.responder, ch.consumer, message.nbytes, category
+            )
+
+        def _receive(item: tuple[ChannelSession, tuple[ChannelMessage, float]]):
+            ch, (message, _) = item
+            start = time.perf_counter()
+            result = policy.receive(ch.key, message, t, rows_idx=ch.rows_idx)
+            return result, time.perf_counter() - start
+
+        received = list(pool.map(_receive, zip(sessions, responded)))
+        for ch, (message, _), (result, wall) in zip(
+            sessions, responded, received
+        ):
+            self._charge_compute(ch.consumer, wall, result.codec_seconds)
+            ch.scatter(outputs, result.rows)
+            self._record_proportion(ch, message, result)
+
+    def _record_proportion(self, ch, message, result) -> None:
+        proportion = result.meta.get("proportion")
+        if proportion is None:
+            proportion = message.meta.get("proportion")
+        if proportion is not None:
+            self._last_proportions[(ch.responder, ch.consumer)] = float(
+                proportion
+            )
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        key: ChannelKey,
+        message: ChannelMessage,
+        src: int,
+        dst: int,
+        category: str,
+    ) -> bool:
+        """Attempt delivery with retransmission; returns success.
+
+        Every attempt — including failed ones, whose bytes were on the
+        wire before the loss — is charged to the traffic meter. Each
+        failed attempt stalls the receiving worker for the network's
+        loss-detection timeout (the RTO a reliable RPC layer waits
+        before declaring the message dead), retransmissions add the
+        retry policy's exponential backoff on top, and late deliveries
+        stall for the configured delay.
+        """
+        self.runtime.send_worker_to_worker(src, dst, message.nbytes, category)
+        injector = self.injector
+        if injector is None:
+            return True
+        obs = self.telemetry
+        timeout = self.runtime.spec.network.loss_detection_seconds(
+            message.nbytes
+        )
+        fate = injector.message_fate(key.layer, src, dst, category, 0)
+        attempt = 0
+        while fate in (FATE_DROP, FATE_CORRUPT):
+            if obs.enabled:
+                obs.metrics.inc(
+                    "fault_message_failures", category=category, fate=fate
+                )
+            self.runtime.add_stall(dst, timeout)
+            attempt += 1
+            if attempt > injector.config.max_retries:
+                return False
+            injector.counters.retries += 1
+            injector.counters.retry_bytes += message.nbytes
+            self.runtime.add_stall(dst, injector.backoff_seconds(attempt))
+            self.runtime.send_worker_to_worker(
+                src, dst, message.nbytes, category
+            )
+            if obs.enabled:
+                obs.metrics.inc("fault_retries", category=category)
+            fate = injector.message_fate(key.layer, src, dst, category, attempt)
+        if fate == FATE_DELAY:
+            self.runtime.add_stall(dst, injector.config.delay_seconds)
+            if obs.enabled:
+                obs.metrics.inc("fault_delays", category=category)
+        return True
+
+    def _degrade(
+        self,
+        ch: ChannelSession,
+        message: ChannelMessage,
+        outputs: list[np.ndarray],
+        t: int,
+        policy: ExchangePolicy,
+        category: str,
+        dim: int,
+    ) -> None:
+        """Handle an undeliverable message on either direction.
+
+        Forward channels substitute stale rows (:meth:`_degraded_rows`);
+        reverse channels contribute zero this iteration — lost partial
+        gradients are folded into the channel residual by error-feedback
+        policies so they re-ship next iteration.
+        """
+        self._notify_failure(policy, ch.key, message, rows_idx=ch.rows_idx)
+        if ch.reverse:
+            self.injector.counters.degraded_zero += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.inc(
+                    "fault_degraded", kind="zero", category=category
+                )
+            return
+        rows = self._degraded_rows(
+            policy, ch.key, t, ch.served.shape[0], dim
+        )
+        if rows is None:
+            return  # zeros: partial aggregation
+        ch.scatter(outputs, rows)
+
+    def _notify_failure(
+        self,
+        policy: ExchangePolicy,
+        key: ChannelKey,
+        message: ChannelMessage,
+        rows_idx: np.ndarray | None = None,
+    ) -> None:
+        """Tell a stateful policy its message never arrived.
+
+        ReqEC-FP rolls back an unacknowledged trend snapshot so both
+        ends stay in sync; ResEC-BP folds the lost gradient into the
+        channel residual so error feedback re-ships it next iteration
+        (the handler returns True when it compensated that way).
+        """
+        handler = getattr(policy, "on_delivery_failure", None)
+        if handler is not None and handler(key, message, rows_idx=rows_idx):
+            self.injector.counters.residual_compensations += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.inc("fault_residual_compensations")
+
+    def _degraded_rows(
+        self,
+        policy: ExchangePolicy,
+        key: ChannelKey,
+        t: int,
+        num_rows: int,
+        dim: int,
+    ) -> np.ndarray | None:
+        """Stale-halo substitute for an undeliverable forward message.
+
+        Preference order: the ReqEC-FP *predicted* candidate (requester
+        trend state needs no payload at all), then the channel's last
+        successfully received rows, then None (the halo slots keep
+        their zeros — DistGNN-style partial aggregation).
+        """
+        counters = self.injector.counters
+        obs = self.telemetry
+        fallback = getattr(policy, "fallback_rows", None)
+        if fallback is not None:
+            rows = fallback(key, t)
+            if rows is not None and rows.shape == (num_rows, dim):
+                counters.degraded_predicted += 1
+                if obs.enabled:
+                    obs.metrics.inc("fault_degraded", kind="predicted")
+                return rows
+        cached = self._halo_cache.get(key)
+        if cached is not None and cached.shape == (num_rows, dim):
+            counters.degraded_cached += 1
+            if obs.enabled:
+                obs.metrics.inc("fault_degraded", kind="cached")
+            return cached
+        counters.degraded_zero += 1
+        if obs.enabled:
+            obs.metrics.inc("fault_degraded", kind="zero")
+        return None
+
+    def invalidate_worker(self, worker: int) -> None:
+        """Drop cached halo rows touching ``worker`` (crash recovery)."""
+        stale = [
+            key for key in self._halo_cache
+            if worker in (key.responder, key.requester)
+        ]
+        for key in stale:
+            del self._halo_cache[key]
+
+    # ------------------------------------------------------------------
+    def _charge_compute(
+        self, worker: int, wall_seconds: float, codec_seconds: float
+    ) -> None:
+        """Charge policy time, discounting codec work by the speedup."""
+        codec_seconds = min(codec_seconds, wall_seconds)
+        other = wall_seconds - codec_seconds
+        self.runtime.add_compute(
+            worker, other + codec_seconds / self.codec_speedup
+        )

@@ -15,7 +15,7 @@ outages, crashes) are looked up directly from the config.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -46,6 +46,7 @@ class FaultCounters:
     ps_retries: int = 0
     crashes: int = 0
     params_rolled_back: int = 0
+    corrupt_checkpoints: int = 0
     extra_seconds: float = 0.0
 
     @property

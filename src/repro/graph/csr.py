@@ -110,13 +110,11 @@ class CSRGraph:
         np.cumsum(counts, out=indptr_t[1:])
         indices_t = np.empty(m, dtype=np.int64)
         weights_t = None if self.weights is None else np.empty(m, dtype=np.float32)
-        cursor = indptr_t[:-1].copy()
         src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
         order = np.argsort(self.indices, kind="stable")
         indices_t[:] = src[order]
         if weights_t is not None:
             weights_t[:] = self.weights[order]
-        del cursor
         return CSRGraph(indptr_t, indices_t, weights_t)
 
     def with_self_loops(self) -> "CSRGraph":

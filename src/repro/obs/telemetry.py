@@ -6,6 +6,14 @@ metrics registry, compression-health monitor) behind the single
 ``Telemetry`` and calls ``span()`` / ``metrics.inc()`` unconditionally;
 when the config is disabled every call is a no-op on a shared null
 object, so the un-instrumented timings are preserved.
+
+There is exactly one ``Telemetry`` per training run: the trainer builds
+it, hands it to the :class:`~repro.cluster.engine.ClusterRuntime`, and
+the staged engine's :class:`~repro.engine.context.ExchangeContext`
+carries the same instance to every stage, the halo transport and the
+recovery manager — so the span tree (``epoch > forward/backward >
+layer > kernel/halo_exchange > encode/decode``) nests consistently no
+matter which layer opened the span.
 """
 
 from __future__ import annotations

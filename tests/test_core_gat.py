@@ -12,7 +12,6 @@ import pytest
 from repro.cluster.topology import ClusterSpec
 from repro.core.config import ECGraphConfig, ModelConfig
 from repro.core.gat import GATTrainer, attn_dst_name, attn_src_name
-from repro.core.models import bias_name, weight_name
 
 
 def _trainer(graph, workers, config=None, layers=2, hidden=6):
@@ -26,8 +25,6 @@ def _trainer(graph, workers, config=None, layers=2, hidden=6):
 class TestGradientsAgainstFiniteDifferences:
     def _loss_for(self, trainer, graph):
         """Standalone loss from current server parameters (exact FP)."""
-        metrics_unused = trainer.evaluate_exact()
-        del metrics_unused
         # Recompute the loss via one exact forward on worker states.
         from repro.nn.losses import softmax_cross_entropy
 

@@ -36,7 +36,6 @@ class TestForwardExchange:
         )
         for state in workers:
             for owner, slots in state.halo_slots.items():
-                wanted = state.requests[owner]
                 owner_rows = workers[owner].serves[state.worker_id]
                 np.testing.assert_array_equal(
                     halos[state.worker_id][slots],

@@ -84,13 +84,12 @@ class TestDelayedPolicy:
         # But first refresh at t=0 never happened on requester side:
         # responder sent full at t=1 because cache is empty, so simulate
         # a block payload against an empty cache directly.
-        bad = policy.respond(KEY, rows, t=1)
+        policy.respond(KEY, rows, t=1)
         policy._cache.clear()
         block_payload = ("block", np.array([0]), rows[:1])
         message.payload = block_payload
         with pytest.raises(RuntimeError):
             policy.receive(KEY, message, t=1)
-        del bad
 
     def test_reset_clears_cache(self, rows):
         policy = DelayedPolicy(rounds=2)

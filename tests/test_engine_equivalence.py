@@ -1,0 +1,236 @@
+"""Bit-identity of the staged engine against the pre-refactor trainer.
+
+The golden values below — full loss curves (exact float reprs), exact
+TrafficMeter byte/message totals per category, and final exact-eval test
+accuracy — were captured on main immediately before the trainer/NAC
+monoliths were decomposed into the staged engine
+(:mod:`repro.engine`). The refactor's contract is that every
+configuration trains *bit-identically*: same float op order, same RNG
+draw order, same wire bytes. Any drift here is a correctness
+regression, not a tolerance issue, so comparisons are exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.gat import GATTrainer
+from repro.core.sage import SAGETrainer
+from repro.core.sampling_trainer import SampledECGraphTrainer
+from repro.core.trainer import ECGraphTrainer
+from repro.graph.generators import GraphSpec, generate_graph
+
+EPOCHS = 6
+
+# Captured pre-refactor (commit 885d59a) with the graph/cluster below.
+GOLDEN = {
+    "ecgraph_default": {
+        "losses": [
+            "1.0977857947349547", "1.036339682340622", "1.0336278736591338",
+            "0.971476310491562", "0.9145746827125549", "0.8591823935508729",
+        ],
+        "total_bytes": 44408,
+        "total_messages": 174,
+        "category_totals": {
+            "bp_gradients": 4968, "feature_cache": 7920,
+            "fp_embeddings": 5120, "param_pull": 13200, "param_push": 13200,
+        },
+        "final_test": "1.0",
+    },
+    "raw": {
+        "losses": [
+            "1.0938398241996765", "1.014786207675934", "0.943224734067917",
+            "0.8782640933990479", "0.8198732972145081", "0.7669233202934265",
+        ],
+        "total_bytes": 110376,
+        "total_messages": 174,
+        "category_totals": {
+            "bp_gradients": 12600, "feature_cache": 7920,
+            "fp_embeddings": 63456, "param_pull": 13200, "param_push": 13200,
+        },
+        "final_test": "1.0",
+    },
+    "compress": {
+        "losses": [
+            "1.0977857947349547", "1.0177841365337372", "0.9481551349163055",
+            "0.8842178225517274", "0.8286498486995697", "0.7764853537082672",
+        ],
+        "total_bytes": 50604,
+        "total_messages": 174,
+        "category_totals": {
+            "bp_gradients": 4968, "feature_cache": 7920,
+            "fp_embeddings": 11316, "param_pull": 13200, "param_push": 13200,
+        },
+        "final_test": "1.0",
+    },
+    "delayed": {
+        "losses": [
+            "1.0938398241996765", "1.0387981832027435", "0.9831118583679199",
+            "0.9293251395225526", "0.8711061000823974", "0.8117950022220611",
+        ],
+        "total_bytes": 62128,
+        "total_messages": 174,
+        "category_totals": {
+            "bp_gradients": 5428, "feature_cache": 7920,
+            "fp_embeddings": 22380, "param_pull": 13200, "param_push": 13200,
+        },
+        "final_test": "1.0",
+    },
+    "sage": {
+        "losses": [
+            "1.5707411527633668", "1.3959121108055115", "1.2655068993568421",
+            "1.1362760841846464", "1.019603967666626", "0.90932776927948",
+        ],
+        "total_bytes": 68216,
+        "total_messages": 222,
+        "category_totals": {
+            "bp_gradients": 4968, "feature_cache": 7920,
+            "fp_embeddings": 5120, "param_pull": 25104, "param_push": 25104,
+        },
+        "final_test": "0.875",
+    },
+    "gat": {
+        "losses": [
+            "1.0902566194534302", "1.0467941761016846", "1.0080687701702118",
+            "0.9718242883682251", "0.9375437498092651", "0.9025300323963166",
+        ],
+        "total_bytes": 91128,
+        "total_messages": 414,
+        "category_totals": {
+            "bp_gradients": 11316, "feature_cache": 7920,
+            "fp_embeddings": 11316, "param_pull": 30288, "param_push": 30288,
+        },
+        "final_test": "0.75",
+    },
+    "sampled_offline": {
+        "losses": [
+            "1.1031481742858886", "1.0230998992919922", "0.9518005311489105",
+            "0.8830403804779053", "0.8251548290252686", "0.7702265083789825",
+        ],
+        "total_bytes": 48270,
+        "total_messages": 174,
+        "category_totals": {
+            "bp_gradients": 4602, "feature_cache": 7920,
+            "fp_embeddings": 9348, "param_pull": 13200, "param_push": 13200,
+        },
+        "final_test": "1.0",
+    },
+    "sampled_online": {
+        "losses": [
+            "1.1031481742858886", "1.0187377870082854", "0.9523339986801147",
+            "0.8907919466495513", "0.8477146863937379", "0.7877366423606873",
+        ],
+        "total_bytes": 50924,
+        "total_messages": 210,
+        "category_totals": {
+            "bp_gradients": 4656, "feature_cache": 7920,
+            "fp_embeddings": 9644, "param_pull": 13200, "param_push": 13200,
+            "sampling": 2304,
+        },
+        "final_test": "1.0",
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_graph(GraphSpec(
+        name="golden", num_vertices=96, avg_degree=6.0, feature_dim=12,
+        num_classes=3, homophily=0.9, feature_noise=0.8,
+        train=40, val=16, test=32, seed=7,
+    ))
+
+
+SPEC = ClusterSpec(num_workers=3, num_servers=1)
+MODEL = dict(num_layers=2, hidden_dim=16)
+
+
+def _build(name: str, graph):
+    if name == "ecgraph_default":
+        return ECGraphTrainer(
+            graph, ModelConfig(**MODEL), SPEC, ECGraphConfig(seed=0)
+        )
+    if name == "raw":
+        return ECGraphTrainer(
+            graph, ModelConfig(**MODEL), SPEC,
+            ECGraphConfig(seed=0).as_non_cp(),
+        )
+    if name == "compress":
+        return ECGraphTrainer(
+            graph, ModelConfig(**MODEL), SPEC,
+            ECGraphConfig(seed=0).as_cp_only(),
+        )
+    if name == "delayed":
+        return ECGraphTrainer(
+            graph, ModelConfig(**MODEL), SPEC,
+            ECGraphConfig(seed=0, fp_mode="delayed", bp_mode="delayed"),
+        )
+    if name == "sage":
+        return SAGETrainer(
+            graph, ModelConfig(model="sage", **MODEL), SPEC,
+            ECGraphConfig(seed=0),
+        )
+    if name == "gat":
+        return GATTrainer(
+            graph, ModelConfig(**MODEL), SPEC,
+            ECGraphConfig(seed=0, fp_mode="compress"), num_heads=2,
+        )
+    if name == "sampled_offline":
+        return SampledECGraphTrainer(
+            graph, ModelConfig(**MODEL), SPEC, fanouts=[4, 4],
+            config=ECGraphConfig(seed=0, fp_mode="compress", bp_mode="resec"),
+        )
+    if name == "sampled_online":
+        return SampledECGraphTrainer(
+            graph, ModelConfig(**MODEL), SPEC, fanouts=[4, 4],
+            config=ECGraphConfig(seed=0, fp_mode="compress", bp_mode="resec"),
+            online=True,
+        )
+    raise AssertionError(name)
+
+
+class TestStagedEngineBitIdentity:
+    """Loss curves and traffic accounting match main exactly."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_bit_identical_to_pre_refactor(self, name, graph):
+        golden = GOLDEN[name]
+        trainer = _build(name, graph)
+        losses = [trainer.run_epoch(t).loss for t in range(EPOCHS)]
+
+        assert [repr(float(x)) for x in losses] == golden["losses"]
+
+        meter = trainer.runtime.meter
+        assert int(meter.total_bytes) == golden["total_bytes"]
+        assert int(meter.total_messages) == golden["total_messages"]
+        assert {
+            k: int(v) for k, v in sorted(meter.category_totals().items())
+        } == golden["category_totals"]
+
+        final = trainer.evaluate_exact()["test"]
+        assert repr(float(final)) == golden["final_test"]
+
+
+class TestFacadeSurface:
+    """The staged engine is reachable through the stable facade."""
+
+    def test_trainer_exposes_engine(self, graph):
+        trainer = _build("ecgraph_default", graph)
+        trainer.setup()
+        from repro.engine import ExchangeContext, TrainerCore
+
+        assert isinstance(trainer.engine, TrainerCore)
+        assert isinstance(trainer.engine.ctx, ExchangeContext)
+        # One shared transport: the facade's NAC is the engine's transport.
+        assert trainer.engine.ctx.transport is trainer.nac
+        assert trainer.engine.ctx.fp_policy is trainer._fp_policy
+        assert trainer.engine.ctx.bp_policy is trainer._bp_policy
+        assert trainer.engine.ctx.tuner is trainer.tuner
+
+    def test_nac_is_the_unified_transport(self, graph):
+        from repro.core.nac import NeighborAccessController
+        from repro.engine.transport import HaloTransport
+
+        assert issubclass(NeighborAccessController, HaloTransport)

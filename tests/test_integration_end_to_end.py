@@ -5,7 +5,6 @@ the flows the examples demonstrate, asserted.
 """
 
 import numpy as np
-import pytest
 
 from repro import ECGraphConfig, train_ecgraph
 from repro.analysis import convergence_target, export_json, load_json, summarize
