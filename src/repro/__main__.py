@@ -6,12 +6,16 @@ Commands:
 * ``train``    — train one system on one dataset and print the run;
 * ``compare``  — train several systems on one dataset side by side;
 * ``partition`` — partition a dataset and print quality statistics;
-* ``trace``    — run with telemetry enabled and export trace + metrics;
+* ``trace``    — run with telemetry enabled and export trace + metrics
+  (Chrome trace, span/metrics JSONL, Prometheus text);
+* ``report``   — run instrumented and render one self-contained epoch
+  report (stage timeline, bandwidth waterfall, compression frontier,
+  fault counters) as HTML or markdown;
 * ``chaos``    — train under an injected fault scenario and report how
   the tolerance machinery held up against the fault-free twin;
 * ``bench``    — time the codec micro-kernels, a halo exchange and a
-  training epoch; write ``BENCH_core.json`` and optionally gate on a
-  committed baseline (``--compare``).
+  training epoch (with a per-stage profile); write ``BENCH_core.json``
+  and optionally gate on a committed baseline (``--compare``).
 
 Operational errors (bad config values, missing dataset paths, corrupt
 checkpoints) exit non-zero with a one-line message instead of a
@@ -33,7 +37,12 @@ from repro.core.config import ECGraphConfig
 from repro.faults.scenarios import scenario_names
 from repro.graph.datasets import PAPER_STATS, dataset_names, load_dataset
 from repro.obs import ObsConfig
-from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.export import (
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_jsonl,
+    write_prometheus,
+)
 from repro.partition import make_partitioner, partition_stats
 
 
@@ -164,9 +173,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     chrome_path = out / "trace.json"
     jsonl_path = out / "spans.jsonl"
     report_path = out / "telemetry.json"
+    prom_path = out / "metrics.prom"
+    metrics_path = out / "metrics.jsonl"
     write_chrome_trace(report.spans, chrome_path)
     write_jsonl(report.spans, jsonl_path)
     report_path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+    write_prometheus(report.metrics, prom_path)
+    # One line per epoch (the epoch-scoped snapshots), then the lifetime
+    # totals as the final line.
+    epoch_snapshots = [
+        e.telemetry for e in run.epochs if e.telemetry is not None
+    ]
+    write_metrics_jsonl(epoch_snapshots + [report.metrics], metrics_path)
 
     print(telemetry_table(report))
     if report.health is not None:
@@ -183,7 +201,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for violation in health.violations:
             print(f"  VIOLATION: {violation}")
     print(f"\nwrote {chrome_path} (chrome://tracing), {jsonl_path}, "
-          f"{report_path}")
+          f"{report_path}, {prom_path}, {metrics_path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        build_report, missing_stages, render_html, render_markdown,
+    )
+
+    if args.smoke:
+        args.profile = "tiny"
+        args.epochs = min(args.epochs, 3)
+        args.workers = min(args.workers, 4)
+    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(graph.summary())
+    config = ECGraphConfig(seed=args.seed, obs=ObsConfig(enabled=True))
+    run = run_system(
+        args.system, graph,
+        num_layers=args.layers, hidden_dim=args.hidden,
+        num_workers=args.workers, num_epochs=args.epochs,
+        config=config,
+    )
+    if run.telemetry is None:
+        print(f"{args.system} does not support telemetry", file=sys.stderr)
+        return 1
+
+    data = build_report(run)
+    absent = missing_stages(data)
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    text = (
+        render_html(data) if args.format == "html" else render_markdown(data)
+    )
+    out.write_text(text)
+
+    stages = data["stages"]
+    rows = [
+        [stage,
+         agg["count"],
+         f"{agg['wall_seconds'] * 1e3:.2f}ms",
+         f"{agg['compute_seconds'] * 1e3:.2f}ms",
+         f"{agg['comm_seconds'] * 1e3:.2f}ms",
+         f"{agg['bytes_sent'] / 1e3:.1f}KB"]
+        for stage, agg in stages.items()
+    ]
+    if rows:
+        print(format_table(
+            ["stage", "runs", "wall", "modelled compute", "modelled comm",
+             "bytes"],
+            rows,
+            title=f"Stage timeline ({run.num_epochs} epochs, coverage "
+                  f"{(data['coverage'] or 0) * 100:.1f}%)",
+        ))
+    print(f"\nwrote {out}")
+    if absent:
+        print("FAIL: engine stages missing from the profile: "
+              + ", ".join(absent), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -252,7 +328,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
-        compare_reports, load_report, parse_percent, run_bench, write_report,
+        compare_reports, load_report, parse_percent, run_bench,
+        stage_breakdown_lines, write_report,
     )
 
     max_regress = parse_percent(args.max_regress)
@@ -288,12 +365,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{epoch['optimized_seconds'] * 1e3:.1f}ms",
           f"{epoch.get('speedup_vs_reference_codec', 0):.2f}x"]],
     ))
+    stages = epoch.get("stages")
+    if stages:
+        print(format_table(
+            ["stage", "wall/epoch", "share"],
+            [[name,
+              f"{seconds * 1e3:.2f}ms",
+              f"{seconds / sum(stages.values()) * 100:.1f}%"]
+             for name, seconds in stages.items()],
+            title=f"Per-stage epoch profile (coverage "
+                  f"{epoch.get('stage_coverage', 0) * 100:.1f}%)",
+        ))
 
     path = write_report(report, args.out)
     print(f"\nwrote {path}")
 
     if args.compare:
         baseline = load_report(args.compare)
+        stage_lines = stage_breakdown_lines(report, baseline)
+        if stage_lines:
+            print(f"\nper-stage epoch deltas vs {args.compare} "
+                  "(informational):")
+            for line in stage_lines:
+                print(f"  {line}")
         regressions = compare_reports(report, baseline, max_regress)
         if regressions:
             print(f"FAIL: {len(regressions)} kernel(s) regressed vs "
@@ -367,6 +461,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="tiny profile, <=3 epochs (CI smoke test)")
     trace.set_defaults(func=_cmd_trace)
+
+    rep = sub.add_parser(
+        "report", help="instrumented run: one self-contained epoch report"
+    )
+    rep.add_argument("--system", default="ecgraph", choices=system_names())
+    rep.add_argument("--dataset", default="cora", choices=dataset_names())
+    rep.add_argument("--workers", type=int, default=4)
+    rep.add_argument("--layers", type=int, default=2)
+    rep.add_argument("--hidden", type=int, default=16)
+    rep.add_argument("--epochs", type=int, default=10)
+    rep.add_argument("--out", default="reports/epoch_report.html",
+                     help="report path (default: reports/epoch_report.html)")
+    rep.add_argument("--format", default="html",
+                     choices=["html", "markdown"],
+                     help="artifact format (default: html)")
+    rep.add_argument("--smoke", action="store_true",
+                     help="tiny profile, <=3 epochs; fails when an engine "
+                          "stage is missing from the profile (CI smoke)")
+    rep.set_defaults(func=_cmd_report)
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection run: survival + accuracy report"

@@ -9,6 +9,7 @@ from repro.bench.harness import (
     compare_reports,
     load_report,
     parse_percent,
+    stage_breakdown_lines,
     write_report,
 )
 from repro.bench.suites import run_bench
@@ -18,5 +19,6 @@ __all__ = [
     "load_report",
     "parse_percent",
     "run_bench",
+    "stage_breakdown_lines",
     "write_report",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "write_report",
     "load_report",
     "compare_reports",
+    "stage_breakdown_lines",
 ]
 
 SCHEMA = "ecgraph-bench/1"
@@ -115,3 +116,28 @@ def compare_reports(
                 f"{base_ns:.2f} (+{ratio:.0%}, limit {max_regress:.0%})"
             )
     return regressions
+
+
+def stage_breakdown_lines(current: dict, baseline: dict) -> list[str]:
+    """Per-stage epoch-time deltas of ``current`` against ``baseline``.
+
+    Purely informational (stage walls are macro timings and are not
+    gated): one line per engine stage present in both reports, sorted by
+    absolute delta so the stage that moved the epoch leads. Baselines
+    written before the stage profile existed produce no lines.
+    """
+    cur_stages = current.get("epoch", {}).get("stages") or {}
+    base_stages = baseline.get("epoch", {}).get("stages") or {}
+    deltas = []
+    for stage in cur_stages:
+        base_s = base_stages.get(stage)
+        cur_s = cur_stages[stage]
+        if base_s is None or not base_s or not cur_s:
+            continue
+        deltas.append((cur_s - base_s, stage, cur_s, base_s))
+    deltas.sort(key=lambda item: -abs(item[0]))
+    return [
+        f"{stage}: {cur_s * 1e3:.2f}ms vs baseline {base_s * 1e3:.2f}ms "
+        f"({(cur_s / base_s - 1.0):+.0%})"
+        for delta, stage, cur_s, base_s in deltas
+    ]

@@ -112,6 +112,15 @@ class ClusterRuntime:
         if self.fault_injector is not None:
             self.fault_injector.counters.extra_seconds += seconds
 
+    def compute_snapshot(self) -> np.ndarray:
+        """Copy of the per-worker compute accumulators (raw seconds,
+        not speed-scaled) since the last :meth:`end_epoch`.
+
+        Read-only oracle for the stage profiler: two snapshots subtract
+        to the compute each worker was charged during a stage.
+        """
+        return self._compute.copy()
+
     # ------------------------------------------------------------------
     # Communication accounting
     # ------------------------------------------------------------------

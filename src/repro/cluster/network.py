@@ -72,6 +72,25 @@ class NetworkModel:
             )
         return self.bandwidth_seconds(num_bytes) + num_messages * self.latency_s
 
+    def link_busy_seconds(
+        self, sent: int, received: int, messages: int
+    ) -> float:
+        """Busy time of one full-duplex link carrying ``sent`` /
+        ``received`` bytes over ``messages`` endpoint events.
+
+        Send and receive overlap, so the link is busy for the larger
+        direction; latency counts once per wire message, and
+        ``messages`` counts both endpoints (sent + received), hence the
+        halving. This is the per-machine term inside
+        :meth:`TrafficMeter.epoch_comm_seconds`, exposed so the stage
+        profiler can attribute a traffic delta to link seconds with the
+        same arithmetic the epoch model uses.
+        """
+        return (
+            self.bandwidth_seconds(max(sent, received))
+            + (messages / 2) * self.latency_s
+        )
+
     def loss_detection_seconds(self, num_bytes: int) -> float:
         """Retransmission timeout: how long a sender waits before it can
         conclude a message of ``num_bytes`` was lost.
@@ -203,10 +222,7 @@ class TrafficMeter:
         worst = 0.0
         for machine in range(machines):
             sent, received, messages = self.epoch_machine_bytes(machine)
-            # Full-duplex link: send and receive overlap, so the link is
-            # busy for the larger direction; latency counts per message.
-            busy = network.bandwidth_seconds(max(sent, received))
-            busy += (messages / 2) * network.latency_s
+            busy = network.link_busy_seconds(sent, received, messages)
             worst = max(worst, busy)
         return worst
 

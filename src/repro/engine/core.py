@@ -62,22 +62,29 @@ class TrainerCore:
     ) -> EpochResult:
         """One synchronous training iteration (forward + backward)."""
         ctx = self.ctx
+        obs = ctx.telemetry
+        profiler = obs.profiler
+        profiler.begin_epoch(t, ctx.runtime)
         if self.recovery is not None:
             self.recovery.begin_epoch(t)
         if lr_schedule is not None:
             ctx.servers.set_learning_rate(lr_schedule(t))
-        obs = ctx.telemetry
         with obs.span("epoch", epoch=t):
-            self.halo_plan.run(t)
-            with obs.span("forward", epoch=t):
+            with obs.span("halo_plan", epoch=t), profiler.stage("halo_plan"):
+                self.halo_plan.run(t)
+            with obs.span("forward", epoch=t), profiler.stage("forward"):
                 loss, counters = self.forward.run(t)
-            with obs.span("backward", epoch=t):
+            with obs.span("backward", epoch=t), profiler.stage("backward"):
                 grads = self.backward.run(t)
+            with obs.span("optimize", epoch=t), profiler.stage("optimize"):
                 self.optimize.run(grads)
         breakdown = ctx.runtime.end_epoch()
         if self.recovery is not None:
             self.recovery.end_epoch(t)
-        return self.eval.run(t, loss, counters, breakdown)
+        with obs.span("eval", epoch=t), profiler.stage("eval"):
+            result = self.eval.run(t, loss, counters, breakdown)
+        profiler.end_epoch(breakdown)
+        return result
 
     def evaluate_exact(self) -> dict[str, float]:
         """Exact-communication accuracy (Table V measurement)."""

@@ -56,7 +56,10 @@ class RecoveryManager:
         injector.start_epoch(t)
         crashed = injector.take_crashes(t)
         if crashed:
-            self.recover_workers(crashed)
+            with self.ctx.telemetry.span(
+                "recovery", epoch=t, crashed=list(crashed)
+            ):
+                self.recover_workers(crashed)
 
     def end_epoch(self, t: int) -> None:
         """Auto-checkpoint the server parameters after epoch ``t``."""
@@ -70,19 +73,20 @@ class RecoveryManager:
         faults = self.ctx.config.faults
         if (t + 1) % faults.checkpoint_every != 0:
             return
-        if faults.checkpoint_dir is not None:
-            from repro.core.checkpoint import save_checkpoint
+        with self.ctx.telemetry.span("checkpoint", epoch=t):
+            if faults.checkpoint_dir is not None:
+                from repro.core.checkpoint import save_checkpoint
 
-            directory = Path(faults.checkpoint_dir)
-            path = directory / CHECKPOINT_NAME
-            # Rotate so a corrupt newest file still leaves one good
-            # generation on disk (os.replace keeps rotation atomic).
-            if path.exists():
-                import os
+                directory = Path(faults.checkpoint_dir)
+                path = directory / CHECKPOINT_NAME
+                # Rotate so a corrupt newest file still leaves one good
+                # generation on disk (os.replace keeps rotation atomic).
+                if path.exists():
+                    import os
 
-                os.replace(path, directory / PREVIOUS_CHECKPOINT_NAME)
-            save_checkpoint(self.trainer, path, epoch=t + 1)
-        self.param_snapshot = (t + 1, self.ctx.servers.state_dict())
+                    os.replace(path, directory / PREVIOUS_CHECKPOINT_NAME)
+                save_checkpoint(self.trainer, path, epoch=t + 1)
+            self.param_snapshot = (t + 1, self.ctx.servers.state_dict())
 
     def restore_latest_checkpoint(self) -> bool:
         """Load the newest readable parameter checkpoint into the servers.

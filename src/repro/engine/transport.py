@@ -405,6 +405,9 @@ class HaloTransport:
             self._charge_compute(consumer, receive_wall, result.codec_seconds)
 
             ch.scatter(outputs, result.rows)
+            obs.ledger.record_rows(
+                ch.key, category, ch.served.shape[0], ch.served.size
+            )
             if (
                 not ch.reverse
                 and ch.rows_idx is None
@@ -491,6 +494,14 @@ class HaloTransport:
         retry policy's exponential backoff on top, and late deliveries
         stall for the configured delay.
         """
+        ledger = self.telemetry.ledger
+        metered = False
+        if ledger.enabled:
+            spec = self.runtime.spec
+            # Mirror the TrafficMeter's intra-machine exemption so the
+            # ledger's metered bytes reconcile against it exactly.
+            metered = spec.worker_machine(src) != spec.worker_machine(dst)
+            ledger.record_frame(key, category, message.nbytes, metered)
         self.runtime.send_worker_to_worker(src, dst, message.nbytes, category)
         injector = self.injector
         if injector is None:
@@ -513,6 +524,9 @@ class HaloTransport:
             injector.counters.retries += 1
             injector.counters.retry_bytes += message.nbytes
             self.runtime.add_stall(dst, injector.backoff_seconds(attempt))
+            ledger.record_frame(
+                key, category, message.nbytes, metered, retry=True
+            )
             self.runtime.send_worker_to_worker(
                 src, dst, message.nbytes, category
             )
@@ -545,13 +559,14 @@ class HaloTransport:
         self._notify_failure(policy, ch.key, message, rows_idx=ch.rows_idx)
         if ch.reverse:
             self.injector.counters.degraded_zero += 1
+            self.telemetry.ledger.record_degraded(ch.key, category, "zero")
             if self.telemetry.enabled:
                 self.telemetry.metrics.inc(
                     "fault_degraded", kind="zero", category=category
                 )
             return
         rows = self._degraded_rows(
-            policy, ch.key, t, ch.served.shape[0], dim
+            policy, ch.key, t, ch.served.shape[0], dim, category
         )
         if rows is None:
             return  # zeros: partial aggregation
@@ -584,6 +599,7 @@ class HaloTransport:
         t: int,
         num_rows: int,
         dim: int,
+        category: str,
     ) -> np.ndarray | None:
         """Stale-halo substitute for an undeliverable forward message.
 
@@ -599,16 +615,19 @@ class HaloTransport:
             rows = fallback(key, t)
             if rows is not None and rows.shape == (num_rows, dim):
                 counters.degraded_predicted += 1
+                obs.ledger.record_degraded(key, category, "predicted")
                 if obs.enabled:
                     obs.metrics.inc("fault_degraded", kind="predicted")
                 return rows
         cached = self._halo_cache.get(key)
         if cached is not None and cached.shape == (num_rows, dim):
             counters.degraded_cached += 1
+            obs.ledger.record_degraded(key, category, "cached")
             if obs.enabled:
                 obs.metrics.inc("fault_degraded", kind="cached")
             return cached
         counters.degraded_zero += 1
+        obs.ledger.record_degraded(key, category, "zero")
         if obs.enabled:
             obs.metrics.inc("fault_degraded", kind="zero")
         return None

@@ -24,6 +24,12 @@ class ObsConfig:
         metrics: Maintain the counter/gauge/histogram registry.
         health: Run the compression-health monitors (candidate-win
             fractions, Bit-Tuner trajectory, Theorem-1 residual checks).
+        profile: Run the stage timeline profiler (per-epoch wall /
+            modelled time per engine stage, straggler attribution).
+        ledger: Keep the per-channel traffic ledger in the halo
+            transport (bytes, frames, retries, degradations and
+            effective bit-width per (responder, consumer, layer,
+            direction) channel).
         max_spans: Hard cap on recorded spans; once reached further
             spans are counted but dropped (guards long runs).
         epoch_snapshots: Attach a per-epoch metrics snapshot to each
@@ -35,6 +41,8 @@ class ObsConfig:
     trace: bool = True
     metrics: bool = True
     health: bool = True
+    profile: bool = True
+    ledger: bool = True
     max_spans: int = 500_000
     epoch_snapshots: bool = True
     health_rho: float = 1.5

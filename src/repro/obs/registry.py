@@ -101,17 +101,22 @@ class MetricsSnapshot:
         return out
 
     def as_dict(self) -> dict:
-        """JSON-ready rendering with ``name{k=v}`` flat keys."""
+        """JSON-ready rendering with ``name{k=v}`` flat keys.
+
+        Keys are sorted (metric name, then label pairs), so the output
+        is byte-stable across runs regardless of update order — JSONL
+        and Prometheus exports diff cleanly in CI.
+        """
         return {
             "scope": self.scope,
-            "counters": {_render(k): v for k, v in self.counters.items()},
-            "gauges": {_render(k): v for k, v in self.gauges.items()},
+            "counters": {_render(k): v for k, v in sorted(self.counters.items())},
+            "gauges": {_render(k): v for k, v in sorted(self.gauges.items())},
             "histograms": {
                 _render(k): {
                     "count": c, "sum": s, "min": lo, "max": hi,
                     "mean": (s / c if c else 0.0),
                 }
-                for k, (c, s, lo, hi) in self.histograms.items()
+                for k, (c, s, lo, hi) in sorted(self.histograms.items())
             },
         }
 

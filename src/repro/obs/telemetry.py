@@ -1,11 +1,12 @@
 """The telemetry facade wired through the trainer and cluster runtime.
 
-One :class:`Telemetry` object bundles the three collectors (span tracer,
-metrics registry, compression-health monitor) behind the single
-:class:`~repro.obs.config.ObsConfig` switch. Instrumented code holds a
-``Telemetry`` and calls ``span()`` / ``metrics.inc()`` unconditionally;
-when the config is disabled every call is a no-op on a shared null
-object, so the un-instrumented timings are preserved.
+One :class:`Telemetry` object bundles the five collectors (span tracer,
+metrics registry, compression-health monitor, stage profiler, channel
+ledger) behind the single :class:`~repro.obs.config.ObsConfig` switch.
+Instrumented code holds a ``Telemetry`` and calls ``span()`` /
+``metrics.inc()`` / ``profiler.stage()`` / ``ledger.record_frame()``
+unconditionally; when the config is disabled every call is a no-op on a
+shared null object, so the un-instrumented timings are preserved.
 
 There is exactly one ``Telemetry`` per training run: the trainer builds
 it, hands it to the :class:`~repro.cluster.engine.ClusterRuntime`, and
@@ -23,6 +24,8 @@ from dataclasses import dataclass, field
 from repro.obs.config import ObsConfig
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.health import CompressionHealthMonitor, HealthReport
+from repro.obs.ledger import NULL_LEDGER, ChannelLedger, LedgerSnapshot
+from repro.obs.profiler import NULL_PROFILER, StageProfile, StageProfiler
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 from repro.obs.tracing import NullTracer, Span, SpanTracer
 
@@ -40,6 +43,8 @@ class TelemetryReport:
         metrics: Lifetime metrics snapshot.
         health: Compression-health report (None when disabled).
         num_spans: Spans recorded; ``dropped_spans`` counts overflow.
+        profile: Stage timeline profile (None when disabled).
+        ledger: Per-channel traffic ledger snapshot (None when disabled).
     """
 
     phase_totals: dict[str, tuple[int, float]]
@@ -47,6 +52,8 @@ class TelemetryReport:
     health: HealthReport | None
     num_spans: int
     dropped_spans: int
+    profile: StageProfile | None = None
+    ledger: LedgerSnapshot | None = None
     spans: list[Span] = field(default_factory=list, repr=False)
 
     def as_dict(self) -> dict:
@@ -59,28 +66,45 @@ class TelemetryReport:
             "health": self.health.as_dict() if self.health else None,
             "num_spans": self.num_spans,
             "dropped_spans": self.dropped_spans,
+            "profile": self.profile.as_dict() if self.profile else None,
+            "ledger": self.ledger.as_dict() if self.ledger else None,
         }
 
 
 class Telemetry:
-    """Bundle of tracer + metrics + health behind one enable switch."""
+    """Bundle of tracer + metrics + health + profiler + ledger behind
+    one enable switch."""
 
-    __slots__ = ("config", "enabled", "tracer", "metrics", "health")
+    __slots__ = ("config", "enabled", "tracer", "metrics", "health",
+                 "profiler", "ledger")
 
     def __init__(self, config: ObsConfig | None = None):
         self.config = config or ObsConfig()
         self.enabled = self.config.enabled
-        if self.enabled and self.config.trace:
-            self.tracer = SpanTracer(max_spans=self.config.max_spans)
-        else:
-            self.tracer = _NULL_TRACER
         self.metrics = MetricsRegistry(
             enabled=self.enabled and self.config.metrics
         )
+        if self.enabled and self.config.trace:
+            self.tracer = SpanTracer(
+                max_spans=self.config.max_spans,
+                metrics=self.metrics if self.metrics.enabled else None,
+            )
+        else:
+            self.tracer = _NULL_TRACER
         self.health = (
             CompressionHealthMonitor(rho=self.config.health_rho)
             if self.enabled and self.config.health
             else None
+        )
+        self.profiler = (
+            StageProfiler()
+            if self.enabled and self.config.profile
+            else NULL_PROFILER
+        )
+        self.ledger = (
+            ChannelLedger()
+            if self.enabled and self.config.ledger
+            else NULL_LEDGER
         )
 
     # ------------------------------------------------------------------
@@ -109,6 +133,8 @@ class Telemetry:
             health=self.health.report() if self.health else None,
             num_spans=len(self.tracer.spans),
             dropped_spans=self.tracer.dropped,
+            profile=self.profiler.profile() if self.profiler.enabled else None,
+            ledger=self.ledger.snapshot() if self.ledger.enabled else None,
             spans=self.tracer.spans,
         )
 
@@ -135,6 +161,8 @@ class Telemetry:
         self.metrics.reset()
         if self.health is not None:
             self.health.reset()
+        self.profiler.reset()
+        self.ledger.reset()
 
 
 # Shared disabled instance: the default for every un-instrumented run.

@@ -14,6 +14,7 @@ lookup and call per site.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["Span", "SpanTracer", "NullTracer", "monotonic_now"]
@@ -65,7 +66,7 @@ class _ActiveSpan:
         tracer = self._tracer
         tracer._stack.pop()
         if len(tracer._spans) >= tracer.max_spans:
-            tracer.dropped += 1
+            tracer._drop()
             return False
         tracer._spans.append(Span(
             name=self._name,
@@ -84,12 +85,16 @@ class SpanTracer:
 
     enabled = True
 
-    def __init__(self, max_spans: int = 500_000):
+    def __init__(self, max_spans: int = 500_000, metrics=None):
         if max_spans < 1:
             raise ValueError("max_spans must be >= 1")
         self.origin = time.perf_counter()
         self.max_spans = max_spans
         self.dropped = 0
+        # Optional MetricsRegistry mirror: overflow shows up as a
+        # ``spans_dropped`` counter next to the other run metrics
+        # instead of only on the tracer object.
+        self.metrics = metrics
         self._spans: list[Span] = []
         self._stack: list[int] = []
         self._next_index = 0
@@ -97,6 +102,19 @@ class SpanTracer:
     def span(self, name: str, **attrs) -> _ActiveSpan:
         """Open a nested span; use as ``with tracer.span("kernel"): ...``."""
         return _ActiveSpan(self, name, attrs)
+
+    def _drop(self) -> None:
+        """Count one span past ``max_spans``; warn once at the first."""
+        self.dropped += 1
+        if self.dropped == 1:
+            warnings.warn(
+                f"span buffer full (max_spans={self.max_spans}); further "
+                "spans are counted in 'spans_dropped' but not recorded",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("spans_dropped")
 
     @property
     def spans(self) -> list[Span]:

@@ -33,6 +33,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "meteor-strike"])
 
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.system == "ecgraph"
+        assert args.format == "html"
+        assert args.out == "reports/epoch_report.html"
+        assert not args.smoke
+
+    def test_report_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--format", "pdf"])
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -85,6 +96,69 @@ class TestCommands:
         report = json.loads((tmp_path / "telemetry.json").read_text())
         assert report["metrics"]["scope"] == "total"
         assert (tmp_path / "spans.jsonl").exists()
+
+    def test_trace_smoke_span_names_pinned(self, capsys, tmp_path):
+        """Regression pin: the exact span vocabulary of a plain
+        instrumented run. A missing name means a stage lost its span;
+        a new name means the trace docs need updating."""
+        import json
+
+        assert main(["trace", "--smoke", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        names = {
+            json.loads(line)["name"]
+            for line in (tmp_path / "spans.jsonl").read_text().splitlines()
+        }
+        assert names == {
+            "epoch", "halo_plan", "forward", "backward", "optimize",
+            "eval", "layer", "kernel", "loss", "halo_exchange",
+            "encode", "decode", "param_pull", "param_push",
+            "server_apply",
+        }
+
+    def test_trace_smoke_writes_metric_exports(self, capsys, tmp_path):
+        import json
+
+        assert main(["trace", "--smoke", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE ecgraph_comm_bytes counter" in prom
+        assert "ecgraph_epochs_completed" in prom
+        lines = (tmp_path / "metrics.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        # One snapshot per epoch plus the lifetime total as last line.
+        assert records[-1]["scope"] == "total"
+        per_epoch = sum(
+            r["counters"].get("comm_bytes{category=fp_embeddings}", 0)
+            for r in records[:-1]
+        )
+        total = records[-1]["counters"]["comm_bytes{category=fp_embeddings}"]
+        assert per_epoch == total
+
+    def test_report_smoke_html(self, capsys, tmp_path):
+        out = tmp_path / "report.html"
+        code = main(["report", "--smoke", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Stage timeline" in stdout
+        assert "coverage" in stdout
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        for stage in ("halo_plan", "forward", "backward", "optimize",
+                      "eval"):
+            assert f"<td>{stage}</td>" in text
+
+    def test_report_smoke_markdown(self, capsys, tmp_path):
+        out = tmp_path / "report.md"
+        code = main([
+            "report", "--smoke", "--format", "markdown",
+            "--out", str(out),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert text.startswith("# Epoch report:")
+        assert "## Bandwidth waterfall" in text
 
     def test_chaos_smoke(self, capsys, tmp_path):
         import json

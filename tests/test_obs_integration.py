@@ -41,6 +41,8 @@ class TestNoBehaviourChange:
         assert [e.test_accuracy for e in run_on.epochs] == [
             e.test_accuracy for e in run_off.epochs
         ]
+        # Same wire bytes too: the profiler and ledger only observe.
+        assert run_on.total_bytes() == run_off.total_bytes()
 
     def test_disabled_run_attaches_nothing(self, small_graph):
         run = _trainer(small_graph, ObsConfig()).train(2)
@@ -70,9 +72,9 @@ class TestSpans:
     def test_expected_phases_present(self, instrumented_run):
         _, run = instrumented_run
         assert set(run.telemetry.phase_totals) >= {
-            "epoch", "forward", "backward", "layer", "kernel",
-            "halo_exchange", "encode", "decode", "loss",
-            "param_pull", "param_push", "server_apply",
+            "epoch", "halo_plan", "forward", "backward", "optimize",
+            "eval", "layer", "kernel", "halo_exchange", "encode",
+            "decode", "loss", "param_pull", "param_push", "server_apply",
         }
 
     def test_nothing_dropped(self, instrumented_run):

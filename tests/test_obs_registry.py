@@ -1,7 +1,14 @@
 """Unit tests for the metrics registry: labels, scopes, disabled mode."""
 
+import json
+
 import pytest
 
+from repro.obs.export import (
+    metrics_to_prometheus,
+    write_metrics_jsonl,
+    write_prometheus,
+)
 from repro.obs.registry import HistogramStat, MetricsRegistry
 
 
@@ -127,3 +134,97 @@ class TestDisabled:
         reg.observe("sizes", 4.0)
         snap = reg.snapshot()
         assert not snap.counters and not snap.gauges and not snap.histograms
+
+
+class TestDeterministicRendering:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("comm_bytes", 100, category="fp_embeddings")
+        reg.inc("comm_bytes", 40, category="bp_gradients")
+        reg.inc("epochs_completed")
+        reg.set_gauge("epoch_total_seconds", 0.25)
+        reg.observe("epoch_seconds", 0.25)
+        reg.observe("epoch_seconds", 0.35)
+        return reg
+
+    def test_as_dict_keys_are_sorted(self):
+        rendered = self._populated().snapshot().as_dict()
+        for section in ("counters", "gauges", "histograms"):
+            keys = list(rendered[section])
+            assert keys == sorted(keys)
+
+    def test_as_dict_is_stable_across_insertion_order(self):
+        forward = self._populated().snapshot().as_dict()
+        reg = MetricsRegistry()
+        reg.observe("epoch_seconds", 0.25)
+        reg.observe("epoch_seconds", 0.35)
+        reg.set_gauge("epoch_total_seconds", 0.25)
+        reg.inc("epochs_completed")
+        reg.inc("comm_bytes", 40, category="bp_gradients")
+        reg.inc("comm_bytes", 100, category="fp_embeddings")
+        assert reg.snapshot().as_dict() == forward
+        assert json.dumps(reg.snapshot().as_dict(), sort_keys=True) == \
+            json.dumps(forward, sort_keys=True)
+
+
+class TestPrometheusExport:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("comm_bytes", 100, category="fp_embeddings")
+        reg.set_gauge("epoch_total_seconds", 0.25)
+        reg.observe("epoch_seconds", 0.25)
+        reg.observe("epoch_seconds", 0.35)
+        return reg
+
+    def test_families_typed_and_prefixed(self):
+        text = metrics_to_prometheus(self._populated().snapshot())
+        assert "# TYPE ecgraph_comm_bytes counter" in text
+        assert "# TYPE ecgraph_epoch_total_seconds gauge" in text
+        assert "# TYPE ecgraph_epoch_seconds summary" in text
+        assert 'ecgraph_comm_bytes{category="fp_embeddings"} 100' in text
+
+    def test_histograms_become_summaries(self):
+        text = metrics_to_prometheus(self._populated().snapshot())
+        assert "ecgraph_epoch_seconds_count 2" in text
+        assert "ecgraph_epoch_seconds_sum 0.6" in text
+        assert "ecgraph_epoch_seconds_min 0.25" in text
+        assert "ecgraph_epoch_seconds_max 0.35" in text
+
+    def test_rendering_is_deterministic(self):
+        a = metrics_to_prometheus(self._populated().snapshot())
+        b = metrics_to_prometheus(self._populated().snapshot())
+        assert a == b
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1, path='a"b\\c')
+        text = metrics_to_prometheus(reg.snapshot())
+        assert 'ecgraph_x{path="a\\"b\\\\c"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert metrics_to_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_write_prometheus(self, tmp_path):
+        path = write_prometheus(
+            self._populated().snapshot(), tmp_path / "m" / "metrics.prom"
+        )
+        assert path.read_text().endswith("\n")
+        assert "# TYPE" in path.read_text()
+
+
+class TestMetricsJsonl:
+    def test_one_object_per_snapshot(self, tmp_path):
+        reg = MetricsRegistry()
+        snaps = []
+        for epoch in range(3):
+            reg.inc("comm_bytes", 10 * (epoch + 1))
+            snaps.append(reg.reset_epoch())
+        path = write_metrics_jsonl(snaps, tmp_path / "metrics.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert [r["counters"]["comm_bytes"] for r in records] == [10, 20, 30]
+
+    def test_empty_sequence(self, tmp_path):
+        path = write_metrics_jsonl([], tmp_path / "metrics.jsonl")
+        assert path.read_text() == ""

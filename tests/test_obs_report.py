@@ -1,0 +1,147 @@
+"""The ``repro report`` renderer: build_report and both formats.
+
+Renders one instrumented run (and one un-instrumented run — the
+summary must still come out) and asserts the sections the CI smoke
+check depends on: all five engine stages present, the waterfall keyed
+by channel, and the HTML artifact self-contained with a parseable
+embedded JSON payload.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.trainer import ECGraphTrainer
+from repro.faults import FaultConfig
+from repro.obs import ENGINE_STAGES, ObsConfig
+from repro.obs.report import (
+    build_report,
+    missing_stages,
+    render_html,
+    render_markdown,
+    write_report,
+)
+
+
+def _trainer(graph, obs, **overrides):
+    config = ECGraphConfig(seed=1, obs=obs, **overrides)
+    return ECGraphTrainer(
+        graph, ModelConfig(num_layers=2, hidden_dim=8),
+        ClusterSpec(num_workers=4, workers_per_machine=2), config,
+    )
+
+
+@pytest.fixture(scope="module")
+def instrumented(small_graph_module):
+    trainer = _trainer(small_graph_module, ObsConfig(enabled=True))
+    return trainer.train(3)
+
+
+@pytest.fixture(scope="module")
+def small_graph_module():
+    from repro.graph.generators import GraphSpec, generate_graph
+    return generate_graph(GraphSpec(
+        name="unit-small", num_vertices=96, avg_degree=6.0, feature_dim=12,
+        num_classes=3, homophily=0.9, feature_noise=0.8,
+        train=40, val=16, test=32, seed=7,
+    ))
+
+
+class TestBuildReport:
+    def test_sections_populated(self, instrumented):
+        data = build_report(instrumented)
+        assert data["summary"]["epochs"] == 3
+        assert data["summary"]["total_bytes"] > 0
+        assert len(data["loss_curve"]) == 3
+        assert set(data["stages"]) == set(ENGINE_STAGES)
+        assert data["coverage"] > 0.5
+        assert data["channels"]
+        assert set(data["directions"]) >= {"fp", "bp"}
+        assert data["health"] is not None
+        assert data["dropped_spans"] == 0
+
+    def test_no_engine_stage_missing(self, instrumented):
+        assert missing_stages(build_report(instrumented)) == []
+
+    def test_channel_keys_are_human_readable(self, instrumented):
+        data = build_report(instrumented)
+        for ch in data["channels"]:
+            responder_consumer, layer, direction = ch["channel"].split("/")
+            assert "->" in responder_consumer
+            assert layer.startswith("L")
+            assert direction in {"fp", "bp"}
+
+    def test_is_json_serializable(self, instrumented):
+        data = build_report(instrumented)
+        assert json.loads(json.dumps(data, sort_keys=True)) == data
+
+    def test_uninstrumented_run_still_summarizes(self, small_graph_module):
+        run = _trainer(small_graph_module, ObsConfig()).train(2)
+        data = build_report(run)
+        assert run.telemetry is None
+        assert data["summary"]["epochs"] == 2
+        assert data["stages"] == {}
+        assert data["channels"] == []
+        assert missing_stages(data) == list(ENGINE_STAGES)
+
+    def test_fault_counters_surface(self, small_graph_module):
+        trainer = _trainer(
+            small_graph_module, ObsConfig(enabled=True),
+            faults=FaultConfig(enabled=True, seed=5, drop_prob=0.3,
+                               max_retries=1),
+        )
+        data = build_report(trainer.train(3))
+        assert data["faults"].get("fault_retries", 0) > 0
+        assert "fault_degraded" in data["faults"]
+
+
+class TestMarkdown:
+    def test_contains_stage_table(self, instrumented):
+        text = render_markdown(build_report(instrumented))
+        assert text.startswith("# Epoch report:")
+        assert "## Stage timeline" in text
+        for stage in ENGINE_STAGES:
+            assert f"| {stage} |" in text
+        assert "## Bandwidth waterfall" in text
+        assert "## Compression frontier" in text
+
+    def test_uninstrumented_markdown_renders(self, small_graph_module):
+        run = _trainer(small_graph_module, ObsConfig()).train(2)
+        text = render_markdown(build_report(run))
+        assert "## Run summary" in text
+        assert "## Stage timeline" not in text
+
+
+class TestHtml:
+    def test_self_contained_document(self, instrumented):
+        text = render_html(build_report(instrumented))
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<style>" in text
+        # No external assets: one file must open anywhere.
+        assert "http://" not in text and "https://" not in text
+        for stage in ENGINE_STAGES:
+            assert f"<td>{stage}</td>" in text
+
+    def test_embedded_json_payload_round_trips(self, instrumented):
+        data = build_report(instrumented)
+        text = render_html(data)
+        marker = "<script type='application/json' id='report-data'>"
+        start = text.index(marker) + len(marker)
+        end = text.index("</script>", start)
+        assert json.loads(text[start:end]) == data
+
+
+class TestWriteReport:
+    def test_writes_both_formats(self, instrumented, tmp_path):
+        html_path = write_report(instrumented, tmp_path / "r" / "e.html")
+        md_path = write_report(
+            instrumented, tmp_path / "e.md", fmt="markdown"
+        )
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        assert md_path.read_text().startswith("# Epoch report:")
+
+    def test_rejects_unknown_format(self, instrumented, tmp_path):
+        with pytest.raises(ValueError):
+            write_report(instrumented, tmp_path / "e.pdf", fmt="pdf")

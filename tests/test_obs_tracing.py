@@ -1,6 +1,7 @@
 """Unit tests for the span tracer and the trace exporters."""
 
 import json
+import warnings
 
 import pytest
 
@@ -69,11 +70,54 @@ class TestSpanTracer:
 
     def test_max_spans_drops_not_grows(self):
         tracer = SpanTracer(max_spans=2)
-        for _ in range(5):
-            with tracer.span("x"):
-                pass
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(5):
+                with tracer.span("x"):
+                    pass
         assert len(tracer.spans) == 2
         assert tracer.dropped == 3
+
+    def test_drop_warns_exactly_once(self):
+        tracer = SpanTracer(max_spans=1)
+        with tracer.span("kept"):
+            pass
+        with pytest.warns(RuntimeWarning, match="span buffer full"):
+            with tracer.span("first-drop"):
+                pass
+        # Subsequent overflows are silent — the counter carries on.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with tracer.span("second-drop"):
+                pass
+        assert tracer.dropped == 2
+
+    def test_drops_mirrored_into_metrics(self):
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        tracer = SpanTracer(max_spans=1, metrics=metrics)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(4):
+                with tracer.span("x"):
+                    pass
+        assert tracer.dropped == 3
+        assert metrics.snapshot().counter("spans_dropped") == 3
+
+    def test_reset_rearms_the_warning(self):
+        tracer = SpanTracer(max_spans=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(2):
+                with tracer.span("x"):
+                    pass
+        tracer.reset()
+        with tracer.span("kept"):
+            pass
+        with pytest.warns(RuntimeWarning, match="span buffer full"):
+            with tracer.span("overflow"):
+                pass
 
     def test_invalid_max_spans(self):
         with pytest.raises(ValueError):

@@ -20,6 +20,7 @@ from repro.faults.chaos import run_chaos
 from repro.graph.attributed import AttributedGraph
 from repro.graph.csr import from_edge_list
 from repro.graph.generators import GraphSpec, generate_graph
+from repro.obs import ObsConfig
 
 
 def _graph_from_edges(edges, n, classes=2, seed=0, train_frac=0.5):
@@ -430,3 +431,86 @@ class TestChaosAcceptance:
         assert report.counters.crashes == 1
         assert report.accuracy_gap <= 0.02
         assert report.slowdown >= 1.0
+
+
+class TestFaultMetricsMirror:
+    """Telemetry fault counters must equal the injector's ground truth.
+
+    The metrics registry mirrors every fault event the transport and
+    the recovery manager handle; under a seeded chaos schedule the two
+    bookkeeping systems must agree exactly, or one of them lied.
+    """
+
+    OBS = ObsConfig(enabled=True, trace=False, health=False, profile=False,
+                    epoch_snapshots=False)
+
+    def _run(self, graph, faults, epochs=12, **overrides):
+        return _fault_train(graph, faults, epochs=epochs, obs=self.OBS,
+                            **overrides)
+
+    def test_message_fault_mirror(self, small_graph):
+        trainer, run = self._run(
+            small_graph,
+            FaultConfig(enabled=True, seed=3, drop_prob=0.2,
+                        corrupt_prob=0.1, delay_prob=0.15,
+                        delay_seconds=0.01, max_retries=1),
+        )
+        counters = trainer.fault_counters
+        snap = run.telemetry.metrics
+        assert snap.counter_total("fault_retries") == counters.retries
+        assert snap.counter_total("fault_delays") == counters.delays
+        assert snap.counter_total("fault_message_failures") == (
+            counters.drops + counters.corruptions
+        )
+        assert counters.retries > 0 and counters.delays > 0
+
+    def test_degradation_mirror_by_kind(self, small_graph):
+        trainer, run = self._run(
+            small_graph,
+            FaultConfig(enabled=True, seed=7, drop_prob=0.25,
+                        max_retries=0),
+            epochs=15,
+        )
+        counters = trainer.fault_counters
+        snap = run.telemetry.metrics
+        degraded = snap.counters_by_label("fault_degraded", "kind")
+        assert degraded.get("predicted", 0) == counters.degraded_predicted
+        assert degraded.get("cached", 0) == counters.degraded_cached
+        assert degraded.get("zero", 0) == counters.degraded_zero
+        assert snap.counter_total("fault_residual_compensations") == (
+            counters.residual_compensations
+        )
+        assert counters.degraded > 0
+
+    def test_crash_and_rollback_mirror(self, small_graph):
+        trainer, run = self._run(
+            small_graph,
+            FaultConfig(enabled=True, crash_schedule=((4, 1), (7, 2)),
+                        checkpoint_every=1),
+        )
+        counters = trainer.fault_counters
+        snap = run.telemetry.metrics
+        assert counters.crashes == 2
+        assert snap.counter_total("fault_crashes") == counters.crashes
+        assert snap.counter_total("fault_params_rolled_back") == (
+            counters.params_rolled_back
+        )
+        assert counters.params_rolled_back == 2
+
+    def test_corrupt_checkpoint_mirror(self, small_graph, tmp_path):
+        trainer, _ = self._run(
+            small_graph,
+            FaultConfig(enabled=True, checkpoint_every=1,
+                        checkpoint_dir=str(tmp_path)),
+            epochs=4,
+        )
+        # Tear the newest checkpoint; restore must skip it (counting
+        # the corruption once) and fall back to the rotated previous.
+        (tmp_path / "latest.npz").write_bytes(b"not a checkpoint")
+        assert trainer._recovery.restore_latest_checkpoint()
+        counters = trainer.fault_counters
+        snap = trainer.obs.metrics.snapshot()
+        assert counters.corrupt_checkpoints == 1
+        assert snap.counter_total("fault_checkpoint_corrupt") == 1
+        assert snap.counter("fault_checkpoint_corrupt",
+                            file="latest.npz") == 1
