@@ -268,62 +268,110 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.smoke:
         args.profile = "tiny"
-        args.epochs = min(args.epochs, 8)
+        # 24 epochs gives post-fault trajectories time to reconverge on
+        # the tiny profile (at 8 the ±1-test-vertex noise of its
+        # 38-vertex split dominates the accuracy-gap gate).
+        args.epochs = min(args.epochs, 24)
         args.workers = min(args.workers, 3)
-    graph = load_dataset(args.dataset, profile=args.profile, seed=args.seed)
-    print(graph.summary())
-    print(f"scenario {args.scenario!r}: training fault-free baseline and "
-          "faulty twin ...", file=sys.stderr)
-    report = run_chaos(
-        graph, args.scenario,
-        system=args.system, num_layers=args.layers, hidden_dim=args.hidden,
-        num_workers=args.workers, num_epochs=args.epochs, seed=args.seed,
-        checkpoint_dir=args.checkpoint_dir,
-    )
-    counters = report.counters
+    seeds = [args.seed + i for i in range(max(args.seeds, 1))]
+    reports = []
+    dataset_name = args.dataset
+    for seed in seeds:
+        graph = load_dataset(args.dataset, profile=args.profile, seed=seed)
+        dataset_name = graph.name
+        if seed == seeds[0]:
+            print(graph.summary())
+        print(f"scenario {args.scenario!r} seed {seed}: training "
+              "fault-free baseline and faulty twin ...", file=sys.stderr)
+        reports.append((seed, run_chaos(
+            graph, args.scenario,
+            system=args.system, num_layers=args.layers,
+            hidden_dim=args.hidden, num_workers=args.workers,
+            num_epochs=args.epochs, seed=seed,
+            checkpoint_dir=args.checkpoint_dir,
+        )))
+
     print(format_table(
-        ["scenario", "epochs", "survived", "baseline acc", "chaos acc",
+        ["seed", "epochs", "survived", "baseline acc", "chaos acc",
          "gap", "slowdown"],
         [[
-            report.scenario,
+            seed,
             f"{report.completed_epochs}/{report.scheduled_epochs}",
             "yes" if report.survived else "NO",
             f"{report.baseline_accuracy:.3f}",
             f"{report.chaos_accuracy:.3f}",
             f"{report.accuracy_gap:+.3f}",
             f"{report.slowdown:.2f}x",
-        ]],
-        title=f"{args.system} under {args.scenario!r} on {graph.name}",
+        ] for seed, report in reports],
+        title=f"{args.system} under {args.scenario!r} on {dataset_name}"
+              + (f" ({len(seeds)} seeds)" if len(seeds) > 1 else ""),
     ))
+
+    def _total(name: str) -> float:
+        return sum(getattr(r.counters, name) for _, r in reports)
+
     print("\nFaults injected: "
-          f"{counters.drops} drops, {counters.corruptions} corruptions, "
-          f"{counters.delays} delays, {counters.crashes} crashes")
+          f"{_total('drops'):.0f} drops, "
+          f"{_total('corruptions'):.0f} corruptions, "
+          f"{_total('delays'):.0f} delays, {_total('crashes'):.0f} crashes, "
+          f"{_total('permanent_failures'):.0f} permanent losses")
     print("Tolerance: "
-          f"{counters.retries} retries ({counters.retry_bytes / 1e3:.1f}KB "
-          f"resent), {counters.ps_retries} PS retries, "
-          f"{counters.degraded} degraded exchanges "
-          f"(predicted={counters.degraded_predicted}, "
-          f"cached={counters.degraded_cached}, "
-          f"zero={counters.degraded_zero}), "
-          f"{counters.residual_compensations} residual compensations, "
-          f"{counters.params_rolled_back} param rollbacks, "
-          f"{counters.extra_seconds:.2f}s stalled")
+          f"{_total('retries'):.0f} retries "
+          f"({_total('retry_bytes') / 1e3:.1f}KB resent), "
+          f"{_total('ps_retries'):.0f} PS retries, "
+          f"{_total('degraded'):.0f} degraded exchanges "
+          f"(predicted={_total('degraded_predicted'):.0f}, "
+          f"cached={_total('degraded_cached'):.0f}, "
+          f"zero={_total('degraded_zero'):.0f}), "
+          f"{_total('residual_compensations'):.0f} residual compensations, "
+          f"{_total('params_rolled_back'):.0f} param rollbacks, "
+          f"{_total('extra_seconds'):.2f}s stalled")
+    if _total("permanent_failures") or _total("rejoins"):
+        print("Membership: "
+              f"{_total('adoptions'):.0f} adoptions, "
+              f"{_total('rejoins'):.0f} rejoins, "
+              f"{_total('watchdog_trips'):.0f} watchdog trips "
+              f"({_total('watchdog_rollbacks'):.0f} rollbacks, "
+              f"{_total('watchdog_escalations'):.0f} channel escalations)")
+
     if args.json_out:
         path = pathlib.Path(args.json_out)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = dict(report.as_dict(), system=args.system,
-                       dataset=graph.name)
+        if len(reports) == 1:
+            seed, report = reports[0]
+            payload = dict(report.as_dict(), system=args.system,
+                           dataset=dataset_name, seed=seed)
+        else:
+            runs = [
+                dict(report.as_dict(), seed=seed)
+                for seed, report in reports
+            ]
+            payload = {
+                "scenario": args.scenario,
+                "system": args.system,
+                "dataset": dataset_name,
+                "seeds": seeds,
+                "survived": all(r["survived"] for r in runs),
+                "max_accuracy_gap": max(r["accuracy_gap"] for r in runs),
+                "runs": runs,
+            }
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {path}")
-    if not report.survived:
-        print(f"FAIL: only {report.completed_epochs} of "
-              f"{report.scheduled_epochs} epochs completed", file=sys.stderr)
-        return 1
-    if report.accuracy_gap > args.max_accuracy_gap:
-        print(f"FAIL: accuracy gap {report.accuracy_gap:.3f} exceeds "
-              f"--max-accuracy-gap {args.max_accuracy_gap}", file=sys.stderr)
-        return 1
-    return 0
+
+    failed = 0
+    for seed, report in reports:
+        label = f"seed {seed}: " if len(seeds) > 1 else ""
+        if not report.survived:
+            print(f"FAIL: {label}only {report.completed_epochs} of "
+                  f"{report.scheduled_epochs} epochs completed",
+                  file=sys.stderr)
+            failed += 1
+        elif report.accuracy_gap > args.max_accuracy_gap:
+            print(f"FAIL: {label}accuracy gap {report.accuracy_gap:.3f} "
+                  f"exceeds --max-accuracy-gap {args.max_accuracy_gap}",
+                  file=sys.stderr)
+            failed += 1
+    return 1 if failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -501,8 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "than this (default: 0.02)")
     chaos.add_argument("--json-out", default=None,
                        help="also write the report as JSON to this path")
+    chaos.add_argument("--seeds", type=int, default=1,
+                       help="run the scenario across N consecutive seeds "
+                            "starting at --seed and fail if any run fails "
+                            "(default: 1)")
     chaos.add_argument("--smoke", action="store_true",
-                       help="tiny profile, <=8 epochs (CI smoke test)")
+                       help="tiny profile, <=24 epochs, <=3 workers "
+                            "(CI smoke test)")
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(

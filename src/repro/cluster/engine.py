@@ -148,6 +148,21 @@ class ClusterRuntime:
             category,
         )
 
+    def fetch_from_store(
+        self, worker: int, num_bytes: int, category: str
+    ) -> None:
+        """Charge a fetch from the shared graph store to ``worker``.
+
+        Elastic recovery uses this when an adopter (or rejoiner) loads
+        the feature shard of a partition it did not previously own.
+        """
+        self._charge(
+            self.spec.storage_machine,
+            self.spec.worker_machine(worker),
+            num_bytes,
+            category,
+        )
+
     def send_worker_to_server(
         self, worker: int, server: int, num_bytes: int, category: str
     ) -> None:

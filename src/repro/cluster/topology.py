@@ -79,6 +79,13 @@ class ClusterSpec:
         """Machines needed for the workers (servers are co-located)."""
         return -(-self.num_workers // self.workers_per_machine)
 
+    @property
+    def storage_machine(self) -> int:
+        """Machine hosting the shared graph store (feature shards live
+        on the first machine's disks; elastic recovery fetches adopted
+        features from here)."""
+        return 0
+
     def worker_machine(self, worker: int) -> int:
         """Machine hosting ``worker``."""
         if not 0 <= worker < self.num_workers:

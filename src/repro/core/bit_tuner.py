@@ -93,6 +93,33 @@ class BitTuner:
                 self.observer(pair, new)
         return new
 
+    def escalate(
+        self,
+        pairs,
+        bits: int = BIT_LADDER[-1],
+    ) -> list[tuple[int, int]]:
+        """Force the given pairs to (at least) ``bits`` wide.
+
+        The convergence watchdog calls this after a divergence trip:
+        post-rollback, the affected channels re-run at high precision so
+        compression error cannot re-trigger the divergence. Unlike
+        :meth:`update` this ignores ``enabled`` — a safety override must
+        apply to fixed-bit configurations too. Returns the pairs whose
+        width actually changed.
+        """
+        if bits not in BIT_LADDER:
+            raise ValueError(f"bits must be one of {BIT_LADDER}, got {bits}")
+        changed = []
+        for pair in sorted(pairs):
+            if self.bits(pair) >= bits:
+                continue
+            self._bits[pair] = bits
+            self._history.append((pair, bits))
+            if self.observer is not None:
+                self.observer(pair, bits)
+            changed.append(pair)
+        return changed
+
     def history(self) -> list[tuple[tuple[int, int], int]]:
         """All width changes, in order (for the ablation benchmarks)."""
         return list(self._history)

@@ -62,10 +62,12 @@ def save_checkpoint(
 ) -> None:
     """Write the trainer's current parameters and metadata to ``path``.
 
-    The write is atomic: the archive is built in a temporary file in the
-    same directory and moved into place with :func:`os.replace`, so a
-    crash mid-save can never leave a truncated checkpoint behind — the
-    previous checkpoint (if any) survives intact.
+    The write is atomic *and durable*: the archive is built in a
+    temporary file in the same directory, fsynced, and moved into place
+    with :func:`os.replace`, after which the containing directory is
+    fsynced too — so neither a crash mid-save nor a power loss right
+    after the rename can leave a truncated or missing checkpoint behind;
+    the previous checkpoint (if any) survives intact.
 
     Args:
         trainer: A set-up trainer (its servers hold the parameters).
@@ -94,13 +96,34 @@ def save_checkpoint(
     try:
         with os.fdopen(fd, "wb") as handle:
             np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage.
+
+    Best-effort: some filesystems refuse to fsync a directory handle;
+    the data file itself is already synced, so that is not fatal.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def load_checkpoint(path: str | Path) -> dict:

@@ -147,6 +147,37 @@ class ResECPolicy:
             residual[rows_idx] += lost
         return True
 
+    # ------------------------------------------------------------------
+    # Elastic membership (driven by the PartitionReassigner)
+    # ------------------------------------------------------------------
+    def has_residual(self, key: ChannelKey) -> bool:
+        """True when channel state exists (primed or accumulated)."""
+        return key in self._residual
+
+    def export_residuals(
+        self, workers
+    ) -> list[tuple[ChannelKey, np.ndarray]]:
+        """Remove and return residuals on channels touching ``workers``.
+
+        Used on membership change: channels touching a worker whose
+        vertex set moved no longer exist, but their residuals are queued
+        gradient information — the reassigner remaps the rows onto the
+        replacement channels instead of silently dropping the gap. Keys
+        come out sorted so the carry is deterministic.
+        """
+        targets = set(workers)
+        stale = sorted(
+            key for key in self._residual
+            if key.responder in targets or key.requester in targets
+        )
+        return [(key, self._residual.pop(key)) for key in stale]
+
+    def seed_residual(self, key: ChannelKey, residual: np.ndarray) -> None:
+        """Install a carried residual on a (possibly new) channel."""
+        self._residual[key] = np.ascontiguousarray(
+            residual, dtype=np.float32
+        )
+
     def invalidate_worker(self, worker: int) -> None:
         """Drop residuals on channels touching ``worker`` (crash
         recovery with ``reset_residuals=True``): the rebuilt process

@@ -112,6 +112,7 @@ class ECGraphTrainer:
         self._setup_done = False
         self._lr_schedule = None
         self._injector: FaultInjector | None = None
+        self._normalized = None
         self._ctx: ExchangeContext | None = None
         self._backend: ModelBackend | None = None
         self._recovery: RecoveryManager | None = None
@@ -142,6 +143,7 @@ class ECGraphTrainer:
 
         scheme = "gcn" if self.model_config.model == "gcn" else "row"
         normalized = normalized_adjacency(self.graph.adjacency, scheme)
+        self._normalized = normalized
         self.workers = build_worker_states(self.graph, normalized, self.partition)
 
         self.runtime = ClusterRuntime(self.spec, telemetry=self.obs)
@@ -236,6 +238,23 @@ class ECGraphTrainer:
             global_train_count=self._global_train_count,
         )
         self._recovery = RecoveryManager(self._ctx, self)
+        if self.config.faults.elastic and self._injector is not None:
+            from repro.membership import (
+                ConvergenceWatchdog,
+                MembershipView,
+                PartitionReassigner,
+            )
+
+            membership = MembershipView(
+                self.spec.num_workers, self.config.faults
+            )
+            reassigner = PartitionReassigner(
+                self._ctx, self._backend, self._normalized,
+                self.partition, membership,
+            )
+            watchdog = ConvergenceWatchdog(self.config.faults)
+            self._recovery.attach_elasticity(membership, reassigner, watchdog)
+            self._ctx.membership = membership
         self.engine = TrainerCore(
             self._ctx, self._backend, recovery=self._recovery
         )
@@ -313,6 +332,13 @@ class ECGraphTrainer:
     def fault_counters(self) -> FaultCounters | None:
         """Injected-fault and tolerance counters (None when disabled)."""
         return self._injector.counters if self._injector else None
+
+    @property
+    def membership_events(self) -> list[dict]:
+        """Elastic-membership timeline (empty when elasticity is off)."""
+        if self._recovery is None or self._recovery.membership is None:
+            return []
+        return [e.as_dict() for e in self._recovery.membership.events]
 
     @property
     def _param_snapshot(self) -> tuple[int, dict[str, np.ndarray]] | None:

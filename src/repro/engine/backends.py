@@ -74,6 +74,9 @@ class ModelBackend(Protocol):
     def on_epoch_start(self, t: int) -> None:
         """Per-iteration hook before the forward pass (sampling)."""
 
+    def on_membership_change(self) -> None:
+        """Rebuild per-worker structures after an elastic reassignment."""
+
     def begin_iteration(self) -> None:
         """Reset per-iteration caches before a forward pass."""
 
@@ -135,6 +138,10 @@ class _BackendBase:
     def on_epoch_start(self, t: int) -> None:
         del t
 
+    def on_membership_change(self) -> None:
+        """Rebuild architecture-specific per-worker structures after the
+        reassigner swapped the worker states (default: nothing cached)."""
+
     def adjacency(self, state: WorkerState, layer: int):
         del layer
         return state.a_local
@@ -190,7 +197,7 @@ class GCNBackend(_BackendBase):
         weight_key = weight_name(layer - 1)
         with obs.span("kernel", layer=layer, direction="bp",
                       stage="weight_grad"):
-            for state in ctx.workers:
+            for state in ctx.active_workers():
                 i = state.worker_id
                 g_local = state.grad_rows[layer]
                 cache = state.caches[layer]
@@ -215,7 +222,7 @@ class GCNBackend(_BackendBase):
             weight = ctx.servers.get(weight_key)
             with obs.span("kernel", layer=layer, direction="bp",
                           stage="input_grad"):
-                for state in ctx.workers:
+                for state in ctx.active_workers():
                     i = state.worker_id
                     with ctx.runtime.worker_compute(i):
                         g_cat = np.concatenate(
@@ -272,6 +279,13 @@ class SampledGCNBackend(GCNBackend):
         self.subsets: dict[int, dict[tuple[int, int], np.ndarray]] = {}
         self.sampled_once = False
 
+    def on_membership_change(self) -> None:
+        # The sampled adjacencies index the old compact halo spaces;
+        # force a fresh (offline-mode) resample on the next iteration.
+        self.sampled_once = False
+        self.sampled_adj = []
+        self.subsets = {}
+
     def adjacency(self, state: WorkerState, layer: int):
         return self.sampled_adj[state.worker_id][layer]
 
@@ -291,7 +305,7 @@ class SampledGCNBackend(GCNBackend):
             # Online sampling is coordinated by per-worker samplers; the
             # cost is per-worker compute plus request messages.
             per_worker = elapsed / max(ctx.spec.num_workers, 1)
-            for state in ctx.workers:
+            for state in ctx.active_workers():
                 ctx.runtime.add_compute(state.worker_id, per_worker)
                 for owner in state.requests:
                     ctx.runtime.send_worker_to_worker(
@@ -420,6 +434,9 @@ class SAGEBackend(_BackendBase):
         self._build_transposed_rows()
         self.caches: list[list[_SAGECache | None]] = []
 
+    def on_membership_change(self) -> None:
+        self._build_transposed_rows()
+
     def _build_transposed_rows(self) -> None:
         """Rows of ``A_row^T`` per worker: entry (j, i) = 1/(deg(i)+1).
 
@@ -494,7 +511,7 @@ class SAGEBackend(_BackendBase):
         ctx = self.ctx
         w_self = ctx.servers.get(self_weight_name(layer - 1))
         w_neigh = ctx.servers.get(weight_name(layer - 1))
-        for state in ctx.workers:
+        for state in ctx.active_workers():
             i = state.worker_id
             cache = self.caches[i][layer]
             g = state.grad_rows[layer]
@@ -518,7 +535,7 @@ class SAGEBackend(_BackendBase):
                 rows_of=lambda s, _l=layer: s.grad_rows[_l],
                 dim=ctx.params.dims[layer],
             )
-            for state in ctx.workers:
+            for state in ctx.active_workers():
                 i = state.worker_id
                 cache_prev = self.caches[i][layer - 1]
                 g = state.grad_rows[layer]
@@ -662,6 +679,9 @@ class GATBackend(_BackendBase):
         self.edges = [_EdgeSpace(state) for state in ctx.workers]
         self.caches: list[list[_GATCache | None]] = []
 
+    def on_membership_change(self) -> None:
+        self.edges = [_EdgeSpace(state) for state in self.ctx.workers]
+
     def begin_iteration(self) -> None:
         num_layers = self.ctx.params.num_layers
         self.caches = [[None] * (num_layers + 1) for _ in self.ctx.workers]
@@ -747,8 +767,8 @@ class GATBackend(_BackendBase):
 
         # Each worker computes its partial dH over the cat space
         # (summed over heads) plus its parameter-gradient shares.
-        dh_partials: list[np.ndarray] = []
-        for state in ctx.workers:
+        dh_partials: dict[int, np.ndarray] = {}
+        for state in ctx.active_workers():
             i = state.worker_id
             edges = self.edges[i]
             cache = self.caches[i][layer]
@@ -792,7 +812,7 @@ class GATBackend(_BackendBase):
                     grads[i][bias_name(layer - 1)] = (
                         state.grad_rows[layer].sum(axis=0)
                     ).astype(np.float32)
-            dh_partials.append(dh)
+            dh_partials[i] = dh
 
         if layer > 1:
             # Owners collect the halo partials of dH (the paper's
@@ -805,7 +825,7 @@ class GATBackend(_BackendBase):
                 ],
                 dim=ctx.params.dims[layer - 1],
             )
-            for state in ctx.workers:
+            for state in ctx.active_workers():
                 i = state.worker_id
                 cache_prev = self.caches[i][layer - 1]
                 with ctx.runtime.worker_compute(i):

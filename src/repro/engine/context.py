@@ -31,6 +31,7 @@ from repro.obs.telemetry import Telemetry
 if TYPE_CHECKING:
     from repro.engine.recovery import RecoveryManager
     from repro.faults.injector import FaultInjector
+    from repro.membership.view import MembershipView
 
 __all__ = ["ExchangeContext"]
 
@@ -64,6 +65,22 @@ class ExchangeContext:
     injector: "FaultInjector | None" = None
     global_train_count: int = 0
     recovery: "RecoveryManager | None" = field(default=None, repr=False)
+    membership: "MembershipView | None" = field(default=None, repr=False)
+
+    def active_workers(self) -> list[WorkerState]:
+        """Worker states participating in this iteration.
+
+        Without elastic membership this is exactly ``workers`` — the
+        same list object, same iteration order — so non-elastic runs
+        stay bit-identical. With a membership view attached, dead
+        workers (which keep their slot as empty states) are skipped.
+        """
+        if self.membership is None:
+            return self.workers
+        return [
+            state for state in self.workers
+            if self.membership.is_alive(state.worker_id)
+        ]
 
     # ------------------------------------------------------------------
     # Exchange helpers: stages name a direction, the context supplies

@@ -15,7 +15,10 @@ exercises) here.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
+
+import numpy as np
 
 from repro.core.results import EpochResult
 from repro.engine.backends import ModelBackend
@@ -78,6 +81,15 @@ class TrainerCore:
                 grads = self.backward.run(t)
             with obs.span("optimize", epoch=t), profiler.stage("optimize"):
                 self.optimize.run(grads)
+            if (
+                self.recovery is not None
+                and self.recovery.watchdog is not None
+            ):
+                # Watchdog audit runs before end_epoch's checkpoint so a
+                # rollback is never overwritten by a diverged save.
+                self.recovery.observe_convergence(
+                    t, loss, self._grad_norm(grads)
+                )
         breakdown = ctx.runtime.end_epoch()
         if self.recovery is not None:
             self.recovery.end_epoch(t)
@@ -89,3 +101,14 @@ class TrainerCore:
     def evaluate_exact(self) -> dict[str, float]:
         """Exact-communication accuracy (Table V measurement)."""
         return self.eval.evaluate_exact()
+
+    @staticmethod
+    def _grad_norm(grads: dict[int, dict[str, np.ndarray]]) -> float:
+        """Global L2 norm over every worker's parameter-gradient shares."""
+        total = 0.0
+        for worker in sorted(grads):
+            shares = grads[worker]
+            for name in sorted(shares):
+                g = shares[name]
+                total += float(np.vdot(g, g).real)
+        return math.sqrt(total)

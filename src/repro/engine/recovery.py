@@ -1,4 +1,4 @@
-"""Checkpointing and crash recovery for the staged engine.
+"""Checkpointing, crash recovery and elastic membership for the engine.
 
 The :class:`RecoveryManager` owns the fault-tolerance lifecycle that
 used to be spread across the trainer monolith: advancing the injector's
@@ -10,7 +10,20 @@ moves to ``previous.npz`` — so a checkpoint that lands corrupt on disk
 (torn write, bit rot) no longer kills recovery: restore skips it with a
 warning metric (``fault_checkpoint_corrupt`` / the
 ``corrupt_checkpoints`` counter) and falls back to the previous file,
-then to the in-memory snapshot.
+then to the in-memory snapshot. When every on-disk generation is
+corrupt *and* no in-memory snapshot exists, restore raises a clean
+:class:`~repro.core.checkpoint.CheckpointError` instead of silently
+training on from diverged parameters (the CLI maps it to exit code 2).
+
+With elastic membership attached (``faults.elastic``), the manager also
+drives the permanent-failure path: the
+:class:`~repro.membership.view.MembershipView` marks leases expired,
+survivors absorb the detection stall, the
+:class:`~repro.membership.reassign.PartitionReassigner` hands orphaned
+partitions to the least-loaded survivor, and the
+:class:`~repro.membership.watchdog.ConvergenceWatchdog` audits the loss
+trajectory after each disruption — rolling back and escalating channel
+bit widths when training diverges (see ``docs/fault_tolerance.md``).
 """
 
 from __future__ import annotations
@@ -44,12 +57,29 @@ class RecoveryManager:
         # (epoch, params) in-memory snapshot — the rollback of last
         # resort when no disk checkpoint is configured or readable.
         self.param_snapshot: tuple[int, dict[str, np.ndarray]] | None = None
+        # Elastic membership collaborators (attach_elasticity).
+        self.membership = None
+        self.reassigner = None
+        self.watchdog = None
+        self._corruption_mark = 0
+
+    def attach_elasticity(self, membership, reassigner, watchdog) -> None:
+        """Wire the elastic-membership collaborators (``faults.elastic``).
+
+        Called by the trainer facade after the engine is built; the
+        three objects always travel together — the view decides *who*
+        is alive, the reassigner decides *where* orphaned partitions
+        go, and the watchdog decides whether training survived it.
+        """
+        self.membership = membership
+        self.reassigner = reassigner
+        self.watchdog = watchdog
 
     # ------------------------------------------------------------------
     # Epoch lifecycle
     # ------------------------------------------------------------------
     def begin_epoch(self, t: int) -> None:
-        """Advance the injector clock and recover scheduled crashes."""
+        """Advance the injector clock and recover scheduled faults."""
         injector = self.ctx.injector
         if injector is None:
             return
@@ -60,6 +90,8 @@ class RecoveryManager:
                 "recovery", epoch=t, crashed=list(crashed)
             ):
                 self.recover_workers(crashed)
+        if self.membership is not None:
+            self._apply_membership(t)
 
     def end_epoch(self, t: int) -> None:
         """Auto-checkpoint the server parameters after epoch ``t``."""
@@ -96,9 +128,17 @@ class RecoveryManager:
         metric — in favour of the rotated ``previous.npz``, and the
         in-memory snapshot remains the final fallback. Returns True when
         any source restored the parameters.
+
+        Raises:
+            CheckpointError: When at least one checkpoint file exists
+                on disk but *every* generation is corrupt and there is
+                no in-memory snapshot to fall back to. Recovery cannot
+                proceed from known-bad parameters, so this fails fast
+                (the CLI reports it as exit code 2).
         """
         ctx = self.ctx
         faults = ctx.config.faults
+        corrupt: list[str] = []
         if faults.checkpoint_dir is not None:
             from repro.core.checkpoint import CheckpointError, load_checkpoint
 
@@ -109,6 +149,7 @@ class RecoveryManager:
                 except FileNotFoundError:
                     continue
                 except CheckpointError:
+                    corrupt.append(name)
                     if ctx.injector is not None:
                         ctx.injector.counters.corrupt_checkpoints += 1
                     if ctx.telemetry.enabled:
@@ -124,6 +165,14 @@ class RecoveryManager:
             for name, value in params.items():
                 ctx.servers.set(name, value.copy())
             return True
+        if corrupt:
+            from repro.core.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                "cannot restore parameters: every checkpoint generation "
+                f"in {faults.checkpoint_dir} is corrupt "
+                f"({', '.join(corrupt)}) and no in-memory snapshot exists"
+            )
         return False
 
     # ------------------------------------------------------------------
@@ -179,3 +228,163 @@ class RecoveryManager:
             counters.params_rolled_back += 1
             if obs.enabled:
                 obs.metrics.inc("fault_params_rolled_back")
+
+    # ------------------------------------------------------------------
+    # Elastic membership (permanent failures, rejoins, watchdog)
+    # ------------------------------------------------------------------
+    def _apply_membership(self, t: int) -> None:
+        """Process the epoch's scheduled permanent losses and rejoins."""
+        injector = self.ctx.injector
+        lost = injector.take_permanent_failures(t)
+        rejoined = injector.take_rejoins(t)
+        if not lost and not rejoined:
+            return
+        with self.ctx.telemetry.span(
+            "membership", epoch=t, lost=list(lost), rejoined=list(rejoined)
+        ):
+            for worker in lost:
+                self._lose_worker(t, worker)
+            for worker in rejoined:
+                self._rejoin_worker(t, worker)
+
+    def _lose_worker(self, t: int, worker: int) -> None:
+        """Permanent loss: detect, check quorum, adopt, roll back, arm.
+
+        The lease expires after ``lease_grace_s`` (quantized to whole
+        heartbeats); every survivor stalls for that detection window.
+        The orphaned partition then moves to the least-loaded survivor
+        and the server parameters roll back to the latest checkpoint so
+        the adopter's first iteration starts from a consistent model.
+        """
+        ctx = self.ctx
+        membership = self.membership
+        counters = ctx.injector.counters
+        obs = ctx.telemetry
+        if not membership.is_alive(worker):
+            membership.record(t, "loss_ignored", worker=worker)
+            return
+        stall = membership.mark_dead(t, worker)
+        counters.permanent_failures += 1
+        if obs.enabled:
+            obs.metrics.inc("membership_lost", worker=worker)
+        obs.ledger.record_event("worker_lost", t, worker=worker)
+        for survivor in membership.alive_workers():
+            ctx.runtime.add_stall(survivor, stall)
+        membership.require_quorum(t)
+        adopter = self.reassigner.adopt(t, worker)
+        counters.adoptions += 1
+        if obs.enabled:
+            obs.metrics.inc("membership_adoptions", adopter=adopter)
+        obs.ledger.record_event(
+            "partition_adopted", t, worker=worker, adopter=adopter
+        )
+        if ctx.config.faults.restore_params and self.restore_latest_checkpoint():
+            counters.params_rolled_back += 1
+            if obs.enabled:
+                obs.metrics.inc("fault_params_rolled_back")
+        self.watchdog.arm(t, "membership_change")
+
+    def _rejoin_worker(self, t: int, worker: int) -> None:
+        """A lost worker returns: reclaim its original partition."""
+        ctx = self.ctx
+        membership = self.membership
+        obs = ctx.telemetry
+        if not membership.mark_alive(t, worker):
+            membership.record(t, "rejoin_ignored", worker=worker)
+            return
+        ctx.injector.counters.rejoins += 1
+        if obs.enabled:
+            obs.metrics.inc("membership_rejoins", worker=worker)
+        obs.ledger.record_event("worker_rejoined", t, worker=worker)
+        self.reassigner.rejoin(t, worker)
+        self.watchdog.arm(t, "membership_change")
+
+    def observe_convergence(
+        self, t: int, loss: float, grad_norm: float | None = None
+    ) -> None:
+        """Feed the epoch's loss to the watchdog; respond to a trip.
+
+        Called by the core after the optimize stage (before the epoch's
+        checkpoint, so a rollback is never overwritten by a diverged
+        save). A trip rolls the servers back, escalates every halo
+        channel pair to the widest bit width, and resets the backward
+        residual state; ``max_consecutive_rollbacks`` trips in a row
+        without a healthy epoch raise
+        :class:`~repro.membership.watchdog.DivergenceError`.
+        """
+        if self.watchdog is None:
+            return
+        ctx = self.ctx
+        faults = ctx.config.faults
+        injector = ctx.injector
+        if injector is not None:
+            corruptions = injector.counters.corruptions
+            burst = corruptions - self._corruption_mark
+            self._corruption_mark = corruptions
+            if burst >= faults.watchdog_burst:
+                self.watchdog.arm(t, "corruption_burst")
+                if self.membership is not None:
+                    self.membership.record(
+                        t, "watchdog_armed",
+                        reason="corruption_burst", corruptions=burst,
+                    )
+        reason = self.watchdog.observe(t, loss, grad_norm)
+        if reason is None:
+            return
+        counters = injector.counters if injector is not None else None
+        obs = ctx.telemetry
+        if counters is not None:
+            counters.watchdog_trips += 1
+        if obs.enabled:
+            obs.metrics.inc("watchdog_trips", reason=reason)
+        obs.ledger.record_event("watchdog_trip", t, reason=reason)
+        if self.membership is not None:
+            self.membership.record(
+                t, "watchdog_trip", reason=reason, loss=float(loss),
+                consecutive=self.watchdog.consecutive,
+            )
+        with obs.span("watchdog_response", epoch=t, reason=reason):
+            if self.restore_latest_checkpoint():
+                if counters is not None:
+                    counters.watchdog_rollbacks += 1
+                if obs.enabled:
+                    obs.metrics.inc("watchdog_rollbacks")
+                obs.ledger.record_event("watchdog_rollback", t)
+                if self.membership is not None:
+                    self.membership.record(t, "watchdog_rollback")
+            pairs = set()
+            for state in ctx.workers:
+                for owner in state.halo_slots:
+                    pairs.add((owner, state.worker_id))
+            changed = ctx.tuner.escalate(sorted(pairs))
+            if changed:
+                if counters is not None:
+                    counters.watchdog_escalations += len(changed)
+                if obs.enabled:
+                    obs.metrics.inc(
+                        "watchdog_escalations", value=len(changed)
+                    )
+                obs.ledger.record_event(
+                    "watchdog_escalation", t, channels=len(changed)
+                )
+                if self.membership is not None:
+                    self.membership.record(
+                        t, "watchdog_escalation", channels=len(changed)
+                    )
+            reset = getattr(ctx.bp_policy, "reset", None)
+            if reset is not None:
+                reset()
+            if self.reassigner is not None:
+                # Sampled-mode backward channels must be primed before
+                # the next respond() call.
+                self.reassigner.prime_sampled_channels()
+        self.watchdog.arm(t, "watchdog_trip")
+        if self.watchdog.exhausted:
+            from repro.membership.watchdog import DivergenceError
+
+            raise DivergenceError(
+                f"convergence watchdog exhausted at epoch {t}: "
+                f"{self.watchdog.consecutive} consecutive rollbacks "
+                f"(limit {faults.max_consecutive_rollbacks}, "
+                f"last trigger {reason!r})"
+            )

@@ -78,7 +78,7 @@ class ForwardStage(Stage):
             with obs.span("layer", layer=layer, direction="fp"):
                 names = backend.layer_param_names(layer)
                 pulled: dict[int, dict[str, np.ndarray]] = {}
-                for state in ctx.workers:
+                for state in ctx.active_workers():
                     pulled[state.worker_id] = ctx.servers.pull(
                         state.worker_id, names
                     )
@@ -86,7 +86,7 @@ class ForwardStage(Stage):
                 halos = self._halos(layer, t)
 
                 with obs.span("kernel", layer=layer, direction="fp"):
-                    for state in ctx.workers:
+                    for state in ctx.active_workers():
                         i = state.worker_id
                         prev = backend.layer_input(state, layer)
                         with ctx.runtime.worker_compute(i):
@@ -99,7 +99,7 @@ class ForwardStage(Stage):
         # Loss and metrics from the final logits; gradients are scaled by
         # the *global* train count so server-side summation is exact.
         with obs.span("loss"):
-            for state in ctx.workers:
+            for state in ctx.active_workers():
                 logits = backend.final_logits(state)
                 with ctx.runtime.worker_compute(state.worker_id):
                     result = softmax_cross_entropy(
@@ -169,7 +169,7 @@ class BackwardStage(Stage):
         ctx, backend = self.ctx, self.backend
         obs = ctx.telemetry
         grads: dict[int, dict[str, np.ndarray]] = {
-            state.worker_id: {} for state in ctx.workers
+            state.worker_id: {} for state in ctx.active_workers()
         }
         for layer in range(ctx.params.num_layers, 0, -1):
             with obs.span("layer", layer=layer, direction="bp"):
@@ -182,7 +182,7 @@ class OptimizeStage(Stage):
 
     def run(self, grads: dict[int, dict[str, np.ndarray]]) -> None:
         ctx = self.ctx
-        for state in ctx.workers:
+        for state in ctx.active_workers():
             ctx.servers.push(state.worker_id, grads[state.worker_id])
         ctx.servers.apply_updates()
 

@@ -334,6 +334,11 @@ class HaloTransport:
         sessions: list[ChannelSession] = []
         for consumer in self.workers:
             i = consumer.worker_id
+            if not consumer.halo_slots:
+                # No remote neighbours (or an empty post-membership
+                # slot): nothing to push, and the backend may not have
+                # partials for this worker at all.
+                continue
             partials = halo_rows_of(consumer)
             for owner, slots in consumer.halo_slots.items():
                 owner_state = self.workers[owner]
@@ -640,6 +645,21 @@ class HaloTransport:
         ]
         for key in stale:
             del self._halo_cache[key]
+
+    def rebuild(self, changed=None) -> None:
+        """Reset per-channel caches after a membership change.
+
+        Sessions are planned fresh from the worker states on every
+        exchange, so the plans need no rebuilding — but the stale-halo
+        cache, the pooled buffers (halo sizes changed) and the last
+        proportions all describe channels that may no longer exist.
+        ``changed`` is accepted for symmetry with the policy hooks; the
+        caches are cheap enough to drop wholesale.
+        """
+        del changed
+        self._halo_cache.clear()
+        self._buffers.clear()
+        self._last_proportions.clear()
 
     # ------------------------------------------------------------------
     def _charge_compute(

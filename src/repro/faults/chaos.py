@@ -38,6 +38,7 @@ class ChaosReport:
     chaos_accuracy: float
     baseline_seconds: float
     chaos_seconds: float
+    membership_events: tuple[dict, ...] = ()
 
     @property
     def survived(self) -> bool:
@@ -69,6 +70,7 @@ class ChaosReport:
             "chaos_seconds": self.chaos_seconds,
             "slowdown": self.slowdown,
             "counters": self.counters.as_dict(),
+            "membership_events": [dict(e) for e in self.membership_events],
         }
 
 
@@ -116,6 +118,7 @@ def run_chaos(
     trainer = SYSTEMS[system](graph, model, spec, replace(base, faults=faults), None)
     chaos_run = trainer.train(num_epochs, name=f"{system}+{scenario}")
     counters = trainer.fault_counters or FaultCounters()
+    events = tuple(getattr(trainer, "membership_events", []))
 
     return ChaosReport(
         scenario=scenario,
@@ -127,4 +130,5 @@ def run_chaos(
         chaos_accuracy=chaos_run.final_test_accuracy or 0.0,
         baseline_seconds=_total_seconds(baseline),
         chaos_seconds=_total_seconds(chaos_run),
+        membership_events=events,
     )

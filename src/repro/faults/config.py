@@ -22,7 +22,14 @@ Fault classes:
 * **worker crashes** — at chosen epochs a worker dies and is rebuilt
   from the latest checkpoint (see ``checkpoint_every`` /
   ``checkpoint_dir``), with the error-compensation channel state
-  resynchronized.
+  resynchronized;
+* **permanent worker loss** (``elastic=True``) — at chosen epochs a
+  worker dies and *never* comes back; the membership layer
+  (:mod:`repro.membership`) detects the expired lease, hands the
+  orphaned partition to the least-loaded survivor, and the convergence
+  watchdog guards the run against post-adoption divergence. A separate
+  rejoin schedule can bring a lost worker back later, reclaiming its
+  original partition.
 
 All randomness is derived from ``seed`` with stateless per-message
 draws, so a fault schedule is exactly reproducible and independent of
@@ -76,6 +83,31 @@ class FaultConfig:
         reset_residuals: Zero the ReqEC/ResEC channel state touching the
             crashed worker (True, the safe default) instead of keeping
             the survivor-side state as-is.
+        elastic: Enable elastic membership: a lease/heartbeat-based
+            :class:`~repro.membership.MembershipView`, partition
+            adoption on permanent loss, and the convergence watchdog.
+        permanent_failures: ``(epoch, worker)`` pairs; the worker dies
+            just before that epoch and never restarts. Requires
+            ``elastic=True`` — without adoption the run cannot survive.
+        rejoin_schedule: ``(epoch, worker)`` pairs; a permanently lost
+            worker rejoins just before that epoch, reclaiming the
+            vertices it originally owned.
+        heartbeat_interval_s: Membership heartbeat period; failure
+            detection is quantized to whole heartbeats.
+        lease_grace_s: Lease length: how long survivors wait without a
+            heartbeat before declaring a worker dead (the BSP epoch
+            stalls for the whole detection window).
+        quorum_fraction: Fail fast (``QuorumLostError``) when the alive
+            fraction of the original membership drops below this.
+        max_consecutive_rollbacks: The watchdog aborts with
+            ``DivergenceError`` after this many consecutive
+            rollback-triggering epochs.
+        watchdog_loss_factor: While armed, the watchdog trips when the
+            loss exceeds this multiple of the recent-window median.
+        watchdog_window: Epochs of loss history the watchdog compares
+            against, and how long it stays armed after an event.
+        watchdog_burst: Corruptions within one epoch that count as a
+            "corruption burst" and arm the watchdog.
     """
 
     enabled: bool = False
@@ -103,6 +135,17 @@ class FaultConfig:
     checkpoint_dir: str | None = None
     restore_params: bool = True
     reset_residuals: bool = True
+    # Elastic membership: permanent loss, adoption, rejoin, watchdog.
+    elastic: bool = False
+    permanent_failures: tuple[tuple[int, int], ...] = ()
+    rejoin_schedule: tuple[tuple[int, int], ...] = ()
+    heartbeat_interval_s: float = 0.25
+    lease_grace_s: float = 1.0
+    quorum_fraction: float = 0.5
+    max_consecutive_rollbacks: int = 3
+    watchdog_loss_factor: float = 4.0
+    watchdog_window: int = 5
+    watchdog_burst: int = 16
 
     def __post_init__(self):
         for name in ("drop_prob", "corrupt_prob", "delay_prob"):
@@ -144,6 +187,32 @@ class FaultConfig:
             raise ValueError("recovery_seconds must be non-negative")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        for name in ("permanent_failures", "rejoin_schedule"):
+            for epoch, worker in getattr(self, name):
+                if epoch < 0 or worker < 0:
+                    raise ValueError(f"{name} entries must be non-negative")
+        if self.permanent_failures and not self.elastic:
+            raise ValueError(
+                "permanent_failures requires elastic=True: without "
+                "partition adoption the run cannot survive a permanent "
+                "worker loss"
+            )
+        if self.rejoin_schedule and not self.elastic:
+            raise ValueError("rejoin_schedule requires elastic=True")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.lease_grace_s < 0:
+            raise ValueError("lease_grace_s must be non-negative")
+        if not 0.0 < self.quorum_fraction <= 1.0:
+            raise ValueError("quorum_fraction must be in (0, 1]")
+        if self.max_consecutive_rollbacks < 1:
+            raise ValueError("max_consecutive_rollbacks must be >= 1")
+        if self.watchdog_loss_factor <= 1.0:
+            raise ValueError("watchdog_loss_factor must exceed 1")
+        if self.watchdog_window < 1:
+            raise ValueError("watchdog_window must be >= 1")
+        if self.watchdog_burst < 1:
+            raise ValueError("watchdog_burst must be >= 1")
 
     @property
     def any_message_faults(self) -> bool:
@@ -159,7 +228,10 @@ class FaultConfig:
                 fields[name] = tuple(fields[name])
         if fields.get("straggler_epochs") is not None:
             fields["straggler_epochs"] = tuple(fields["straggler_epochs"])
-        for name in ("server_outages", "crash_schedule"):
+        for name in (
+            "server_outages", "crash_schedule", "permanent_failures",
+            "rejoin_schedule",
+        ):
             if name in fields and fields[name] is not None:
                 fields[name] = tuple(tuple(pair) for pair in fields[name])
         return FaultConfig(**fields)

@@ -48,6 +48,13 @@ class FaultCounters:
     params_rolled_back: int = 0
     corrupt_checkpoints: int = 0
     extra_seconds: float = 0.0
+    # Elastic membership (permanent loss / adoption / watchdog).
+    permanent_failures: int = 0
+    adoptions: int = 0
+    rejoins: int = 0
+    watchdog_trips: int = 0
+    watchdog_rollbacks: int = 0
+    watchdog_escalations: int = 0
 
     @property
     def degraded(self) -> int:
@@ -58,7 +65,10 @@ class FaultCounters:
 
     @property
     def faults_injected(self) -> int:
-        return self.drops + self.corruptions + self.delays + self.crashes
+        return (
+            self.drops + self.corruptions + self.delays + self.crashes
+            + self.permanent_failures
+        )
 
     def as_dict(self) -> dict:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
@@ -87,6 +97,8 @@ class FaultInjector:
         self.counters = FaultCounters()
         self._epoch = 0
         self._consumed_crashes: set[tuple[int, int]] = set()
+        self._consumed_losses: set[tuple[int, int]] = set()
+        self._consumed_rejoins: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # Epoch clock
@@ -171,3 +183,24 @@ class FaultInjector:
                 self._consumed_crashes.add((epoch, worker))
                 crashed.append(worker)
         return crashed
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def take_permanent_failures(self, t: int) -> list[int]:
+        """Workers lost for good just before epoch ``t`` (consumed once)."""
+        lost = []
+        for epoch, worker in self.config.permanent_failures:
+            if epoch == t and (epoch, worker) not in self._consumed_losses:
+                self._consumed_losses.add((epoch, worker))
+                lost.append(worker)
+        return lost
+
+    def take_rejoins(self, t: int) -> list[int]:
+        """Workers rejoining just before epoch ``t`` (consumed once)."""
+        rejoined = []
+        for epoch, worker in self.config.rejoin_schedule:
+            if epoch == t and (epoch, worker) not in self._consumed_rejoins:
+                self._consumed_rejoins.add((epoch, worker))
+                rejoined.append(worker)
+        return rejoined

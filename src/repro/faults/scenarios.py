@@ -72,6 +72,52 @@ def _mixed(epochs: int, workers: int, seed: int) -> FaultConfig:
     )
 
 
+def _worker_loss(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """One worker dies permanently mid-run; a survivor adopts its
+    partition and training continues on the remaining membership."""
+    victim = min(1, workers - 1)
+    return FaultConfig(
+        enabled=True, seed=seed, elastic=True,
+        permanent_failures=((max(epochs // 2, 1), victim),),
+        checkpoint_every=1,
+    )
+
+
+def _cascading_loss(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """Two workers die permanently in sequence; the quorum threshold is
+    relaxed so even a 3-worker smoke run keeps going after both losses."""
+    first = max(epochs // 3, 1)
+    second = max(2 * epochs // 3, first + 1)
+    victims = []
+    for victim in (min(1, workers - 1), min(2, workers - 1)):
+        if victim not in victims:
+            victims.append(victim)
+    failures = tuple(
+        (epoch, victim)
+        for epoch, victim in zip((first, second), victims)
+    )
+    return FaultConfig(
+        enabled=True, seed=seed, elastic=True,
+        permanent_failures=failures,
+        quorum_fraction=0.25,
+        checkpoint_every=1,
+    )
+
+
+def _lose_and_rejoin(epochs: int, workers: int, seed: int) -> FaultConfig:
+    """A worker is lost mid-run, then rejoins and reclaims its original
+    partition from the survivor that adopted it."""
+    victim = min(1, workers - 1)
+    lost = max(epochs // 3, 1)
+    back = max(2 * epochs // 3, lost + 1)
+    return FaultConfig(
+        enabled=True, seed=seed, elastic=True,
+        permanent_failures=((lost, victim),),
+        rejoin_schedule=((back, victim),),
+        checkpoint_every=1,
+    )
+
+
 SCENARIOS = {
     "drops": _drops,
     "lossy": _lossy,
@@ -79,6 +125,9 @@ SCENARIOS = {
     "outage": _outage,
     "crash": _crash,
     "mixed": _mixed,
+    "worker-loss": _worker_loss,
+    "cascading-loss": _cascading_loss,
+    "lose-and-rejoin": _lose_and_rejoin,
 }
 
 

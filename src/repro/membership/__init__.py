@@ -1,0 +1,16 @@
+"""Elastic membership: lease-based liveness, partition adoption and the
+convergence watchdog (the robustness layer above per-message fault
+tolerance — see ``docs/fault_tolerance.md``)."""
+
+from repro.membership.reassign import PartitionReassigner
+from repro.membership.view import MembershipEvent, MembershipView, QuorumLostError
+from repro.membership.watchdog import ConvergenceWatchdog, DivergenceError
+
+__all__ = [
+    "MembershipEvent",
+    "MembershipView",
+    "QuorumLostError",
+    "PartitionReassigner",
+    "ConvergenceWatchdog",
+    "DivergenceError",
+]

@@ -47,6 +47,15 @@ _FAULT_COUNTERS = (
     "fault_checkpoint_corrupt",
     "fault_params_rolled_back",
     "fault_residual_compensations",
+    # Elastic membership / convergence watchdog (exported to Prometheus
+    # with the ``ecgraph_`` prefix, satisfying the ``ecgraph_membership_*``
+    # / ``ecgraph_watchdog_*`` naming contract).
+    "membership_lost",
+    "membership_adoptions",
+    "membership_rejoins",
+    "watchdog_trips",
+    "watchdog_rollbacks",
+    "watchdog_escalations",
 )
 
 
@@ -83,6 +92,7 @@ def build_report(run) -> dict:
         "directions": {},
         "health": None,
         "faults": {},
+        "membership_events": [],
         "dropped_spans": 0,
     }
     if tel is None:
@@ -108,6 +118,8 @@ def build_report(run) -> dict:
         ]
 
     ledger = tel.ledger
+    if ledger is not None and ledger.events:
+        data["membership_events"] = [dict(e) for e in ledger.events]
     if ledger is not None and ledger.channels:
         data["directions"] = ledger.direction_totals()
         data["channels"] = [
@@ -309,6 +321,20 @@ def render_markdown(data: dict) -> str:
             else:
                 lines.append(f"- {name}: {value:.0f}")
         lines.append("")
+
+    if data.get("membership_events"):
+        lines += ["## Membership timeline", ""]
+        lines.append("| epoch | event | details |")
+        lines.append("|---:|---|---|")
+        for event in data["membership_events"]:
+            details = ", ".join(
+                f"{k}={v}" for k, v in sorted(event.items())
+                if k not in ("kind", "epoch")
+            )
+            lines.append(
+                f"| {event['epoch']} | {event['kind']} | {details} |"
+            )
+        lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 
 
@@ -475,6 +501,23 @@ def render_html(data: dict) -> str:
             else:
                 parts.append(f"<li>{esc(name)}: {value:.0f}</li>")
         parts.append("</ul>")
+
+    if data.get("membership_events"):
+        parts.append("<h2>Membership timeline</h2>")
+        parts.append(
+            "<table><tr><th>epoch</th><th>event</th><th>details</th></tr>"
+        )
+        for event in data["membership_events"]:
+            details = ", ".join(
+                f"{k}={v}" for k, v in sorted(event.items())
+                if k not in ("kind", "epoch")
+            )
+            parts.append(
+                f"<tr><td>{event['epoch']}</td>"
+                f"<td>{esc(event['kind'])}</td>"
+                f"<td>{esc(details)}</td></tr>"
+            )
+        parts.append("</table>")
 
     parts.append(
         "<script type='application/json' id='report-data'>"

@@ -14,7 +14,12 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.partition.base import Partition
 
-__all__ = ["PartitionStats", "partition_stats", "remote_neighbor_lists"]
+__all__ = [
+    "PartitionStats",
+    "partition_stats",
+    "part_loads",
+    "remote_neighbor_lists",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,26 @@ def partition_stats(graph: CSRGraph, partition: Partition) -> PartitionStats:
         avg_remote_neighbors=float(remote_per_vertex.mean()),
         total_halo=total_halo,
     )
+
+
+def part_loads(
+    graph: CSRGraph, assignment: np.ndarray, num_parts: int
+) -> np.ndarray:
+    """Per-part compute-load proxy: owned vertices plus incident edges.
+
+    The elastic membership layer uses this to pick the least-loaded
+    survivor when a dead worker's partition needs a new home — edge
+    count dominates both the aggregation FLOPs and the halo traffic a
+    part generates, and vertex count covers the dense layer work.
+    """
+    if assignment.shape[0] != graph.num_vertices:
+        raise ValueError("assignment does not match the graph")
+    degrees = np.diff(graph.indptr).astype(np.int64)
+    vertices = np.bincount(assignment, minlength=num_parts)
+    edges = np.bincount(
+        assignment, weights=degrees.astype(np.float64), minlength=num_parts
+    ).astype(np.int64)
+    return vertices + edges
 
 
 def remote_neighbor_lists(
