@@ -289,6 +289,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             hidden_dim=args.hidden, num_workers=args.workers,
             num_epochs=args.epochs, seed=seed,
             checkpoint_dir=args.checkpoint_dir,
+            execution=args.execution,
         )))
 
     print(format_table(
@@ -377,53 +378,76 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_reports, load_report, parse_percent, run_bench,
-        stage_breakdown_lines, write_report,
+        speedup_flag_lines, stage_breakdown_lines, write_report,
     )
 
     max_regress = parse_percent(args.max_regress)
-    print(f"running bench suites ({'smoke' if args.smoke else 'full'}) ...",
+    scope = f", execution={args.execution}" if args.execution else ""
+    print(f"running bench suites "
+          f"({'smoke' if args.smoke else 'full'}{scope}) ...",
           file=sys.stderr)
-    report = run_bench(smoke=args.smoke)
+    report = run_bench(smoke=args.smoke, execution=args.execution)
 
-    rows = [
-        [name,
-         f"{stats['ns_per_element']:.2f}",
-         f"{stats['reference_ns_per_element']:.2f}",
-         f"{stats['speedup_vs_reference']:.1f}x"]
-        for name, stats in sorted(report["kernels"].items())
-    ]
-    print(format_table(
-        ["kernel", "ns/elem", "reference ns/elem", "speedup"],
-        rows, title="Codec micro-kernels",
-    ))
-    exchange = report["exchange"]
-    epoch = report["epoch"]
-    print(format_table(
-        ["suite", "sequential", "pooled", "threaded"],
-        [["halo exchange",
-          f"{exchange['sequential_seconds'] * 1e3:.2f}ms",
-          f"{exchange['pooled_seconds'] * 1e3:.2f}ms",
-          f"{exchange['threaded_seconds'] * 1e3:.2f}ms"]],
-    ))
-    print(format_table(
-        ["suite", "old codec", "default", "pool+threads", "codec speedup"],
-        [["epoch wall time",
-          f"{epoch['reference_codec_seconds'] * 1e3:.1f}ms",
-          f"{epoch['default_seconds'] * 1e3:.1f}ms",
-          f"{epoch['optimized_seconds'] * 1e3:.1f}ms",
-          f"{epoch.get('speedup_vs_reference_codec', 0):.2f}x"]],
-    ))
-    stages = epoch.get("stages")
-    if stages:
+    if "kernels" in report:
+        rows = [
+            [name,
+             f"{stats['ns_per_element']:.2f}",
+             f"{stats['reference_ns_per_element']:.2f}",
+             f"{stats['speedup_vs_reference']:.1f}x"]
+            for name, stats in sorted(report["kernels"].items())
+        ]
         print(format_table(
-            ["stage", "wall/epoch", "share"],
-            [[name,
-              f"{seconds * 1e3:.2f}ms",
-              f"{seconds / sum(stages.values()) * 100:.1f}%"]
-             for name, seconds in stages.items()],
-            title=f"Per-stage epoch profile (coverage "
-                  f"{epoch.get('stage_coverage', 0) * 100:.1f}%)",
+            ["kernel", "ns/elem", "reference ns/elem", "speedup"],
+            rows, title="Codec micro-kernels",
         ))
+    if "exchange" in report:
+        exchange = report["exchange"]
+        print(format_table(
+            ["suite", "sequential", "pooled", "threaded"],
+            [["halo exchange",
+              f"{exchange['sequential_seconds'] * 1e3:.2f}ms",
+              f"{exchange['pooled_seconds'] * 1e3:.2f}ms",
+              f"{exchange['threaded_seconds'] * 1e3:.2f}ms"]],
+        ))
+    if "epoch" in report:
+        epoch = report["epoch"]
+        print(format_table(
+            ["suite", "old codec", "default", "pool+threads",
+             "codec speedup"],
+            [["epoch wall time",
+              f"{epoch['reference_codec_seconds'] * 1e3:.1f}ms",
+              f"{epoch['default_seconds'] * 1e3:.1f}ms",
+              f"{epoch['optimized_seconds'] * 1e3:.1f}ms",
+              f"{epoch.get('speedup_vs_reference_codec', 0):.2f}x"]],
+        ))
+        stages = epoch.get("stages")
+        if stages:
+            print(format_table(
+                ["stage", "wall/epoch", "share"],
+                [[name,
+                  f"{seconds * 1e3:.2f}ms",
+                  f"{seconds / sum(stages.values()) * 100:.1f}%"]
+                 for name, seconds in stages.items()],
+                title=f"Per-stage epoch profile (coverage "
+                      f"{epoch.get('stage_coverage', 0) * 100:.1f}%)",
+            ))
+    if "epoch_multiprocess" in report:
+        mp = report["epoch_multiprocess"]
+        print(format_table(
+            ["suite", "sequential", "threaded", "multiprocess",
+             "vs sequential", "vs threads"],
+            [["epoch wall time",
+              f"{mp['sequential_seconds'] * 1e3:.1f}ms",
+              f"{mp['threaded_seconds'] * 1e3:.1f}ms",
+              f"{mp['multiprocess_seconds'] * 1e3:.1f}ms",
+              f"{mp.get('speedup_multiprocess', 0):.2f}x",
+              f"{mp.get('speedup_multiprocess_vs_threads', 0):.2f}x"]],
+            title=f"Multiprocess execution "
+                  f"({mp['host_cpus']} host CPU(s))",
+        ))
+
+    for line in speedup_flag_lines(report):
+        print(f"FLAG: {line}")
 
     path = write_report(report, args.out)
     print(f"\nwrote {path}")
@@ -553,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the scenario across N consecutive seeds "
                             "starting at --seed and fail if any run fails "
                             "(default: 1)")
+    chaos.add_argument("--execution", default="sync",
+                       choices=["sync", "multiprocess"],
+                       help="run workers inline or as real OS processes "
+                            "(crash faults then kill actual processes)")
     chaos.add_argument("--smoke", action="store_true",
                        help="tiny profile, <=24 epochs, <=3 workers "
                             "(CI smoke test)")
@@ -570,6 +598,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "grows more than this (default: 15%%)")
     bench.add_argument("--smoke", action="store_true",
                        help="small sizes, few repeats (CI smoke test)")
+    bench.add_argument("--execution", default=None,
+                       choices=["sync", "multiprocess"],
+                       help="narrow the run: 'multiprocess' runs only the "
+                            "multiprocess epoch suite, 'sync' only the "
+                            "single-process suites (default: everything)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -184,4 +184,10 @@ def run_system(
     spec = cluster or ClusterSpec(num_workers=num_workers)
     base = config or ECGraphConfig()
     trainer = factory(graph, model, spec, base, fanouts)
-    return trainer.train(num_epochs, patience=patience, name=system)
+    try:
+        return trainer.train(num_epochs, patience=patience, name=system)
+    finally:
+        # MLCenteredTrainer (agl/aligraph) holds no execution resources.
+        close = getattr(trainer, "close", None)
+        if close is not None:
+            close()

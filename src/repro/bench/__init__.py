@@ -9,6 +9,7 @@ from repro.bench.harness import (
     compare_reports,
     load_report,
     parse_percent,
+    speedup_flag_lines,
     stage_breakdown_lines,
     write_report,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "load_report",
     "parse_percent",
     "run_bench",
+    "speedup_flag_lines",
     "stage_breakdown_lines",
     "write_report",
 ]

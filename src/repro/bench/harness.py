@@ -28,6 +28,7 @@ __all__ = [
     "load_report",
     "compare_reports",
     "stage_breakdown_lines",
+    "speedup_flag_lines",
 ]
 
 SCHEMA = "ecgraph-bench/1"
@@ -116,6 +117,32 @@ def compare_reports(
                 f"{base_ns:.2f} (+{ratio:.0%}, limit {max_regress:.0%})"
             )
     return regressions
+
+
+def speedup_flag_lines(report: dict) -> list[str]:
+    """Within-report sanity flags: every ``speedup_*`` below 1.0.
+
+    A ``speedup_*`` entry is a suite's claim that its "optimized"
+    configuration beats its own baseline; below 1.0 the claim is false
+    on the machine that produced the report, and silently rendering it
+    as a speedup row is how the GIL-bound ``exchange_threads`` path
+    masqueraded as a fast path. Informational (no exit-code change):
+    e.g. a single-CPU host legitimately measures
+    ``speedup_multiprocess`` < 1.0.
+    """
+    flags = []
+    for suite, data in sorted(report.items()):
+        if not isinstance(data, dict):
+            continue
+        for key, value in sorted(data.items()):
+            if not key.startswith("speedup"):
+                continue
+            if isinstance(value, (int, float)) and value < 1.0:
+                flags.append(
+                    f"{suite}.{key} = {value:.2f}x — this 'optimized' "
+                    "configuration is SLOWER than its own baseline"
+                )
+    return flags
 
 
 def stage_breakdown_lines(current: dict, baseline: dict) -> list[str]:

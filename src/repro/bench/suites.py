@@ -10,7 +10,10 @@ Three levels of the same hot path, so a regression can be localized:
   :class:`~repro.core.nac.NeighborAccessController` facade) under
   ``CompressPolicy``, sequential vs buffer-pooled vs thread-pooled;
 * ``epoch`` — wall seconds of ``ECGraphTrainer.run_epoch`` with the
-  default config vs the pooled+threaded config.
+  default config vs the pooled+threaded config;
+* ``epoch_multiprocess`` — the same epoch under
+  ``execution="multiprocess"`` (real worker processes + shared memory)
+  vs the sequential and GIL-bound threaded paths.
 
 Timing samples are funnelled through a
 :class:`~repro.obs.registry.MetricsRegistry` so the report carries the
@@ -36,7 +39,10 @@ from repro.graph.normalize import gcn_normalize
 from repro.obs.registry import MetricsRegistry
 from repro.partition.hashing import HashPartitioner
 
-__all__ = ["run_bench", "bench_codec", "bench_exchange", "bench_epoch"]
+__all__ = [
+    "run_bench", "bench_codec", "bench_exchange", "bench_epoch",
+    "bench_epoch_multiprocess",
+]
 
 _SMOKE = dict(elements=20_000, widths=(2, 4, 8), repeats=3,
               profile="tiny", epochs=2, exchange_repeats=3)
@@ -135,8 +141,7 @@ def _epoch_seconds(graph, overrides: dict, epochs: int) -> float:
     for t in range(1, epochs + 1):
         trainer.run_epoch(t)
     seconds = (time.perf_counter() - start) / epochs
-    if trainer.nac is not None:
-        trainer.nac.close()
+    trainer.close()
     return seconds
 
 
@@ -231,16 +236,65 @@ def bench_epoch(params: dict, metrics: MetricsRegistry) -> dict:
     return results
 
 
-def run_bench(smoke: bool = False) -> dict:
-    """Run every suite; returns the report dict (see harness docs)."""
+def bench_epoch_multiprocess(params: dict, metrics: MetricsRegistry) -> dict:
+    """Epoch wall seconds with real worker processes vs the GIL-bound
+    alternatives, on this host.
+
+    Three configurations of the identical training run: ``sequential``
+    (the default inline engine), ``threaded`` (the pooled + 4-thread
+    halo fan-out, which the GIL makes *slower* than sequential), and
+    ``multiprocess`` (``execution="multiprocess"``: one OS process per
+    worker over shared memory). ``host_cpus`` is recorded because the
+    multiprocess numbers are only meaningful relative to it — on a
+    single-CPU host the processes time-slice one core and pay IPC on
+    top, so ``speedup_multiprocess`` < 1 there is the host's ceiling,
+    not a code regression (see docs/execution.md).
+    """
+    import os
+
+    graph = load_dataset("cora", profile=params["profile"], seed=3)
+    epochs = params["epochs"]
+    results = {"host_cpus": os.cpu_count() or 1}
+    results["sequential_seconds"] = _epoch_seconds(graph, {}, epochs)
+    results["threaded_seconds"] = _epoch_seconds(
+        graph, {"halo_buffer_pool": True, "exchange_threads": 4}, epochs
+    )
+    results["multiprocess_seconds"] = _epoch_seconds(
+        graph, {"execution": "multiprocess"}, epochs
+    )
+    for variant in ("sequential", "threaded", "multiprocess"):
+        metrics.observe("bench_epoch_mp_seconds",
+                        results[f"{variant}_seconds"], variant=variant)
+    if results["multiprocess_seconds"] > 0:
+        results["speedup_multiprocess"] = (
+            results["sequential_seconds"] / results["multiprocess_seconds"]
+        )
+        results["speedup_multiprocess_vs_threads"] = (
+            results["threaded_seconds"] / results["multiprocess_seconds"]
+        )
+    return results
+
+
+def run_bench(smoke: bool = False, execution: str | None = None) -> dict:
+    """Run the suites; returns the report dict (see harness docs).
+
+    ``execution`` narrows the run: ``"multiprocess"`` runs only the
+    multiprocess epoch suite, ``"sync"`` only the single-process suites,
+    ``None`` (default) everything.
+    """
     params = dict(_SMOKE if smoke else _FULL)
     metrics = MetricsRegistry()
     report = {
         "schema": SCHEMA,
         "profile": "smoke" if smoke else "full",
-        "kernels": bench_codec(params, metrics),
-        "exchange": bench_exchange(params, metrics),
-        "epoch": bench_epoch(params, metrics),
     }
+    if execution != "multiprocess":
+        report["kernels"] = bench_codec(params, metrics)
+        report["exchange"] = bench_exchange(params, metrics)
+        report["epoch"] = bench_epoch(params, metrics)
+    if execution != "sync":
+        report["epoch_multiprocess"] = bench_epoch_multiprocess(
+            params, metrics
+        )
     report["metrics"] = metrics.snapshot().as_dict()
     return report

@@ -16,6 +16,7 @@ __all__ = ["ModelConfig", "ECGraphConfig"]
 _FP_MODES = ("raw", "compress", "reqec", "delayed")
 _BP_MODES = ("raw", "compress", "resec", "delayed")
 _GRANULARITIES = ("vertex", "matrix", "element")
+_EXECUTION_MODES = ("sync", "multiprocess")
 
 
 @dataclass(frozen=True)
@@ -94,7 +95,17 @@ class ECGraphConfig:
         exchange_threads: Fan independent halo-exchange channels out over
             this many threads (0/1 = sequential). Bit-identical results
             and traffic accounting; engages only on the fault-free,
-            telemetry-off path.
+            telemetry-off path. Deprecated in practice: the committed
+            bench shows the GIL makes this *slower* than sequential
+            (``BENCH_core.json`` speedup_optimized 0.70x); prefer
+            ``execution="multiprocess"`` — the trainer emits a one-time
+            ``RuntimeWarning`` when threads are requested under sync
+            execution.
+        execution: ``"sync"`` runs every worker inline in this process
+            (the historical simulation); ``"multiprocess"`` runs worker
+            kernels in real OS processes over shared-memory embedding /
+            gradient stores (see ``docs/execution.md``). Loss curves and
+            traffic accounting are bit-identical between the two.
         seed: Seed for parameter initialization and sampling.
         obs: Telemetry configuration (:class:`~repro.obs.ObsConfig`);
             disabled by default so instrumented hot paths stay free.
@@ -123,6 +134,7 @@ class ECGraphConfig:
     codec_speedup: float = 20.0
     halo_buffer_pool: bool = False
     exchange_threads: int = 0
+    execution: str = "sync"
     seed: int = 0
     obs: ObsConfig = OBS_DISABLED
     faults: FaultConfig = FAULTS_DISABLED
@@ -146,6 +158,8 @@ class ECGraphConfig:
             raise ValueError("codec_speedup must be positive")
         if self.exchange_threads < 0:
             raise ValueError("exchange_threads must be non-negative")
+        if self.execution not in _EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {_EXECUTION_MODES}")
 
     # Convenience presets matching the paper's named configurations.
     def as_non_cp(self) -> "ECGraphConfig":

@@ -60,6 +60,16 @@ from repro.partition.base import Partition
 
 __all__ = ["ECGraphTrainer"]
 
+# One-time flag for the GIL-contention warning below (module-level so a
+# whole benchmark sweep warns once, not once per trainer).
+_GIL_THREADS_WARNED = False
+
+
+def _reset_thread_warning() -> None:
+    """Re-arm the one-time exchange-threads warning (test hook)."""
+    global _GIL_THREADS_WARNED
+    _GIL_THREADS_WARNED = False
+
 
 class ECGraphTrainer:
     """Distributed full-batch GCN/GraphSAGE training on a simulated cluster."""
@@ -175,10 +185,40 @@ class ECGraphTrainer:
             self._fp_policy = make_exchange_policy("fp", self.config, self.tuner)
         if not self._bp_policy_override:
             self._bp_policy = make_exchange_policy("bp", self.config)
+        multiprocess = self.config.execution == "multiprocess"
+        if multiprocess and self.config.faults.elastic:
+            raise ValueError(
+                "execution='multiprocess' does not support elastic "
+                "membership yet: partition adoption rebinds worker state "
+                "that forked processes have already snapshotted. Use "
+                "execution='sync' for elastic runs."
+            )
+        exchange_threads = self.config.exchange_threads
+        if multiprocess:
+            # Thread fan-out is pointless under real processes (and
+            # threads must not leak across fork): force the serial path.
+            exchange_threads = 0
+        elif exchange_threads > 0:
+            global _GIL_THREADS_WARNED
+            if not _GIL_THREADS_WARNED:
+                _GIL_THREADS_WARNED = True
+                import warnings
+
+                warnings.warn(
+                    "exchange_threads > 0 runs the halo fan-out in "
+                    "Python threads, which contend on the GIL: the "
+                    "committed benchmark (BENCH_core.json, "
+                    "epoch.speedup_optimized) measured this 'optimized' "
+                    "config at 0.70x the sequential path. Use "
+                    "execution='multiprocess' for real parallelism; see "
+                    "docs/execution.md.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self.nac = NeighborAccessController(
             self.runtime, self.workers, self.config.codec_speedup,
             buffer_pool=self.config.halo_buffer_pool,
-            threads=self.config.exchange_threads,
+            threads=exchange_threads,
         )
         if self.config.faults.enabled:
             self._injector = FaultInjector(self.config.faults)
@@ -220,6 +260,11 @@ class ECGraphTrainer:
     def _build_engine(self) -> None:
         """Assemble the ExchangeContext and the staged TrainerCore."""
         self._backend = self._make_backend()
+        executor = None
+        if self.config.execution == "multiprocess":
+            from repro.mp import ProcessExecutor
+
+            executor = ProcessExecutor()
         self._ctx = ExchangeContext(
             config=self.config,
             model_config=self.model_config,
@@ -236,6 +281,7 @@ class ECGraphTrainer:
             telemetry=self.obs,
             injector=self._injector,
             global_train_count=self._global_train_count,
+            executor=executor,
         )
         self._recovery = RecoveryManager(self._ctx, self)
         if self.config.faults.elastic and self._injector is not None:
@@ -324,6 +370,22 @@ class ECGraphTrainer:
         """One synchronous training iteration (forward + backward)."""
         self.setup()
         return self.engine.run_epoch(t, lr_schedule=self._lr_schedule)
+
+    def close(self) -> None:
+        """Release execution resources: worker processes and shared
+        memory under ``execution="multiprocess"``, the halo fan-out
+        thread pool under ``execution="sync"``. Idempotent; the trainer
+        remains usable for supervisor-side reads (counters, params)."""
+        if self.engine is not None:
+            self.engine.shutdown()
+        elif self.nac is not None:
+            self.nac.close()
+
+    def __enter__(self) -> "ECGraphTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Fault tolerance: checkpointed crash recovery

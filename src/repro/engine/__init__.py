@@ -19,6 +19,7 @@ from repro.engine.backends import (
 )
 from repro.engine.context import ExchangeContext
 from repro.engine.core import TrainerCore
+from repro.engine.executor import SyncExecutor
 from repro.engine.recovery import RecoveryManager
 from repro.engine.stages import (
     BackwardStage,
@@ -47,4 +48,5 @@ __all__ = [
     "EvalStage",
     "HaloTransport",
     "ChannelSession",
+    "SyncExecutor",
 ]

@@ -128,9 +128,34 @@ class ModelBackend(Protocol):
 
 
 class _BackendBase:
-    """Default hooks shared by the concrete backends."""
+    """Default hooks shared by the concrete backends.
+
+    The backward pass is split so the execution backend (inline or
+    multi-process, see :mod:`repro.engine.executor`) can run the pure
+    per-worker kernels wherever the workers live while the exchange
+    itself stays on the supervisor:
+
+    * :meth:`backward_local` — one worker's parameter-gradient shares
+      for a layer (pure kernel, no clocks, no exchanges);
+    * :meth:`backward_reduce` — one worker folds the layer's gradient
+      halo into ``grad_rows[layer - 1]`` (pure kernel);
+    * :meth:`_backward_halos` — the layer's gradient halo exchange
+      (forward-style fetch by default; GAT overrides with the reverse
+      push);
+    * :meth:`backward_layer` — the generic driver tying them together
+      through the context's executor.
+
+    ``_bp_span_stages`` keeps the historical ``weight_grad`` /
+    ``input_grad`` kernel spans for the backends that emitted them
+    (GCN and its sampled variant).
+    """
 
     ctx: ExchangeContext
+    _bp_span_stages = False
+    # Bumped whenever supervisor-side per-worker kernel state changes
+    # (sampled adjacencies); the process executor ships a refresh to
+    # worker replicas when the shipped version falls behind.
+    kernel_version = 0
 
     def bind(self, ctx: ExchangeContext) -> None:
         self.ctx = ctx
@@ -151,6 +176,76 @@ class _BackendBase:
     ) -> dict[tuple[int, int], np.ndarray] | None:
         del layer, direction
         return None
+
+    # ------------------------------------------------------------------
+    # Kernel-state shipping (multi-process executor)
+    # ------------------------------------------------------------------
+    def kernel_refresh(self, worker_id: int):
+        """Payload bringing a worker replica's kernel state up to
+        ``kernel_version`` (None = backend has no mutable kernel state)."""
+        del worker_id
+        return None
+
+    def apply_kernel_refresh(self, worker_id: int, payload) -> None:
+        """Apply a :meth:`kernel_refresh` payload in a worker replica."""
+        del worker_id, payload
+
+    # ------------------------------------------------------------------
+    # Backward pass: generic driver + per-backend kernels
+    # ------------------------------------------------------------------
+    def backward_param_names(self, layer: int) -> list[str]:
+        """Server parameters the layer's backward kernels read."""
+        raise NotImplementedError
+
+    def backward_local(
+        self, state: WorkerState, layer: int, weights: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """One worker's parameter-gradient shares for ``layer``."""
+        raise NotImplementedError
+
+    def backward_reduce(
+        self,
+        state: WorkerState,
+        layer: int,
+        halo: np.ndarray,
+        weights: dict[str, np.ndarray],
+    ) -> None:
+        """Fold the layer's gradient halo into ``grad_rows[layer-1]``."""
+        raise NotImplementedError
+
+    def bp_halo_rows(self, state: WorkerState, layer: int) -> np.ndarray:
+        """Rows this worker contributes to the layer's gradient exchange."""
+        return state.grad_rows[layer]
+
+    def bp_halo_export_dim(self, layer: int) -> int | None:
+        """Row width of extra halo rows :meth:`backward_local` produces
+        for the layer's exchange (GAT's dH partials); None = the
+        exchange reads ``grad_rows`` written by earlier steps."""
+        del layer
+        return None
+
+    def _backward_halos(self, t: int, layer: int) -> list[np.ndarray]:
+        """The layer's gradient halo exchange (forward-style fetch)."""
+        ctx = self.ctx
+        return ctx.exchange(
+            "bp",
+            layer,
+            t,
+            rows_of=lambda s, _l=layer: ctx.executor.grad_rows(s, _l),
+            dim=ctx.params.dims[layer],
+            subset=self.exchange_subset(layer, "bp"),
+        )
+
+    def backward_layer(self, t, layer, grads) -> None:
+        ctx = self.ctx
+        weights = {
+            name: ctx.servers.get(name)
+            for name in self.backward_param_names(layer)
+        }
+        ctx.executor.backward_local(t, layer, weights, grads)
+        if layer > 1:
+            halos = self._backward_halos(t, layer)
+            ctx.executor.backward_reduce(t, layer, weights, halos)
 
 
 # ----------------------------------------------------------------------
@@ -191,52 +286,36 @@ class GCNBackend(_BackendBase):
     def final_logits(self, state: WorkerState) -> np.ndarray:
         return state.caches[self.ctx.params.num_layers].output
 
-    def backward_layer(self, t, layer, grads) -> None:
-        ctx = self.ctx
-        obs = ctx.telemetry
-        weight_key = weight_name(layer - 1)
-        with obs.span("kernel", layer=layer, direction="bp",
-                      stage="weight_grad"):
-            for state in ctx.active_workers():
-                i = state.worker_id
-                g_local = state.grad_rows[layer]
-                cache = state.caches[layer]
-                with ctx.runtime.worker_compute(i):
-                    grads[i][weight_key] = weight_gradient(
-                        cache, self.adjacency(state, layer), g_local
-                    )
-                    if ctx.params.use_bias:
-                        grads[i][bias_name(layer - 1)] = bias_gradient(
-                            g_local
-                        )
+    _bp_span_stages = True
 
-        if layer > 1:
-            halos = ctx.exchange(
-                "bp",
-                layer,
-                t,
-                rows_of=lambda s, _l=layer: s.grad_rows[_l],
-                dim=ctx.params.dims[layer],
-                subset=self.exchange_subset(layer, "bp"),
+    def backward_param_names(self, layer: int) -> list[str]:
+        names = [weight_name(layer - 1)]
+        if self.ctx.params.use_bias:
+            names.append(bias_name(layer - 1))
+        return names
+
+    def backward_local(self, state, layer, weights):
+        del weights
+        g_local = state.grad_rows[layer]
+        cache = state.caches[layer]
+        shares = {
+            weight_name(layer - 1): weight_gradient(
+                cache, self.adjacency(state, layer), g_local
             )
-            weight = ctx.servers.get(weight_key)
-            with obs.span("kernel", layer=layer, direction="bp",
-                          stage="input_grad"):
-                for state in ctx.active_workers():
-                    i = state.worker_id
-                    with ctx.runtime.worker_compute(i):
-                        g_cat = np.concatenate(
-                            [state.grad_rows[layer], halos[i]], axis=0
-                        )
-                        state.grad_rows[layer - 1] = (
-                            layer_backward_inputs(
-                                self.adjacency(state, layer),
-                                g_cat,
-                                weight,
-                                state.caches[layer - 1].pre_activation,
-                                ctx.params.activation,
-                            )
-                        )
+        }
+        if self.ctx.params.use_bias:
+            shares[bias_name(layer - 1)] = bias_gradient(g_local)
+        return shares
+
+    def backward_reduce(self, state, layer, halo, weights) -> None:
+        g_cat = np.concatenate([state.grad_rows[layer], halo], axis=0)
+        state.grad_rows[layer - 1] = layer_backward_inputs(
+            self.adjacency(state, layer),
+            g_cat,
+            weights[weight_name(layer - 1)],
+            state.caches[layer - 1].pre_activation,
+            self.ctx.params.activation,
+        )
 
     def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
         # Exact inference always aggregates over the full local
@@ -285,6 +364,17 @@ class SampledGCNBackend(GCNBackend):
         self.sampled_once = False
         self.sampled_adj = []
         self.subsets = {}
+        self.kernel_version += 1
+
+    def kernel_refresh(self, worker_id: int):
+        # Worker replicas only aggregate: they need their own sampled
+        # adjacency, not the exchange subsets (supervisor-side).
+        return self.sampled_adj[worker_id]
+
+    def apply_kernel_refresh(self, worker_id: int, payload) -> None:
+        while len(self.sampled_adj) <= worker_id:
+            self.sampled_adj.append({})
+        self.sampled_adj[worker_id] = payload
 
     def adjacency(self, state: WorkerState, layer: int):
         return self.sampled_adj[state.worker_id][layer]
@@ -316,6 +406,7 @@ class SampledGCNBackend(GCNBackend):
     def resample(self) -> None:
         """Draw a fresh per-layer sampled adjacency for every worker."""
         ctx = self.ctx
+        self.kernel_version += 1
         self.sampled_adj = []
         needed_halo: dict[int, list[np.ndarray]] = {
             layer: [] for layer in range(1, ctx.params.num_layers + 1)
@@ -507,47 +598,41 @@ class SAGEBackend(_BackendBase):
     def final_logits(self, state: WorkerState) -> np.ndarray:
         return self.caches[state.worker_id][self.ctx.params.num_layers].output
 
-    def backward_layer(self, t, layer, grads) -> None:
-        ctx = self.ctx
-        w_self = ctx.servers.get(self_weight_name(layer - 1))
-        w_neigh = ctx.servers.get(weight_name(layer - 1))
-        for state in ctx.active_workers():
-            i = state.worker_id
-            cache = self.caches[i][layer]
-            g = state.grad_rows[layer]
-            with ctx.runtime.worker_compute(i):
-                grads[i][self_weight_name(layer - 1)] = (
-                    cache.h_local.T @ g
-                ).astype(np.float32)
-                grads[i][weight_name(layer - 1)] = (
-                    cache.aggregated.T @ g
-                ).astype(np.float32)
-                if ctx.params.use_bias:
-                    grads[i][bias_name(layer - 1)] = g.sum(axis=0).astype(
-                        np.float32
-                    )
+    def backward_param_names(self, layer: int) -> list[str]:
+        names = [self_weight_name(layer - 1), weight_name(layer - 1)]
+        if self.ctx.params.use_bias:
+            names.append(bias_name(layer - 1))
+        return names
 
-        if layer > 1:
-            halos = ctx.exchange(
-                "bp",
-                layer,
-                t,
-                rows_of=lambda s, _l=layer: s.grad_rows[_l],
-                dim=ctx.params.dims[layer],
-            )
-            for state in ctx.active_workers():
-                i = state.worker_id
-                cache_prev = self.caches[i][layer - 1]
-                g = state.grad_rows[layer]
-                with ctx.runtime.worker_compute(i):
-                    g_cat = np.concatenate([g, halos[i]], axis=0)
-                    # Self path + transposed mean aggregation path.
-                    dh = g @ w_self.T + (
-                        self.a_transposed[i] @ g_cat
-                    ) @ w_neigh.T
-                    state.grad_rows[layer - 1] = (
-                        dh * ctx.params.activation.derivative(cache_prev.z)
-                    ).astype(np.float32)
+    def backward_local(self, state, layer, weights):
+        del weights
+        i = state.worker_id
+        cache = self.caches[i][layer]
+        g = state.grad_rows[layer]
+        shares = {
+            self_weight_name(layer - 1): (
+                cache.h_local.T @ g
+            ).astype(np.float32),
+            weight_name(layer - 1): (
+                cache.aggregated.T @ g
+            ).astype(np.float32),
+        }
+        if self.ctx.params.use_bias:
+            shares[bias_name(layer - 1)] = g.sum(axis=0).astype(np.float32)
+        return shares
+
+    def backward_reduce(self, state, layer, halo, weights) -> None:
+        i = state.worker_id
+        cache_prev = self.caches[i][layer - 1]
+        g = state.grad_rows[layer]
+        g_cat = np.concatenate([g, halo], axis=0)
+        # Self path + transposed mean aggregation path.
+        dh = g @ weights[self_weight_name(layer - 1)].T + (
+            self.a_transposed[i] @ g_cat
+        ) @ weights[weight_name(layer - 1)].T
+        state.grad_rows[layer - 1] = (
+            dh * self.ctx.params.activation.derivative(cache_prev.z)
+        ).astype(np.float32)
 
     def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
         return self.sage_layer_forward(
@@ -685,6 +770,9 @@ class GATBackend(_BackendBase):
     def begin_iteration(self) -> None:
         num_layers = self.ctx.params.num_layers
         self.caches = [[None] * (num_layers + 1) for _ in self.ctx.workers]
+        # Per-worker dH over the cat space, filled layer by layer during
+        # the backward pass (the reverse exchange ships the halo slice).
+        self._dh_partials: dict[int, np.ndarray] = {}
         for state in self.ctx.workers:
             state.reset_iteration(num_layers)
 
@@ -754,89 +842,97 @@ class GATBackend(_BackendBase):
     def final_logits(self, state: WorkerState) -> np.ndarray:
         return self.caches[state.worker_id][self.ctx.params.num_layers].output
 
-    def backward_layer(self, t, layer, grads) -> None:
+    def backward_param_names(self, layer: int) -> list[str]:
+        names = []
+        for head in range(self.num_heads):
+            names.extend([
+                head_weight_name(layer - 1, head),
+                attn_src_name(layer - 1, head),
+                attn_dst_name(layer - 1, head),
+            ])
+        return names
+
+    def backward_local(self, state, layer, weights):
+        # One worker's partial dH over the cat space (summed over
+        # heads) plus its parameter-gradient shares.
         ctx = self.ctx
-        head_params = [
-            (
-                ctx.servers.get(head_weight_name(layer - 1, head)),
-                ctx.servers.get(attn_src_name(layer - 1, head)),
-                ctx.servers.get(attn_dst_name(layer - 1, head)),
-            )
-            for head in range(self.num_heads)
-        ]
+        i = state.worker_id
+        edges = self.edges[i]
+        cache = self.caches[i][layer]
+        # Head averaging: each head sees G / num_heads.
+        g = state.grad_rows[layer] / self.num_heads
+        shares: dict[str, np.ndarray] = {}
+        dh = np.zeros_like(cache.h_cat)
+        g_src = g[edges.src]
+        for head in range(self.num_heads):
+            weight = weights[head_weight_name(layer - 1, head)]
+            a_src = weights[attn_src_name(layer - 1, head)]
+            a_dst = weights[attn_dst_name(layer - 1, head)]
+            u_cat = cache.u_cat[head]
+            alpha = cache.alpha[head]
+            logits = cache.logits[head]
+            du = np.zeros_like(u_cat)
+            u_col = u_cat[edges.col]
+            # Through the weighted sum Z_i = sum alpha U_j.
+            np.add.at(du, edges.col, alpha[:, None] * g_src)
+            # Through the attention coefficients.
+            dalpha = np.einsum("ed,ed->e", g_src, u_col)
+            seg_dot = np.zeros(edges.num_local, dtype=np.float64)
+            np.add.at(seg_dot, edges.src, alpha * dalpha)
+            de = alpha * (dalpha - seg_dot[edges.src])
+            dr = (de * _leaky_grad(logits)).astype(np.float32)
+            ds = np.zeros(edges.num_local, dtype=np.float32)
+            np.add.at(ds, edges.src, dr)
+            dd = np.zeros(edges.num_cat, dtype=np.float32)
+            np.add.at(dd, edges.col, dr)
+            du[:edges.num_local] += ds[:, None] * a_src[None, :]
+            du += dd[:, None] * a_dst[None, :]
 
-        # Each worker computes its partial dH over the cat space
-        # (summed over heads) plus its parameter-gradient shares.
-        dh_partials: dict[int, np.ndarray] = {}
-        for state in ctx.active_workers():
-            i = state.worker_id
-            edges = self.edges[i]
-            cache = self.caches[i][layer]
-            # Head averaging: each head sees G / num_heads.
-            g = state.grad_rows[layer] / self.num_heads
-            with ctx.runtime.worker_compute(i):
-                dh = np.zeros_like(cache.h_cat)
-                g_src = g[edges.src]
-                for head, (weight, a_src, a_dst) in enumerate(head_params):
-                    u_cat = cache.u_cat[head]
-                    alpha = cache.alpha[head]
-                    logits = cache.logits[head]
-                    du = np.zeros_like(u_cat)
-                    u_col = u_cat[edges.col]
-                    # Through the weighted sum Z_i = sum alpha U_j.
-                    np.add.at(du, edges.col, alpha[:, None] * g_src)
-                    # Through the attention coefficients.
-                    dalpha = np.einsum("ed,ed->e", g_src, u_col)
-                    seg_dot = np.zeros(edges.num_local, dtype=np.float64)
-                    np.add.at(seg_dot, edges.src, alpha * dalpha)
-                    de = alpha * (dalpha - seg_dot[edges.src])
-                    dr = (de * _leaky_grad(logits)).astype(np.float32)
-                    ds = np.zeros(edges.num_local, dtype=np.float32)
-                    np.add.at(ds, edges.src, dr)
-                    dd = np.zeros(edges.num_cat, dtype=np.float32)
-                    np.add.at(dd, edges.col, dr)
-                    du[:edges.num_local] += ds[:, None] * a_src[None, :]
-                    du += dd[:, None] * a_dst[None, :]
+            shares[attn_src_name(layer - 1, head)] = (
+                ds @ u_cat[:edges.num_local]
+            ).astype(np.float32)
+            shares[attn_dst_name(layer - 1, head)] = (
+                dd @ u_cat
+            ).astype(np.float32)
+            shares[head_weight_name(layer - 1, head)] = (
+                cache.h_cat.T @ du
+            ).astype(np.float32)
+            dh += du @ weight.T
+        if ctx.params.use_bias:
+            shares[bias_name(layer - 1)] = (
+                state.grad_rows[layer].sum(axis=0)
+            ).astype(np.float32)
+        self._dh_partials[i] = dh
+        return shares
 
-                    grads[i][attn_src_name(layer - 1, head)] = (
-                        ds @ u_cat[:edges.num_local]
-                    ).astype(np.float32)
-                    grads[i][attn_dst_name(layer - 1, head)] = (
-                        dd @ u_cat
-                    ).astype(np.float32)
-                    grads[i][head_weight_name(layer - 1, head)] = (
-                        cache.h_cat.T @ du
-                    ).astype(np.float32)
-                    dh += du @ weight.T
-                if ctx.params.use_bias:
-                    grads[i][bias_name(layer - 1)] = (
-                        state.grad_rows[layer].sum(axis=0)
-                    ).astype(np.float32)
-            dh_partials[i] = dh
+    def bp_halo_rows(self, state, layer):
+        del layer
+        return self._dh_partials[state.worker_id][state.num_local:]
 
-        if layer > 1:
-            # Owners collect the halo partials of dH (the paper's
-            # "embedding gradients from out-neighbors").
-            remote_sums = ctx.reverse_exchange(
-                layer,
-                t,
-                halo_rows_of=lambda s: dh_partials[s.worker_id][
-                    s.num_local:
-                ],
-                dim=ctx.params.dims[layer - 1],
-            )
-            for state in ctx.active_workers():
-                i = state.worker_id
-                cache_prev = self.caches[i][layer - 1]
-                with ctx.runtime.worker_compute(i):
-                    dh_total = (
-                        dh_partials[i][:state.num_local] + remote_sums[i]
-                    )
-                    state.grad_rows[layer - 1] = (
-                        dh_total * ctx.params.activation.derivative(
-                            cache_prev.z
-                        )
-                    ).astype(np.float32)
+    def bp_halo_export_dim(self, layer: int) -> int | None:
+        # The reverse exchange ships dH halo partials (width of the
+        # layer's *input*) produced by backward_local, not grad_rows.
+        return self.ctx.params.dims[layer - 1] if layer > 1 else None
+
+    def _backward_halos(self, t: int, layer: int) -> list[np.ndarray]:
+        # Owners collect the halo partials of dH (the paper's
+        # "embedding gradients from out-neighbors").
+        ctx = self.ctx
+        return ctx.reverse_exchange(
+            layer,
+            t,
+            halo_rows_of=lambda s: ctx.executor.bp_halo_rows(s, layer),
+            dim=ctx.params.dims[layer - 1],
+        )
+
+    def backward_reduce(self, state, layer, halo, weights) -> None:
+        del weights
+        i = state.worker_id
+        cache_prev = self.caches[i][layer - 1]
+        dh_total = self._dh_partials[i][:state.num_local] + halo
+        state.grad_rows[layer - 1] = (
+            dh_total * self.ctx.params.activation.derivative(cache_prev.z)
+        ).astype(np.float32)
 
     def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
         return self.gat_layer_forward(

@@ -66,6 +66,10 @@ class ExchangeContext:
     global_train_count: int = 0
     recovery: "RecoveryManager | None" = field(default=None, repr=False)
     membership: "MembershipView | None" = field(default=None, repr=False)
+    # Execution backend (where worker kernels run): a SyncExecutor by
+    # default (inline), or a ProcessExecutor for real worker processes.
+    # Bound to the backend by the TrainerCore (see repro.engine.executor).
+    executor: object = field(default=None, repr=False)
 
     def active_workers(self) -> list[WorkerState]:
         """Worker states participating in this iteration.

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.results import EpochResult
 from repro.engine.backends import ModelBackend
 from repro.engine.context import ExchangeContext
+from repro.engine.executor import SyncExecutor
 from repro.engine.recovery import RecoveryManager
 from repro.engine.stages import (
     BackwardStage,
@@ -49,6 +50,9 @@ class TrainerCore:
         self.recovery = recovery
         ctx.recovery = recovery
         backend.bind(ctx)
+        if ctx.executor is None:
+            ctx.executor = SyncExecutor()
+        ctx.executor.bind(ctx, backend)
         self.halo_plan = HaloPlanStage(ctx, backend)
         self.forward = ForwardStage(ctx, backend)
         self.backward = BackwardStage(ctx, backend)
@@ -63,7 +67,22 @@ class TrainerCore:
     def run_epoch(
         self, t: int, lr_schedule: Callable[[int], float] | None = None
     ) -> EpochResult:
-        """One synchronous training iteration (forward + backward)."""
+        """One synchronous training iteration (forward + backward).
+
+        Any exception — a fault-tolerance abort, a diverged watchdog, a
+        dead worker process — tears the execution resources down
+        (:meth:`shutdown`) before propagating, so a failing epoch never
+        strands transport threads, worker processes or shared memory.
+        """
+        try:
+            return self._run_epoch(t, lr_schedule)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    def _run_epoch(
+        self, t: int, lr_schedule: Callable[[int], float] | None = None
+    ) -> EpochResult:
         ctx = self.ctx
         obs = ctx.telemetry
         profiler = obs.profiler
@@ -97,6 +116,18 @@ class TrainerCore:
             result = self.eval.run(t, loss, counters, breakdown)
         profiler.end_epoch(breakdown)
         return result
+
+    def shutdown(self) -> None:
+        """Release execution resources: the transport's fan-out thread
+        pool and the executor's worker processes / shared memory.
+
+        Idempotent, and safe to call mid-training on the sync path —
+        the thread pool re-creates lazily if another epoch runs.
+        """
+        executor = getattr(self.ctx, "executor", None)
+        if executor is not None:
+            executor.close()
+        self.ctx.transport.close()
 
     def evaluate_exact(self) -> dict[str, float]:
         """Exact-communication accuracy (Table V measurement)."""

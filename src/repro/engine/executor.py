@@ -1,0 +1,167 @@
+"""The execution seam: where worker kernels actually run.
+
+The staged engine describes *what* happens each iteration — pulls,
+halo exchanges, per-worker kernels, the loss scan — while an executor
+decides *where* the per-worker kernels run:
+
+* :class:`SyncExecutor` (``execution="sync"``) runs them inline in the
+  supervisor process under each worker's compute clock, exactly as the
+  engine always has — the historical single-process simulation;
+* :class:`~repro.mp.supervisor.ProcessExecutor`
+  (``execution="multiprocess"``) dispatches them to real OS worker
+  processes over pipes and shared-memory stores (see
+  ``docs/execution.md``).
+
+Everything *between* the kernels — parameter pulls, the exchange
+policies and their compensation state, fault injection, traffic
+metering, the Bit-Tuner — always stays on the supervisor, which is why
+the two executors produce bit-identical loss curves and traffic totals.
+
+The seam's row accessors (:meth:`SyncExecutor.layer_rows`,
+``grad_rows``, ``bp_halo_rows``) are how exchanges source the rows a
+worker serves: inline execution reads the backend's caches directly;
+the process executor reads the shared-memory blocks its workers
+populate.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy
+
+__all__ = ["SyncExecutor"]
+
+
+class SyncExecutor:
+    """Inline execution: every worker kernel runs in this process."""
+
+    name = "sync"
+
+    def __init__(self):
+        self.ctx = None
+        self.backend = None
+
+    def bind(self, ctx, backend) -> None:
+        self.ctx = ctx
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    # Iteration hooks
+    # ------------------------------------------------------------------
+    def on_epoch_start(self, t: int) -> None:
+        self.backend.on_epoch_start(t)
+
+    def begin_iteration(self) -> None:
+        self.backend.begin_iteration()
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward_kernels(self, t, layer, pulled, halos, is_last) -> None:
+        del t
+        ctx, backend = self.ctx, self.backend
+        for state in ctx.active_workers():
+            i = state.worker_id
+            prev = backend.layer_input(state, layer)
+            with ctx.runtime.worker_compute(i):
+                h_cat = np.concatenate([prev, halos[i]], axis=0)
+                backend.forward_layer(
+                    state, h_cat, pulled[i], layer, is_last=is_last
+                )
+
+    def loss_scan(self, t) -> tuple[float, dict[str, list[int]]]:
+        """Loss + accuracy counters from the final logits; seeds the
+        gradient rows (scaled by the global train count)."""
+        del t
+        ctx, backend = self.ctx, self.backend
+        num_layers = ctx.params.num_layers
+        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
+        total_loss = 0.0
+        for state in ctx.active_workers():
+            logits = backend.final_logits(state)
+            with ctx.runtime.worker_compute(state.worker_id):
+                result = softmax_cross_entropy(
+                    logits, state.labels, state.train_mask
+                )
+                local = int(state.train_mask.sum())
+                scale = (
+                    local / ctx.global_train_count if local else 0.0
+                )
+                # result.grad is a mean over local train vertices;
+                # rescale to a global mean so summing worker pushes is
+                # exact.
+                state.grad_rows[num_layers] = (
+                    result.grad * scale
+                ).astype(np.float32)
+                total_loss += result.loss * scale
+                counters["train"][0] += result.correct
+                counters["train"][1] += result.count
+                predictions = logits.argmax(axis=1)
+                for split, mask in (
+                    ("val", state.val_mask),
+                    ("test", state.test_mask),
+                ):
+                    counters[split][0] += int(
+                        (predictions[mask] == state.labels[mask]).sum()
+                    )
+                    counters[split][1] += int(mask.sum())
+        return total_loss, counters
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def _bp_span(self, layer: int, stage: str):
+        if getattr(self.backend, "_bp_span_stages", False):
+            return self.ctx.telemetry.span(
+                "kernel", layer=layer, direction="bp", stage=stage
+            )
+        return contextlib.nullcontext()
+
+    def backward_local(self, t, layer, weights, grads) -> None:
+        del t
+        ctx, backend = self.ctx, self.backend
+        with self._bp_span(layer, "weight_grad"):
+            for state in ctx.active_workers():
+                i = state.worker_id
+                with ctx.runtime.worker_compute(i):
+                    grads[i].update(
+                        backend.backward_local(state, layer, weights)
+                    )
+
+    def backward_reduce(self, t, layer, weights, halos) -> None:
+        del t
+        ctx, backend = self.ctx, self.backend
+        with self._bp_span(layer, "input_grad"):
+            for state in ctx.active_workers():
+                with ctx.runtime.worker_compute(state.worker_id):
+                    backend.backward_reduce(
+                        state, layer, halos[state.worker_id], weights
+                    )
+
+    # ------------------------------------------------------------------
+    # Exchange row sources
+    # ------------------------------------------------------------------
+    def layer_rows(self, state, layer: int) -> np.ndarray:
+        """Rows a forward exchange serves: the layer's local outputs."""
+        return self.backend.layer_output(state, layer)
+
+    def grad_rows(self, state, layer: int) -> np.ndarray:
+        """Rows a backward fetch serves: the layer's gradient rows."""
+        return state.grad_rows[layer]
+
+    def bp_halo_rows(self, state, layer: int) -> np.ndarray:
+        """Halo rows a reverse exchange pushes (GAT dH partials)."""
+        return self.backend.bp_halo_rows(state, layer)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_worker_crash(self, worker_id: int) -> None:
+        """Inline workers have no process to respawn."""
+        del worker_id
+
+    def close(self) -> None:
+        """Inline execution holds no external resources."""

@@ -224,6 +224,11 @@ class RecoveryManager:
                     if invalidate is not None:
                         invalidate(worker)
             ctx.transport.invalidate_worker(worker)
+            if ctx.executor is not None:
+                # Under multiprocess execution a crash is a real process
+                # kill: the executor SIGKILLs the worker process and
+                # respawns it from the just-recovered supervisor state.
+                ctx.executor.on_worker_crash(worker)
         if faults.restore_params and self.restore_latest_checkpoint():
             counters.params_rolled_back += 1
             if obs.enabled:

@@ -25,7 +25,6 @@ from repro.core.results import EpochResult
 from repro.engine.backends import ModelBackend
 from repro.engine.context import ExchangeContext
 from repro.engine.transport import HaloTransport
-from repro.nn.losses import softmax_cross_entropy
 
 __all__ = [
     "Stage",
@@ -51,7 +50,7 @@ class HaloPlanStage(Stage):
     pass touches the wire (full-batch backends are a no-op)."""
 
     def run(self, t: int) -> None:
-        self.backend.on_epoch_start(t)
+        self.ctx.executor.on_epoch_start(t)
 
 
 class ForwardStage(Stage):
@@ -69,10 +68,7 @@ class ForwardStage(Stage):
         ctx, backend = self.ctx, self.backend
         obs = ctx.telemetry
         num_layers = ctx.params.num_layers
-        backend.begin_iteration()
-
-        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
-        total_loss = 0.0
+        ctx.executor.begin_iteration()
 
         for layer in range(1, num_layers + 1):
             with obs.span("layer", layer=layer, direction="fp"):
@@ -86,47 +82,15 @@ class ForwardStage(Stage):
                 halos = self._halos(layer, t)
 
                 with obs.span("kernel", layer=layer, direction="fp"):
-                    for state in ctx.active_workers():
-                        i = state.worker_id
-                        prev = backend.layer_input(state, layer)
-                        with ctx.runtime.worker_compute(i):
-                            h_cat = np.concatenate([prev, halos[i]], axis=0)
-                            backend.forward_layer(
-                                state, h_cat, pulled[i], layer,
-                                is_last=(layer == num_layers),
-                            )
+                    ctx.executor.forward_kernels(
+                        t, layer, pulled, halos,
+                        is_last=(layer == num_layers),
+                    )
 
         # Loss and metrics from the final logits; gradients are scaled by
         # the *global* train count so server-side summation is exact.
         with obs.span("loss"):
-            for state in ctx.active_workers():
-                logits = backend.final_logits(state)
-                with ctx.runtime.worker_compute(state.worker_id):
-                    result = softmax_cross_entropy(
-                        logits, state.labels, state.train_mask
-                    )
-                    local = int(state.train_mask.sum())
-                    scale = (
-                        local / ctx.global_train_count if local else 0.0
-                    )
-                    # result.grad is a mean over local train vertices;
-                    # rescale to a global mean so summing worker pushes is
-                    # exact.
-                    state.grad_rows[num_layers] = (
-                        result.grad * scale
-                    ).astype(np.float32)
-                    total_loss += result.loss * scale
-                    counters["train"][0] += result.correct
-                    counters["train"][1] += result.count
-                    predictions = logits.argmax(axis=1)
-                    for split, mask in (
-                        ("val", state.val_mask),
-                        ("test", state.test_mask),
-                    ):
-                        counters[split][0] += int(
-                            (predictions[mask] == state.labels[mask]).sum()
-                        )
-                        counters[split][1] += int(mask.sum())
+            total_loss, counters = ctx.executor.loss_scan(t)
 
         ctx.update_tuner()
 
@@ -154,7 +118,7 @@ class ForwardStage(Stage):
             "fp",
             layer - 1,
             t,
-            rows_of=lambda s, _l=layer: backend.layer_output(s, _l - 1),
+            rows_of=lambda s, _l=layer: ctx.executor.layer_rows(s, _l - 1),
             dim=ctx.params.dims[layer - 1],
             subset=backend.exchange_subset(layer, "fp"),
         )

@@ -143,12 +143,23 @@ class HaloTransport:
         # (kind, worker, dim) -> pooled float32 buffer.
         self._buffers: dict[tuple[str, int, int], np.ndarray] = {}
         self._executor = None
+        # Optional session-output provider: (kind, worker, rows, dim) ->
+        # zeroed float32 buffer, or None to fall back to the local pool.
+        # The multiprocess executor plugs its shared-memory blocks in
+        # here (ProcessChannelBuffers) so scatters land zero-copy where
+        # the worker processes read them. Semantics match the pooled
+        # path: a zeroed buffer reused across exchanges.
+        self.buffer_provider = None
 
     # ------------------------------------------------------------------
     # Buffer pool
     # ------------------------------------------------------------------
     def _buffer(self, kind: str, worker: int, rows: int, dim: int) -> np.ndarray:
         """A zeroed ``(rows, dim)`` float32 buffer, pooled when enabled."""
+        if self.buffer_provider is not None:
+            buf = self.buffer_provider(kind, worker, rows, dim)
+            if buf is not None:
+                return buf
         if not self.buffer_pool:
             return np.zeros((rows, dim), dtype=np.float32)
         key = (kind, worker, dim)

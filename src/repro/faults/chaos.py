@@ -88,6 +88,7 @@ def run_chaos(
     num_epochs: int = 30,
     seed: int = 0,
     checkpoint_dir: str | None = None,
+    execution: str = "sync",
 ) -> ChaosReport:
     """Train ``system`` fault-free and under ``scenario``; compare.
 
@@ -103,7 +104,7 @@ def run_chaos(
     faults = build_scenario(scenario, num_epochs, num_workers, seed=seed)
     if checkpoint_dir is not None:
         faults = replace(faults, checkpoint_dir=str(checkpoint_dir))
-    base = ECGraphConfig(seed=seed)
+    base = ECGraphConfig(seed=seed, execution=execution)
 
     baseline = run_system(
         system, graph, num_layers=num_layers, hidden_dim=hidden_dim,
@@ -116,7 +117,12 @@ def run_chaos(
     model = ModelConfig(num_layers=num_layers, hidden_dim=hidden_dim)
     spec = ClusterSpec(num_workers=num_workers)
     trainer = SYSTEMS[system](graph, model, spec, replace(base, faults=faults), None)
-    chaos_run = trainer.train(num_epochs, name=f"{system}+{scenario}")
+    try:
+        chaos_run = trainer.train(num_epochs, name=f"{system}+{scenario}")
+    finally:
+        close = getattr(trainer, "close", None)
+        if close is not None:
+            close()
     counters = trainer.fault_counters or FaultCounters()
     events = tuple(getattr(trainer, "membership_events", []))
 

@@ -1,0 +1,375 @@
+"""Supervisor side of the multi-process execution backend.
+
+:class:`ProcessExecutor` implements the engine's executor seam (see
+``repro.engine.executor``) by forking one OS process per partition and
+driving them in strict lockstep rounds over pipes, with bulk tensors in
+a :class:`~repro.mp.store.SharedStore`. The supervisor keeps the entire
+exchange path — compression policies, BitTuner, fault injection,
+traffic metering, parameter servers, degradation — so the numbers a
+multiprocess run produces are bit-identical to ``execution="sync"``;
+only the kernel math leaves the process.
+
+:class:`ProcessChannelBuffers` is the transport's ``buffer_provider``:
+halo-exchange session outputs land directly in shared memory, so the
+scatter the supervisor performs is the last copy before the worker
+kernels read the rows (same zero-then-fill semantics as the pooled
+buffers, hence identical values).
+
+Deadlock-freedom of the round protocol: the supervisor sends to every
+worker, then receives in worker order. At a round boundary every worker
+is parked in ``recv`` (so dispatches drain immediately), and replies
+queue in the pipe until the supervisor's receive loop — there is no
+cycle in which both sides block writing. A worker death surfaces as
+``EOFError`` on its pipe and is re-raised as ``RuntimeError`` naming
+the pid; crash *recovery* (SIGKILL + respawn via a fresh fork of the
+already-recovered supervisor state) is handled by
+:meth:`ProcessExecutor.on_worker_crash`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+
+from repro.mp.store import SharedStore
+from repro.mp.worker import worker_main
+
+__all__ = ["ProcessChannelBuffers", "ProcessExecutor"]
+
+
+class ProcessChannelBuffers:
+    """Shared-memory blocks for exchange outputs and worker exports.
+
+    Blocks are keyed ``(kind, worker, dim)`` and named
+    ``f"{kind}{worker}d{dim}"``; rounds are strictly sequential, so a
+    block is always fully consumed before the next round with the same
+    key overwrites it, which lets e.g. all equal-width hidden layers
+    share one ``h`` block per worker.
+    """
+
+    def __init__(self, store: SharedStore):
+        self.store = store
+        # id(view) -> block name, so the executor can recognize arrays it
+        # handed to the transport and ship them to workers by name.
+        self._names: dict[int, str] = {}
+
+    @staticmethod
+    def _name(kind: str, worker: int, dim: int) -> str:
+        return f"{kind}{worker}d{dim}"
+
+    def _block(self, kind: str, worker: int, rows: int, dim: int):
+        name = self._name(kind, worker, dim)
+        if name in self.store:
+            view = self.store.view(name)
+            if view.shape != (rows, dim):
+                return None, None
+        else:
+            view = self.store.allocate(name, (rows, dim))
+        self._names[id(view)] = name
+        return name, view
+
+    def provide(self, kind: str, worker: int, rows: int, dim: int):
+        """``HaloTransport.buffer_provider`` hook: a zeroed shared block,
+        or ``None`` to fall back to a private buffer."""
+        _, view = self._block(kind, worker, rows, dim)
+        if view is None:
+            return None
+        view.fill(0.0)
+        return view
+
+    def ensure(self, kind: str, worker: int, rows: int, dim: int) -> str:
+        """Block for worker-written rows; returns its name (not zeroed —
+        the worker overwrites every row)."""
+        name, _ = self._block(kind, worker, rows, dim)
+        if name is None:
+            raise RuntimeError(
+                f"shared block {self._name(kind, worker, dim)} changed shape"
+            )
+        return name
+
+    def view_of(self, kind: str, worker: int, dim: int) -> np.ndarray:
+        return self.store.view(self._name(kind, worker, dim))
+
+    def name_of(self, array: np.ndarray) -> str | None:
+        return self._names.get(id(array))
+
+
+class ProcessExecutor:
+    """Executor that runs worker kernels in real OS processes."""
+
+    name = "multiprocess"
+
+    def __init__(self) -> None:
+        self.ctx = None
+        self.backend = None
+        self.store: SharedStore | None = None
+        self.buffers: ProcessChannelBuffers | None = None
+        self._procs: dict[int, multiprocessing.Process] = {}
+        self._conns: dict[int, object] = {}
+        self._shipped_version: dict[int, int] = {}
+        self._spawned = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def bind(self, ctx, backend) -> None:
+        self.ctx = ctx
+        self.backend = backend
+        self.store = SharedStore()
+        self.buffers = ProcessChannelBuffers(self.store)
+        ctx.transport.buffer_provider = self.buffers.provide
+
+    def _spawn(self, worker_id: int) -> None:
+        # fork: the child inherits the fully-bound context/backend by
+        # copy-on-write, so no state needs to be pickled at spawn.
+        mp_ctx = multiprocessing.get_context("fork")
+        parent, child = mp_ctx.Pipe()
+        proc = mp_ctx.Process(
+            target=worker_main,
+            args=(worker_id, child, self.store.token, self.ctx, self.backend),
+            name=f"ecg-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._procs[worker_id] = proc
+        self._conns[worker_id] = parent
+        self._shipped_version[worker_id] = getattr(
+            self.backend, "kernel_version", 0
+        )
+
+    def _ensure_spawned(self) -> None:
+        if self._spawned:
+            return
+        if self._closed:
+            raise RuntimeError("ProcessExecutor is closed")
+        # Spawn lazily at the first epoch round: trainer subclasses may
+        # mutate backend state (e.g. offline resampling) after the
+        # engine is built, and the fork must snapshot the final state.
+        self._spawned = True
+        for state in self.ctx.workers:
+            self._spawn(state.worker_id)
+        self._publish_pids()
+
+    @property
+    def worker_pids(self) -> dict[int, int]:
+        return {w: proc.pid for w, proc in self._procs.items()}
+
+    def _publish_pids(self) -> None:
+        set_pids = getattr(
+            self.ctx.telemetry.profiler, "set_worker_pids", None
+        )
+        if set_pids is not None:
+            set_pids(self.worker_pids)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns.values():
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns.clear()
+        self._procs.clear()
+        if self.ctx is not None:
+            self.ctx.transport.buffer_provider = None
+        if self.store is not None:
+            self.store.close()
+
+    def on_worker_crash(self, worker_id: int) -> None:
+        """Crash under multiprocess is a real kill: terminate the OS
+        process and respawn it from the recovered supervisor state."""
+        if not self._spawned:
+            return
+        proc = self._procs.get(worker_id)
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=10)
+        conn = self._conns.pop(worker_id, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._spawn(worker_id)
+        self._publish_pids()
+
+    # ------------------------------------------------------------------
+    # round protocol
+
+    def _send(self, worker_id: int, msg) -> None:
+        try:
+            self._conns[worker_id].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            proc = self._procs[worker_id]
+            raise RuntimeError(
+                f"worker process {worker_id} (pid {proc.pid}) is gone "
+                f"(exitcode {proc.exitcode})"
+            ) from exc
+
+    def _recv(self, worker_id: int):
+        try:
+            reply = self._conns[worker_id].recv()
+        except EOFError as exc:
+            proc = self._procs[worker_id]
+            raise RuntimeError(
+                f"worker process {worker_id} (pid {proc.pid}) died "
+                f"mid-round (exitcode {proc.exitcode})"
+            ) from exc
+        kind, payload, wall = reply
+        if kind == "err":
+            raise RuntimeError(
+                f"worker process {worker_id} failed:\n{payload}"
+            )
+        return payload, wall
+
+    def _halo_ref(self, state, halo: np.ndarray):
+        name = self.buffers.name_of(halo)
+        if name is not None:
+            return ("shm", name)
+        if halo is state.halo_features:
+            return ("own",)
+        return ("data", halo)
+
+    # ------------------------------------------------------------------
+    # executor protocol
+
+    def on_epoch_start(self, t: int) -> None:
+        self._ensure_spawned()
+        self.backend.on_epoch_start(t)
+        version = getattr(self.backend, "kernel_version", 0)
+        stale = [
+            w
+            for w, shipped in self._shipped_version.items()
+            if shipped != version
+        ]
+        for w in stale:
+            self._send(w, ("kstate", self.backend.kernel_refresh(w)))
+        for w in stale:
+            self._recv(w)
+            self._shipped_version[w] = version
+
+    def begin_iteration(self) -> None:
+        self._ensure_spawned()
+        # Supervisor-side copy stays in lockstep for anything read off
+        # worker states outside the kernels (e.g. eval, checkpoints).
+        self.backend.begin_iteration()
+        for state in self.ctx.active_workers():
+            self._send(state.worker_id, ("begin",))
+        for state in self.ctx.active_workers():
+            self._recv(state.worker_id)
+
+    def forward_kernels(self, t, layer, pulled, halos, *, is_last) -> None:
+        del t
+        ctx = self.ctx
+        for state in ctx.active_workers():
+            w = state.worker_id
+            h_block = None
+            if layer < ctx.params.num_layers:
+                # Export the layer output: the next layer's halo exchange
+                # serves rows straight out of this block.
+                h_block = self.buffers.ensure(
+                    "h", w, state.num_local, ctx.params.dims[layer]
+                )
+            self._send(
+                w,
+                ("fwd", layer, is_last, pulled[w],
+                 self._halo_ref(state, halos[w]), h_block),
+            )
+        for state in ctx.active_workers():
+            _, wall = self._recv(state.worker_id)
+            ctx.runtime.add_compute(state.worker_id, wall)
+
+    def loss_scan(self, t):
+        del t
+        ctx = self.ctx
+        num_layers = ctx.params.num_layers
+        for state in ctx.active_workers():
+            g_block = None
+            if num_layers > 1:
+                g_block = self.buffers.ensure(
+                    "g", state.worker_id, state.num_local,
+                    ctx.params.dims[num_layers],
+                )
+            self._send(state.worker_id, ("loss", g_block))
+        counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
+        total_loss = 0.0
+        for state in ctx.active_workers():
+            payload, wall = self._recv(state.worker_id)
+            ctx.runtime.add_compute(state.worker_id, wall)
+            loss_term, worker_counters = payload
+            total_loss += loss_term
+            for split in counters:
+                counters[split][0] += worker_counters[split][0]
+                counters[split][1] += worker_counters[split][1]
+        return total_loss, counters
+
+    def backward_local(self, t, layer, weights, grads) -> None:
+        del t
+        ctx = self.ctx
+        export_dim = self.backend.bp_halo_export_dim(layer)
+        for state in ctx.active_workers():
+            w = state.worker_id
+            export_block = None
+            if export_dim is not None:
+                export_block = self.buffers.ensure(
+                    "dhh", w, state.num_halo, export_dim
+                )
+            self._send(w, ("bpl", layer, weights, export_block))
+        for state in ctx.active_workers():
+            shares, wall = self._recv(state.worker_id)
+            ctx.runtime.add_compute(state.worker_id, wall)
+            grads[state.worker_id].update(shares)
+
+    def backward_reduce(self, t, layer, weights, halos) -> None:
+        del t
+        ctx = self.ctx
+        for state in ctx.active_workers():
+            w = state.worker_id
+            g_block = None
+            if layer - 1 > 1:
+                # The bp exchange at layer-1 serves these gradient rows.
+                g_block = self.buffers.ensure(
+                    "g", w, state.num_local, ctx.params.dims[layer - 1]
+                )
+            self._send(
+                w,
+                ("bpr", layer, weights,
+                 self._halo_ref(state, halos[w]), g_block),
+            )
+        for state in ctx.active_workers():
+            _, wall = self._recv(state.worker_id)
+            ctx.runtime.add_compute(state.worker_id, wall)
+
+    # ------------------------------------------------------------------
+    # row sources for the supervisor-side exchanges
+
+    def layer_rows(self, state, layer: int) -> np.ndarray:
+        return self.buffers.view_of(
+            "h", state.worker_id, self.ctx.params.dims[layer]
+        )
+
+    def grad_rows(self, state, layer: int) -> np.ndarray:
+        return self.buffers.view_of(
+            "g", state.worker_id, self.ctx.params.dims[layer]
+        )
+
+    def bp_halo_rows(self, state, layer: int) -> np.ndarray:
+        return self.buffers.view_of(
+            "dhh", state.worker_id, self.ctx.params.dims[layer - 1]
+        )

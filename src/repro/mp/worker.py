@@ -1,0 +1,157 @@
+"""The worker-process main loop (``execution="multiprocess"``).
+
+Each worker process is forked from the supervisor after setup, so it
+inherits a full copy of the bound :class:`~repro.engine.context.ExchangeContext`
+and backend — partitioned features, adjacency rows, halo plans, caches —
+by address-space snapshot. From then on the only things that flow in are:
+
+* pipe commands (one strict request→reply round per engine step, with
+  pulled parameters / backward weights / kernel-state refreshes as
+  payloads), and
+* shared-memory blocks (halo inputs written by the supervisor's
+  exchange scatter; layer outputs / gradient rows / dH partials written
+  back by the worker for the supervisor's exchanges to serve).
+
+The worker runs only the pure per-layer kernels (the exact same
+:class:`~repro.engine.backends.ModelBackend` methods the inline
+executor calls); every policy, fault, metering and tuner decision stays
+on the supervisor, which is what keeps multiprocess runs bit-identical
+to sync. Kernel wall time is measured here — kernel only, shared-memory
+copies excluded — and shipped back for the supervisor to charge to the
+simulated cluster clock.
+
+A worker that hits an exception replies ``("err", traceback, 0.0)`` and
+keeps serving rounds (the supervisor raises); EOF on the pipe or a
+``stop`` command ends the loop. The first thing the loop does is
+:func:`~repro.mp.store.disarm_inherited_stores`, so a dying worker can
+never unlink shared segments the supervisor still owns.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+import numpy as np
+
+from repro.mp.store import SharedStore, disarm_inherited_stores
+from repro.nn.losses import softmax_cross_entropy
+from repro.obs.tracing import monotonic_now
+
+__all__ = ["worker_main"]
+
+
+def _resolve_halo(ref, state, store: SharedStore) -> np.ndarray:
+    """Materialize a halo reference from a round's dispatch message."""
+    kind = ref[0]
+    if kind == "shm":
+        return store.attach(ref[1])
+    if kind == "own":
+        # The cached first-hop features, inherited at fork (and current:
+        # crash recovery respawns the process after rebuilding them).
+        return state.halo_features
+    # "data": small/irregular rows shipped inline over the pipe.
+    return ref[1]
+
+
+def _dispatch(msg, state, backend, ctx, store: SharedStore):
+    num_layers = ctx.params.num_layers
+    op = msg[0]
+
+    if op == "fwd":
+        _, layer, is_last, pulled, halo_ref, h_block = msg
+        halo = _resolve_halo(halo_ref, state, store)
+        prev = backend.layer_input(state, layer)
+        start = monotonic_now()
+        h_cat = np.concatenate([prev, halo], axis=0)
+        backend.forward_layer(state, h_cat, pulled, layer, is_last=is_last)
+        wall = monotonic_now() - start
+        if h_block is not None:
+            np.copyto(store.attach(h_block),
+                      backend.layer_output(state, layer))
+        return None, wall
+
+    if op == "loss":
+        _, g_block = msg
+        logits = backend.final_logits(state)
+        start = monotonic_now()
+        result = softmax_cross_entropy(
+            logits, state.labels, state.train_mask
+        )
+        local = int(state.train_mask.sum())
+        scale = local / ctx.global_train_count if local else 0.0
+        state.grad_rows[num_layers] = (
+            result.grad * scale
+        ).astype(np.float32)
+        loss_term = result.loss * scale
+        counters = {
+            "train": [result.correct, result.count],
+            "val": [0, 0],
+            "test": [0, 0],
+        }
+        predictions = logits.argmax(axis=1)
+        for split, mask in (
+            ("val", state.val_mask),
+            ("test", state.test_mask),
+        ):
+            counters[split][0] = int(
+                (predictions[mask] == state.labels[mask]).sum()
+            )
+            counters[split][1] = int(mask.sum())
+        wall = monotonic_now() - start
+        if g_block is not None:
+            np.copyto(store.attach(g_block), state.grad_rows[num_layers])
+        return (loss_term, counters), wall
+
+    if op == "bpl":
+        _, layer, weights, export_block = msg
+        start = monotonic_now()
+        shares = backend.backward_local(state, layer, weights)
+        wall = monotonic_now() - start
+        if export_block is not None:
+            np.copyto(store.attach(export_block),
+                      backend.bp_halo_rows(state, layer))
+        return shares, wall
+
+    if op == "bpr":
+        _, layer, weights, halo_ref, g_block = msg
+        halo = _resolve_halo(halo_ref, state, store)
+        start = monotonic_now()
+        backend.backward_reduce(state, layer, halo, weights)
+        wall = monotonic_now() - start
+        if g_block is not None:
+            np.copyto(store.attach(g_block), state.grad_rows[layer - 1])
+        return None, wall
+
+    if op == "begin":
+        backend.begin_iteration()
+        return None, 0.0
+
+    if op == "kstate":
+        backend.apply_kernel_refresh(state.worker_id, msg[1])
+        return None, 0.0
+
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+def worker_main(worker_id: int, conn, token: str, ctx, backend) -> None:
+    """Serve kernel rounds for one worker until ``stop`` or EOF."""
+    disarm_inherited_stores()
+    store = SharedStore(token, create=False)
+    state = ctx.workers[worker_id]
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, KeyboardInterrupt):
+                break
+            if msg[0] == "stop":
+                break
+            try:
+                payload, wall = _dispatch(msg, state, backend, ctx, store)
+            except Exception:
+                conn.send(("err", traceback.format_exc(), 0.0))
+                continue
+            conn.send(("ok", payload, wall))
+    finally:
+        store.close()
+        conn.close()

@@ -131,6 +131,10 @@ class StageProfile:
     """Immutable end-of-run rendering of everything the profiler saw."""
 
     epochs: tuple[EpochTimeline, ...] = ()
+    # worker -> OS pid, populated only under execution="multiprocess"
+    # (the process executor publishes pids at spawn and respawn), so a
+    # profile can attribute stages to the real processes that ran them.
+    worker_pids: tuple[tuple[int, int], ...] = ()
 
     def stage_names(self) -> list[str]:
         """Stages observed, in first-seen (pipeline) order."""
@@ -190,7 +194,7 @@ class StageProfile:
         return counts
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "coverage": self.coverage(),
             "total_wall_seconds": self.total_wall_seconds(),
             "stage_totals": self.stage_totals(),
@@ -199,6 +203,11 @@ class StageProfile:
             },
             "epochs": [t.as_dict() for t in self.epochs],
         }
+        if self.worker_pids:
+            out["worker_pids"] = {
+                str(w): pid for w, pid in self.worker_pids
+            }
+        return out
 
 
 class _ActiveStage:
@@ -250,6 +259,12 @@ class StageProfiler:
         self._epoch: int | None = None
         self._epoch_start = 0.0
         self._speeds: tuple[float, ...] = ()
+        self._worker_pids: dict[int, int] = {}
+
+    def set_worker_pids(self, pids: dict[int, int]) -> None:
+        """Record worker -> OS pid (multiprocess execution); the latest
+        mapping wins, so respawns after crashes update their slot."""
+        self._worker_pids.update(pids)
 
     # ------------------------------------------------------------------
     # Epoch lifecycle
@@ -369,7 +384,10 @@ class StageProfiler:
     # ------------------------------------------------------------------
     def profile(self) -> StageProfile:
         """Freeze everything recorded so far."""
-        return StageProfile(epochs=tuple(self._timelines))
+        return StageProfile(
+            epochs=tuple(self._timelines),
+            worker_pids=tuple(sorted(self._worker_pids.items())),
+        )
 
     def reset(self) -> None:
         """Drop every recorded timeline (between independent runs)."""
@@ -377,6 +395,7 @@ class StageProfiler:
         self._timelines = []
         self._runtime = None
         self._epoch = None
+        self._worker_pids = {}
 
 
 class _NullStage:
@@ -404,6 +423,9 @@ class NullStageProfiler:
         return _NULL_STAGE
 
     def end_epoch(self, breakdown=None) -> None:
+        pass
+
+    def set_worker_pids(self, pids: dict[int, int]) -> None:
         pass
 
     def profile(self) -> StageProfile:

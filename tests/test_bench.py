@@ -136,6 +136,38 @@ class TestStageBreakdownLines:
         assert stage_breakdown_lines(current, {}) == []
 
 
+class TestSpeedupFlagLines:
+    """Sub-1.0 ``speedup_*`` entries are surfaced, never hidden."""
+
+    def test_flags_only_sub_unity_speedups(self):
+        from repro.bench import speedup_flag_lines
+
+        report = {
+            "schema": SCHEMA,
+            "epoch": {"speedup_optimized": 0.70, "default_seconds": 0.1},
+            "epoch_multiprocess": {
+                "speedup_multiprocess": 1.8,
+                "speedup_multiprocess_vs_threads": 0.9,
+                "host_cpus": 1,
+            },
+        }
+        lines = speedup_flag_lines(report)
+        assert len(lines) == 2
+        assert any("epoch.speedup_optimized = 0.70x" in x for x in lines)
+        assert any(
+            "epoch_multiprocess.speedup_multiprocess_vs_threads" in x
+            for x in lines
+        )
+        # The honest >1.0 claim is not flagged.
+        assert not any("= 1.80x" in x for x in lines)
+
+    def test_clean_report_produces_no_flags(self):
+        from repro.bench import speedup_flag_lines
+
+        report = {"epoch": {"speedup_optimized": 1.3}, "schema": SCHEMA}
+        assert speedup_flag_lines(report) == []
+
+
 class TestRunBenchSmoke:
     """One real smoke run, shared by the structural assertions."""
 
@@ -184,6 +216,15 @@ class TestRunBenchSmoke:
         coverage = report["epoch"]["stage_coverage"]
         assert 0.90 <= coverage <= 1.0 + 1e-6
 
+    def test_multiprocess_section(self, report):
+        mp = report["epoch_multiprocess"]
+        assert mp["host_cpus"] >= 1
+        for key in ("sequential_seconds", "threaded_seconds",
+                    "multiprocess_seconds"):
+            assert mp[key] > 0
+        assert mp["speedup_multiprocess"] > 0
+        assert mp["speedup_multiprocess_vs_threads"] > 0
+
     def test_report_is_json_serializable(self, report, tmp_path):
         path = write_report(report, tmp_path / "smoke.json")
         assert load_report(path)["profile"] == "smoke"
@@ -215,6 +256,20 @@ class TestBenchCLI:
         ])
         assert code == 1
         assert "FAIL" in capsys.readouterr().err
+
+    def test_execution_multiprocess_scopes_the_run(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "mp.json"
+        code = main([
+            "bench", "--smoke", "--execution", "multiprocess",
+            "--out", str(out),
+        ])
+        assert code == 0
+        report = load_report(out)
+        assert "epoch_multiprocess" in report
+        assert "kernels" not in report
+        assert "Multiprocess execution" in capsys.readouterr().out
 
     def test_compare_passes_against_self(self, tmp_path):
         from repro.__main__ import main

@@ -213,6 +213,50 @@ class TestStagedEngineBitIdentity:
         assert repr(float(final)) == golden["final_test"]
 
 
+class TestMultiprocessBitIdentity:
+    """``execution="multiprocess"`` trains bit-identically to sync.
+
+    The process backend keeps the entire exchange path (policies,
+    tuner, fault injection, traffic metering) on the supervisor and
+    ships only the numeric kernels to worker processes, so every
+    golden value — losses, wire bytes, message counts, final exact
+    eval — must match the sync goldens exactly, not approximately.
+    """
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_bit_identical_to_sync(self, name, graph):
+        import dataclasses
+
+        golden = GOLDEN[name]
+        trainer = _build(name, graph)
+        trainer.config = dataclasses.replace(
+            trainer.config, execution="multiprocess"
+        )
+        try:
+            losses = [trainer.run_epoch(t).loss for t in range(EPOCHS)]
+
+            assert [repr(float(x)) for x in losses] == golden["losses"]
+
+            meter = trainer.runtime.meter
+            assert int(meter.total_bytes) == golden["total_bytes"]
+            assert int(meter.total_messages) == golden["total_messages"]
+            assert {
+                k: int(v) for k, v in sorted(meter.category_totals().items())
+            } == golden["category_totals"]
+
+            final = trainer.evaluate_exact()["test"]
+            assert repr(float(final)) == golden["final_test"]
+
+            # The workers really are separate OS processes.
+            import os
+
+            pids = trainer.engine.ctx.executor.worker_pids
+            assert len(pids) == SPEC.num_workers
+            assert os.getpid() not in pids.values()
+        finally:
+            trainer.close()
+
+
 class TestFacadeSurface:
     """The staged engine is reachable through the stable facade."""
 

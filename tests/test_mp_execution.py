@@ -1,0 +1,195 @@
+"""Behavioural tests of the multiprocess execution backend.
+
+Bit-identity against the sync goldens lives in
+``test_engine_equivalence.py`` (``TestMultiprocessBitIdentity``); this
+module covers everything else the process backend must get right:
+shared-memory hygiene (no ``/dev/shm`` residue, even after a worker is
+SIGKILLed mid-run), idempotent teardown, real-process crash recovery,
+backpressure with payloads larger than a pipe buffer, the one-time GIL
+warning for the thread fan-out, and the elastic-membership gate.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import warnings
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.config import ECGraphConfig, ModelConfig
+from repro.core.trainer import ECGraphTrainer, _reset_thread_warning
+from repro.faults.config import FaultConfig
+from repro.graph.generators import GraphSpec, generate_graph
+
+SHM_DIR = "/dev/shm"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_graph(GraphSpec(
+        name="mp", num_vertices=72, avg_degree=5.0, feature_dim=8,
+        num_classes=3, homophily=0.9, feature_noise=0.8,
+        train=30, val=12, test=24, seed=11,
+    ))
+
+
+def _mp_trainer(graph, **overrides):
+    config = ECGraphConfig(seed=0, execution="multiprocess", **overrides)
+    return ECGraphTrainer(
+        graph, ModelConfig(num_layers=2, hidden_dim=16),
+        ClusterSpec(num_workers=3, num_servers=1), config,
+    )
+
+
+def _shm_entries(token: str) -> list[str]:
+    if not os.path.isdir(SHM_DIR):  # pragma: no cover - non-Linux hosts
+        pytest.skip("/dev/shm not available")
+    return [n for n in os.listdir(SHM_DIR) if token in n]
+
+
+class TestSharedMemoryHygiene:
+    def test_close_unlinks_every_segment(self, graph):
+        trainer = _mp_trainer(graph)
+        trainer.run_epoch(0)
+        token = trainer.engine.ctx.executor.store.token
+        assert _shm_entries(token), "expected live segments during training"
+        trainer.close()
+        assert _shm_entries(token) == []
+
+    def test_killed_worker_leaves_no_residue(self, graph):
+        trainer = _mp_trainer(graph)
+        trainer.run_epoch(0)
+        executor = trainer.engine.ctx.executor
+        token = executor.store.token
+        victim = executor.worker_pids[0]
+        os.kill(victim, signal.SIGKILL)
+        # close() must reap the dead process and unlink cleanly: only
+        # the supervisor ever unlinks, so a SIGKILLed worker (which
+        # never runs teardown) cannot strand a segment.
+        trainer.close()
+        assert _shm_entries(token) == []
+
+    def test_double_close_is_a_noop(self, graph):
+        trainer = _mp_trainer(graph)
+        trainer.run_epoch(0)
+        trainer.close()
+        trainer.close()
+
+    def test_store_double_close_direct(self):
+        from repro.mp import SharedStore
+
+        store = SharedStore()
+        store.allocate("x", (4, 4))
+        store.close()
+        store.close()
+        assert _shm_entries(store.token) == []
+
+
+class TestCrashRecovery:
+    def test_crash_respawns_a_fresh_process(self, graph):
+        trainer = _mp_trainer(graph)
+        trainer.run_epoch(0)
+        executor = trainer.engine.ctx.executor
+        old_pid = executor.worker_pids[1]
+        try:
+            executor.on_worker_crash(1)
+            new_pid = executor.worker_pids[1]
+            assert new_pid != old_pid
+            assert os.getpid() not in (old_pid, new_pid)
+            # The respawned worker participates in the next epoch.
+            result = trainer.run_epoch(1)
+            assert result.loss == result.loss  # not NaN
+        finally:
+            trainer.close()
+
+    def test_chaos_crash_scenario_under_multiprocess(self, graph, tmp_path):
+        from repro.faults.chaos import run_chaos
+
+        report = run_chaos(
+            graph, "crash", num_workers=3, num_epochs=4, seed=0,
+            checkpoint_dir=str(tmp_path), execution="multiprocess",
+        )
+        assert report.survived
+        assert report.counters.crashes >= 1
+
+
+class TestBackpressure:
+    def test_large_payloads_do_not_deadlock(self):
+        # W1 alone is 128x128 float64 = 131 KB — past the 64 KB pipe
+        # buffer, so a naive broadcast that sends before any worker
+        # drains would block forever. The protocol survives because
+        # workers park in recv() between rounds; the alarm turns a
+        # regression into a failure instead of a hang.
+        graph = generate_graph(GraphSpec(
+            name="wide", num_vertices=64, avg_degree=4.0, feature_dim=128,
+            num_classes=3, homophily=0.9, feature_noise=0.8,
+            train=24, val=12, test=16, seed=5,
+        ))
+        trainer = ECGraphTrainer(
+            graph, ModelConfig(num_layers=2, hidden_dim=128),
+            ClusterSpec(num_workers=3, num_servers=1),
+            ECGraphConfig(seed=0, execution="multiprocess"),
+        )
+        previous = signal.alarm(180)
+        try:
+            for t in range(2):
+                trainer.run_epoch(t)
+        finally:
+            signal.alarm(previous)
+            trainer.close()
+
+
+class TestThreadWarningAndGates:
+    def test_gil_thread_warning_emitted_once(self, graph):
+        _reset_thread_warning()
+        first = ECGraphTrainer(
+            graph, ModelConfig(num_layers=2, hidden_dim=16),
+            ClusterSpec(num_workers=3, num_servers=1),
+            ECGraphConfig(seed=0, exchange_threads=4),
+        )
+        with pytest.warns(RuntimeWarning, match="GIL"):
+            first.setup()
+        first.close()
+
+        second = ECGraphTrainer(
+            graph, ModelConfig(num_layers=2, hidden_dim=16),
+            ClusterSpec(num_workers=3, num_servers=1),
+            ECGraphConfig(seed=0, exchange_threads=4),
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second.setup()
+        second.close()
+        assert [w for w in caught if w.category is RuntimeWarning] == []
+
+    def test_multiprocess_forces_serial_exchange(self, graph):
+        _reset_thread_warning()
+        trainer = _mp_trainer(graph, exchange_threads=4)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trainer.setup()
+        try:
+            assert [w for w in caught if w.category is RuntimeWarning] == []
+        finally:
+            trainer.close()
+
+    def test_elastic_membership_is_rejected(self, graph):
+        trainer = _mp_trainer(
+            graph, faults=FaultConfig(elastic=True)
+        )
+        with pytest.raises(ValueError, match="elastic"):
+            trainer.setup()
+
+
+class TestConfigSurface:
+    def test_unknown_execution_mode_rejected(self):
+        with pytest.raises(ValueError, match="execution"):
+            ECGraphConfig(execution="threads")
+
+    def test_context_manager_closes(self, graph):
+        with _mp_trainer(graph) as trainer:
+            trainer.run_epoch(0)
+            token = trainer.engine.ctx.executor.store.token
+        assert _shm_entries(token) == []
