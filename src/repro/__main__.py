@@ -382,11 +382,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     max_regress = parse_percent(args.max_regress)
+    profile = "large" if args.profile == "large" else "core"
     scope = f", execution={args.execution}" if args.execution else ""
+    if profile == "large":
+        scope += ", profile=large"
     print(f"running bench suites "
           f"({'smoke' if args.smoke else 'full'}{scope}) ...",
           file=sys.stderr)
-    report = run_bench(smoke=args.smoke, execution=args.execution)
+    report = run_bench(smoke=args.smoke, execution=args.execution,
+                       profile=profile)
 
     if "kernels" in report:
         rows = [
@@ -446,6 +450,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"({mp['host_cpus']} host CPU(s))",
         ))
 
+    if "large" in report:
+        large = report["large"]
+        print(format_table(
+            ["step", "seconds"],
+            [[step, f"{large[f'{step}_seconds']:.2f}s"]
+             for step in ("generate", "partition", "stats",
+                          "subgraph", "gather")],
+            title=f"Out-of-core tier ({large['num_vertices']:,} vertices, "
+                  f"{large['num_edges']:,} edges, "
+                  f"{large['num_workers']} workers)",
+        ))
+        verdict = "OK" if large["rss_below_features"] else "ABOVE"
+        print(f"peak RSS {large['peak_rss_bytes'] / 1e6:.0f} MB vs "
+              f"{large['feature_bytes_on_disk'] / 1e6:.0f} MB of on-disk "
+              f"features ({large['rss_to_feature_ratio']:.2f}x, {verdict})")
+        if not large["rss_below_features"]:
+            print("FLAG: peak RSS exceeded the on-disk feature matrix "
+                  "(expected in smoke runs, where the interpreter "
+                  "dominates; investigate on the full tier)")
+
     for line in speedup_flag_lines(report):
         print(f"FLAG: {line}")
 
@@ -479,8 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "with error-compensated compression",
     )
     parser.add_argument("--profile", default="bench",
-                        choices=["tiny", "bench", "full"],
-                        help="dataset size profile")
+                        choices=["tiny", "bench", "full", "large"],
+                        help="dataset size profile; 'large' selects the "
+                             "out-of-core million-vertex tier (bench "
+                             "command only)")
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -214,8 +214,14 @@ class MLCenteredTrainer:
             # Preprocessing pull: features + adjacency of the cached
             # neighbourhood come from storage spread over all machines, so
             # (machines - 1) / machines of the bytes cross the network.
+            # Byte count from shape arithmetic — slicing the feature
+            # matrix here would gather the rows a second time just to
+            # read .nbytes off the copy.
+            feature_row_bytes = (
+                self.graph.feature_dim * self.graph.features.dtype.itemsize
+            )
             pull_bytes = (
-                self.graph.features[vertices].nbytes + edges.shape[0] * 8
+                vertices.shape[0] * feature_row_bytes + edges.shape[0] * 8
             )
             remote = int(pull_bytes * (machines - 1) / max(machines, 1))
             if remote and machines > 1:

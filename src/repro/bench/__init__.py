@@ -13,12 +13,14 @@ from repro.bench.harness import (
     stage_breakdown_lines,
     write_report,
 )
-from repro.bench.suites import run_bench
+from repro.bench.suites import bench_large, peak_rss_bytes, run_bench
 
 __all__ = [
+    "bench_large",
     "compare_reports",
     "load_report",
     "parse_percent",
+    "peak_rss_bytes",
     "run_bench",
     "speedup_flag_lines",
     "stage_breakdown_lines",

@@ -52,6 +52,7 @@ from repro.engine import (
 from repro.faults.injector import FaultCounters, FaultInjector
 from repro.graph.attributed import AttributedGraph
 from repro.graph.normalize import normalized_adjacency
+from repro.graph.store.base import GraphStoreBundle
 from repro.nn.optim import make_optimizer
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracing import monotonic_now
@@ -76,7 +77,7 @@ class ECGraphTrainer:
 
     def __init__(
         self,
-        graph: AttributedGraph,
+        graph: AttributedGraph | GraphStoreBundle,
         model_config: ModelConfig,
         cluster_spec: ClusterSpec,
         config: ECGraphConfig | None = None,
@@ -86,7 +87,13 @@ class ECGraphTrainer:
         bp_policy=None,
     ):
         """Args:
-        graph: Attributed input graph.
+        graph: Attributed input graph — a resident
+            :class:`AttributedGraph` (the historical path, bit-identical
+            to every pinned golden run) or a
+            :class:`~repro.graph.store.GraphStoreBundle` whose features
+            and adjacency may live out-of-core; worker shards are then
+            gathered through the store row/block APIs and the normalized
+            adjacency stays a lazy view.
         model_config: GNN architecture.
         cluster_spec: Simulated cluster shape.
         config: EC-Graph pipeline settings (defaults reproduce the

@@ -26,6 +26,7 @@ from repro.core.models import GNNParameters
 from repro.core.worker import WorkerState
 from repro.engine.transport import HaloTransport
 from repro.graph.attributed import AttributedGraph
+from repro.graph.store.base import GraphStoreBundle
 from repro.obs.telemetry import Telemetry
 
 if TYPE_CHECKING:
@@ -51,7 +52,10 @@ class ExchangeContext:
 
     config: ECGraphConfig
     model_config: ModelConfig
-    graph: AttributedGraph
+    # Stages touch only the narrow duck-typed surface the two share
+    # (feature_dim, num_classes, masks, adjacency.indptr), so the graph
+    # may live out-of-core behind a bundle.
+    graph: AttributedGraph | GraphStoreBundle
     spec: ClusterSpec
     runtime: ClusterRuntime
     servers: ParameterServerGroup

@@ -61,8 +61,22 @@ def row_normalize(graph: CSRGraph, add_self_loops: bool = False) -> CSRGraph:
 _NORMALIZATIONS = {"gcn": gcn_normalize, "row": row_normalize}
 
 
-def normalized_adjacency(graph: CSRGraph, scheme: str = "gcn") -> CSRGraph:
-    """Normalize ``graph`` with the named scheme (``gcn`` or ``row``)."""
+def normalized_adjacency(graph, scheme: str = "gcn"):
+    """Normalize ``graph`` with the named scheme (``gcn`` or ``row``).
+
+    Accepts a resident :class:`CSRGraph` (returns a materialized
+    normalized :class:`CSRGraph`, the historical behaviour) or a
+    :class:`~repro.graph.store.GraphStore` (returns a lazy
+    :class:`~repro.graph.store.normalized.NormalizedGraphStore` view that
+    computes the same weights block by block — bit-identical when
+    materialized).
+    """
+    from repro.graph.store.base import GraphStore
+
+    if isinstance(graph, GraphStore):
+        from repro.graph.store.normalized import NormalizedGraphStore
+
+        return NormalizedGraphStore(graph, scheme)
     try:
         normalize = _NORMALIZATIONS[scheme]
     except KeyError:

@@ -9,15 +9,21 @@ Two operations back the two system families in the paper:
   target vertex pulls its entire L-hop neighbourhood so the worker can run
   the GNN without communicating; this is the memory/computation redundancy
   the paper's Table II quantifies.
+
+:func:`induced_subgraph` accepts either a resident :class:`CSRGraph` or a
+:class:`~repro.graph.store.GraphStore` and streams adjacency blocks, so
+extraction never materializes the global column array — only the chunks
+that actually hold local rows become resident (see ``docs/storage.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.store.base import GraphStore, as_topology
 
 __all__ = ["LocalSubgraph", "induced_subgraph", "khop_neighborhood",
            "khop_sampled_neighborhood"]
@@ -37,8 +43,6 @@ class LocalSubgraph:
         remote_vertices: Global ids of remote 1-hop neighbours (the halo).
         indptr / indices / weights: CSR rows for the local vertices, with
             column ids in the compact space.
-        global_to_compact: Mapping from global vertex id to compact id for
-            all vertices appearing in this subgraph.
     """
 
     local_vertices: np.ndarray
@@ -46,7 +50,7 @@ class LocalSubgraph:
     indptr: np.ndarray
     indices: np.ndarray
     weights: np.ndarray | None
-    global_to_compact: dict[int, int]
+    _mapping: dict[int, int] | None = field(default=None, repr=False)
 
     @property
     def num_local(self) -> int:
@@ -60,71 +64,122 @@ class LocalSubgraph:
     def num_edges(self) -> int:
         return self.indices.shape[0]
 
+    @property
+    def global_to_compact(self) -> dict[int, int]:
+        """Mapping from global vertex id to compact id (built lazily)."""
+        if self._mapping is None:
+            mapping = {
+                int(g): compact
+                for compact, g in enumerate(self.local_vertices)
+            }
+            offset = self.local_vertices.shape[0]
+            for compact, g in enumerate(self.remote_vertices):
+                mapping[int(g)] = offset + compact
+            self._mapping = mapping
+        return self._mapping
+
     def compact_ids(self, global_ids: np.ndarray) -> np.ndarray:
         """Translate global vertex ids into this worker's compact space."""
+        mapping = self.global_to_compact
         return np.fromiter(
-            (self.global_to_compact[int(g)] for g in global_ids),
+            (mapping[int(g)] for g in global_ids),
             dtype=np.int64,
             count=len(global_ids),
         )
 
 
-def induced_subgraph(graph: CSRGraph, local_vertices: np.ndarray) -> LocalSubgraph:
+def _ragged_positions(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Flat positions covering ``[starts[i], starts[i] + lengths[i])``."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    flat_starts = np.cumsum(lengths) - lengths
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(flat_starts, lengths)
+    return np.repeat(starts, lengths) + offsets
+
+
+def induced_subgraph(
+    graph: CSRGraph | GraphStore, local_vertices: np.ndarray
+) -> LocalSubgraph:
     """Extract the worker-local subgraph for a set of owned vertices.
 
     All edges leaving the owned vertices are kept; edges pointing at
-    non-owned vertices make those targets part of the remote halo.
+    non-owned vertices make those targets part of the remote halo. The
+    extraction streams adjacency blocks, so handing it an out-of-core
+    :class:`GraphStore` touches only the chunks holding local rows.
     """
     local_vertices = np.asarray(local_vertices, dtype=np.int64)
     if local_vertices.size != np.unique(local_vertices).size:
         raise ValueError("local vertex set contains duplicates")
-    local_set = set(int(v) for v in local_vertices)
+    store = as_topology(graph)
+    full_indptr = store.indptr
+    if local_vertices.size and (
+        local_vertices.min() < 0
+        or local_vertices.max() >= store.num_vertices
+    ):
+        raise IndexError("local vertex id out of range")
 
-    remote: set[int] = set()
-    for v in local_vertices:
-        for u in graph.neighbors(int(v)):
-            u = int(u)
-            if u not in local_set:
-                remote.add(u)
-    remote_vertices = np.array(sorted(remote), dtype=np.int64)
-
-    mapping: dict[int, int] = {}
-    for compact, g in enumerate(local_vertices):
-        mapping[int(g)] = compact
-    offset = local_vertices.shape[0]
-    for compact, g in enumerate(remote_vertices):
-        mapping[int(g)] = offset + compact
-
-    counts = np.array(
-        [graph.degree(int(v)) for v in local_vertices], dtype=np.int64
-    )
+    counts = (
+        full_indptr[local_vertices + 1] - full_indptr[local_vertices]
+    ).astype(np.int64)
     indptr = np.zeros(local_vertices.shape[0] + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    indices = np.empty(int(counts.sum()), dtype=np.int64)
-    weights = None if graph.weights is None else np.empty(
-        int(counts.sum()), dtype=np.float32
+    total = int(indptr[-1])
+    global_cols = np.empty(total, dtype=np.int64)
+    weights = (
+        np.empty(total, dtype=np.float32) if store.has_weights else None
     )
-    for row, v in enumerate(local_vertices):
-        lo, hi = indptr[row], indptr[row + 1]
-        nbrs = graph.neighbors(int(v))
-        indices[lo:hi] = [mapping[int(u)] for u in nbrs]
+
+    # Rows are gathered in ascending global order (one pass over the
+    # storage chunks) and scattered into their position in the caller's
+    # ordering of ``local_vertices``.
+    order = np.argsort(local_vertices, kind="stable")
+    sorted_locals = local_vertices[order]
+    cursor = 0
+    for start, stop, block_idx, block_w in store.iter_adjacency():
+        if cursor >= sorted_locals.size:
+            break
+        if sorted_locals[cursor] >= stop:
+            continue
+        end = int(np.searchsorted(sorted_locals, stop, side="left"))
+        sel = sorted_locals[cursor:end]
+        rows_out = order[cursor:end]
+        lens = counts[rows_out]
+        src = _ragged_positions(
+            full_indptr[sel] - full_indptr[start], lens
+        )
+        dst = _ragged_positions(indptr[rows_out], lens)
+        global_cols[dst] = block_idx[src]
         if weights is not None:
-            indices_slice = graph.indptr[int(v)]
-            weights[lo:hi] = graph.weights[
-                indices_slice:indices_slice + (hi - lo)
-            ]
+            weights[dst] = block_w[src]
+        cursor = end
+
+    unique_cols = np.unique(global_cols)
+    is_local = np.isin(unique_cols, sorted_locals, assume_unique=True)
+    remote_vertices = unique_cols[~is_local]
+
+    # Compact relabel: local columns map to their position in the given
+    # ordering, remote columns to num_local + rank in sorted halo order.
+    compact_of_unique = np.empty(unique_cols.size, dtype=np.int64)
+    compact_of_unique[is_local] = order[
+        np.searchsorted(sorted_locals, unique_cols[is_local])
+    ]
+    compact_of_unique[~is_local] = local_vertices.shape[0] + np.arange(
+        remote_vertices.size, dtype=np.int64
+    )
+    indices = compact_of_unique[np.searchsorted(unique_cols, global_cols)]
+
     return LocalSubgraph(
         local_vertices=local_vertices,
         remote_vertices=remote_vertices,
         indptr=indptr,
         indices=indices,
         weights=weights,
-        global_to_compact=mapping,
     )
 
 
 def khop_neighborhood(
-    graph: CSRGraph, targets: np.ndarray, hops: int
+    graph: CSRGraph | GraphStore, targets: np.ndarray, hops: int
 ) -> np.ndarray:
     """Global ids of all vertices within ``hops`` of ``targets``.
 
@@ -151,7 +206,7 @@ def khop_neighborhood(
 
 
 def khop_sampled_neighborhood(
-    graph: CSRGraph,
+    graph: CSRGraph | GraphStore,
     targets: np.ndarray,
     fanouts: list[int],
     rng: np.random.Generator,

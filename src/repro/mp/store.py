@@ -90,11 +90,22 @@ def _decode_header(buf) -> tuple[np.dtype, tuple[int, ...], int]:
 
 
 class StoreLayout:
-    """Name -> (shape, dtype) manifest shipped to attaching processes."""
+    """Name -> (shape, dtype) manifest shipped to attaching processes.
 
-    def __init__(self, token: str, arrays: dict[str, tuple[tuple[int, ...], str]]):
+    ``files`` lists the mmap-aliased entries (name -> npy path): those
+    are not shared-memory segments at all — every process maps the same
+    on-disk file read-only and the kernel page cache does the sharing.
+    """
+
+    def __init__(
+        self,
+        token: str,
+        arrays: dict[str, tuple[tuple[int, ...], str]],
+        files: dict[str, str] | None = None,
+    ):
         self.token = token
         self.arrays = arrays
+        self.files = dict(files or {})
 
 
 class SharedStore:
@@ -112,6 +123,7 @@ class SharedStore:
         self.create = create
         self._segments: dict[str, shared_memory.SharedMemory] = {}
         self._views: dict[str, np.ndarray] = {}
+        self._files: dict[str, str] = {}
         self._closed = False
         self._atexit_registered = False
         if create:
@@ -148,6 +160,26 @@ class SharedStore:
             self._atexit_registered = True
         return view
 
+    def map_npy(self, name: str, path) -> np.ndarray:
+        """Alias an on-disk npy file as a read-only named array.
+
+        Unlike :meth:`allocate`, nothing is copied into ``/dev/shm``:
+        the file (e.g. one chunk of an mmap
+        :class:`~repro.graph.store.mmapstore.MmapFeatureStore`) is
+        memory-mapped read-only, and attaching processes map the same
+        file, so supervisor and workers share its pages through the
+        kernel page cache. The store never unlinks the file — the graph
+        store on disk owns it.
+        """
+        if self._closed:
+            raise RuntimeError("store is closed")
+        if name in self._views:
+            raise ValueError(f"array {name!r} already allocated")
+        view = np.load(str(path), mmap_mode="r")
+        self._views[name] = view
+        self._files[name] = str(path)
+        return view
+
     def attach(self, name: str) -> np.ndarray:
         """Map one existing array by name (attach mode); returns its view."""
         if self._closed:
@@ -182,9 +214,16 @@ class SharedStore:
             resource_tracker.register = original
 
     def attach_all(self, layout: StoreLayout) -> None:
-        """Attach every array in a :class:`StoreLayout` manifest."""
+        """Attach every array in a :class:`StoreLayout` manifest.
+
+        Shared-memory entries are mapped by segment name; mmap-aliased
+        entries re-map the same on-disk npy file read-only.
+        """
         for name, (shape, dtype) in layout.arrays.items():
-            view = self.attach(name)
+            if name in layout.files:
+                view = self.map_npy(name, layout.files[name])
+            else:
+                view = self.attach(name)
             if view.shape != tuple(shape) or view.dtype != np.dtype(dtype):
                 raise ValueError(
                     f"shared array {name!r} is {view.dtype}{view.shape}, "
@@ -193,10 +232,14 @@ class SharedStore:
 
     def layout(self) -> StoreLayout:
         """Manifest of every allocated array, for attaching processes."""
-        return StoreLayout(self.token, {
-            name: (tuple(view.shape), view.dtype.str)
-            for name, view in self._views.items()
-        })
+        return StoreLayout(
+            self.token,
+            {
+                name: (tuple(view.shape), view.dtype.str)
+                for name, view in self._views.items()
+            },
+            files=self._files,
+        )
 
     # ------------------------------------------------------------------
     def view(self, name: str) -> np.ndarray:
@@ -213,12 +256,20 @@ class SharedStore:
 
     def generation(self, name: str) -> int:
         """Read an array's generation counter from its header."""
+        if name in self._files:
+            raise ValueError(
+                f"{name!r} is an mmap-aliased file; it has no header"
+            )
         shm = self._segments[name]
         _, _, generation = _decode_header(shm.buf)
         return generation
 
     def bump_generation(self, name: str) -> int:
         """Increment an array's generation counter; returns the new value."""
+        if name in self._files:
+            raise ValueError(
+                f"{name!r} is an mmap-aliased file; it has no header"
+            )
         shm = self._segments[name]
         dtype, shape, generation = _decode_header(shm.buf)
         generation += 1
@@ -237,7 +288,10 @@ class SharedStore:
         self._closed = True
         # Views alias the segment buffers; drop them before closing so
         # SharedMemory.close() doesn't fail on exported pointers.
+        # File-backed views simply unmap; the npy files are never
+        # unlinked (the graph store on disk owns them).
         self._views.clear()
+        self._files.clear()
         for shm in self._segments.values():
             try:
                 shm.close()
@@ -270,6 +324,7 @@ class SharedStore:
             return
         self._closed = True
         self._views.clear()
+        self._files.clear()
         for shm in self._segments.values():
             try:
                 shm.close()

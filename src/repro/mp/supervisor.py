@@ -120,6 +120,20 @@ class ProcessExecutor:
         self.store = SharedStore()
         self.buffers = ProcessChannelBuffers(self.store)
         ctx.transport.buffer_provider = self.buffers.provide
+        # When the graph's features live in an mmap store, alias the
+        # on-disk chunk files into the SharedStore instead of copying
+        # them into /dev/shm: forked workers inherit the file-backed
+        # mappings, every process shares the chunk pages through the
+        # kernel page cache, and the layout manifest names the blocks
+        # for attach-mode consumers. This also validates the files at
+        # bind time, before any worker faults on them mid-round.
+        feature_store = getattr(
+            getattr(ctx, "graph", None), "feature_store", None
+        )
+        chunk_paths = getattr(feature_store, "chunk_paths", None)
+        if chunk_paths is not None:
+            for index, path in enumerate(chunk_paths()):
+                self.store.map_npy(f"graphstore/features-{index:05d}", path)
 
     def _spawn(self, worker_id: int) -> None:
         # fork: the child inherits the fully-bound context/backend by

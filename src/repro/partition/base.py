@@ -17,6 +17,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.store.base import GraphStore
 
 __all__ = ["Partition", "Partitioner"]
 
@@ -68,10 +69,20 @@ class Partition:
 
 
 class Partitioner(Protocol):
-    """Common interface for all partitioning algorithms."""
+    """Common interface for all partitioning algorithms.
+
+    Partitioners accept either a resident :class:`CSRGraph` or a
+    :class:`~repro.graph.store.GraphStore` (possibly out-of-core).
+    Adjacency-free methods (hash) never touch the columns; streaming
+    methods (bfs) go through the store's block API; the quality methods
+    (metis, spectral) materialize the topology and are documented as
+    in-memory algorithms.
+    """
 
     name: str
 
-    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+    def partition(
+        self, graph: CSRGraph | GraphStore, num_parts: int
+    ) -> Partition:
         """Divide ``graph`` into ``num_parts`` parts."""
         ...

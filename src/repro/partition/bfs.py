@@ -16,6 +16,7 @@ from collections import deque
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.store.base import GraphStore, as_topology
 from repro.partition.base import Partition
 
 __all__ = ["BFSPartitioner"]
@@ -37,8 +38,15 @@ class BFSPartitioner:
         self.seed = seed
         self.slack = slack
 
-    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+    def partition(
+        self, graph: CSRGraph | GraphStore, num_parts: int
+    ) -> Partition:
         start = time.perf_counter()
+        # The traversal is random-access by nature; going through the
+        # store keeps out-of-core inputs workable (the LRU residency
+        # bounds memory), at the cost of chunk faults when the BFS
+        # frontier hops across chunk boundaries.
+        graph = as_topology(graph)
         n = graph.num_vertices
         capacity = int(np.ceil(self.slack * n / num_parts))
         assignment = np.full(n, -1, dtype=np.int64)
@@ -70,7 +78,7 @@ class BFSPartitioner:
         )
 
     @staticmethod
-    def _bfs_order(graph: CSRGraph, rng: np.random.Generator) -> np.ndarray:
+    def _bfs_order(graph: GraphStore, rng: np.random.Generator) -> np.ndarray:
         """Full BFS traversal order, restarting at random unvisited roots."""
         n = graph.num_vertices
         visited = np.zeros(n, dtype=bool)

@@ -13,6 +13,7 @@ import time
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.store.base import GraphStore
 from repro.partition.base import Partition
 
 __all__ = ["HashPartitioner"]
@@ -25,6 +26,11 @@ class HashPartitioner:
     which is both the fastest option and perfectly balanced. A non-zero
     salt mixes the ids first, which matters when vertex ids correlate with
     community structure.
+
+    Hash partitioning never touches the adjacency columns, which makes it
+    the only partitioner that is free even for out-of-core
+    :class:`~repro.graph.store.GraphStore` inputs — the large bench tier
+    relies on this.
     """
 
     name = "hash"
@@ -32,7 +38,9 @@ class HashPartitioner:
     def __init__(self, salt: int = 0):
         self.salt = salt
 
-    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+    def partition(
+        self, graph: CSRGraph | GraphStore, num_parts: int
+    ) -> Partition:
         start = time.perf_counter()
         n = graph.num_vertices
         ids = np.arange(n, dtype=np.uint64)

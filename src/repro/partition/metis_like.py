@@ -22,6 +22,7 @@ import time
 import numpy as np
 
 from repro.graph.csr import CSRGraph, from_edge_list
+from repro.graph.store.base import GraphStore
 from repro.partition.base import Partition
 
 __all__ = ["MetisLikePartitioner"]
@@ -54,8 +55,15 @@ class MetisLikePartitioner:
         self.imbalance = imbalance
 
     # ------------------------------------------------------------------
-    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+    def partition(
+        self, graph: CSRGraph | GraphStore, num_parts: int
+    ) -> Partition:
         start = time.perf_counter()
+        if isinstance(graph, GraphStore):
+            # Multilevel coarsening is a whole-graph in-memory algorithm;
+            # out-of-core inputs are materialized up front. Scale-bound
+            # deployments should partition with hash or bfs instead.
+            graph = graph.to_csr()
         rng = np.random.default_rng(self.seed)
         if num_parts == 1:
             assignment = np.zeros(graph.num_vertices, dtype=np.int64)

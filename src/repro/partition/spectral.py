@@ -22,6 +22,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.linalg import eigsh
 
 from repro.graph.csr import CSRGraph
+from repro.graph.store.base import GraphStore
 from repro.partition.base import Partition
 
 __all__ = ["SpectralPartitioner"]
@@ -41,8 +42,14 @@ class SpectralPartitioner:
         self.seed = seed
         self.dense_below = max(dense_below, 8)
 
-    def partition(self, graph: CSRGraph, num_parts: int) -> Partition:
+    def partition(
+        self, graph: CSRGraph | GraphStore, num_parts: int
+    ) -> Partition:
         start = time.perf_counter()
+        if isinstance(graph, GraphStore):
+            # Eigensolves need the whole operator; materialize up front
+            # (spectral cuts are a small-graph quality option anyway).
+            graph = graph.to_csr()
         n = graph.num_vertices
         assignment = np.zeros(n, dtype=np.int64)
         if num_parts > 1:

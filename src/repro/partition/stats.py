@@ -3,6 +3,11 @@
 These quantities drive the communication cost model: the number of *cut*
 edges determines how many embedding messages cross machine boundaries each
 layer, and ``avg_remote_neighbors`` is the paper's ``g_rmt`` in Table II.
+
+All statistics stream adjacency blocks through the store API
+(:mod:`repro.graph.store`), so they work unchanged on out-of-core graphs:
+nothing here materializes the global column array or a per-vertex Python
+set. Memory is bounded by ``O(n)`` bookkeeping plus one adjacency block.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.store.base import GraphStore, as_topology
 from repro.partition.base import Partition
 
 __all__ = [
@@ -48,50 +54,62 @@ class PartitionStats:
     total_halo: int
 
 
-def partition_stats(graph: CSRGraph, partition: Partition) -> PartitionStats:
+def _block_sources(
+    indptr: np.ndarray, start: int, stop: int
+) -> np.ndarray:
+    """Source vertex of every edge in rows ``[start, stop)``."""
+    counts = np.diff(indptr[start:stop + 1])
+    return np.repeat(np.arange(start, stop, dtype=np.int64), counts)
+
+
+def partition_stats(
+    graph: CSRGraph | GraphStore, partition: Partition
+) -> PartitionStats:
     """Compute :class:`PartitionStats` for ``partition`` over ``graph``."""
-    if partition.num_vertices != graph.num_vertices:
+    store = as_topology(graph)
+    if partition.num_vertices != store.num_vertices:
         raise ValueError("partition and graph vertex counts differ")
     assignment = partition.assignment
-    src = np.repeat(
-        np.arange(graph.num_vertices, dtype=np.int64), np.diff(graph.indptr)
-    )
-    cut_mask = assignment[src] != assignment[graph.indices]
-    edge_cut = int(cut_mask.sum())
+    n = store.num_vertices
+
+    edge_cut = 0
+    remote_per_vertex = np.zeros(n, dtype=np.int64)
+    # halo_seen[p, u] marks that part p needs remote vertex u; summing
+    # the rows gives the distinct-halo sizes without per-part sets.
+    halo_seen = np.zeros((partition.num_parts, n), dtype=bool)
+    for start, stop, indices, _ in store.iter_adjacency():
+        src = _block_sources(store.indptr, start, stop)
+        cut = assignment[src] != assignment[indices]
+        edge_cut += int(np.count_nonzero(cut))
+        if not cut.any():
+            continue
+        cut_src = src[cut]
+        cut_dst = indices[cut]
+        # Rows never span blocks, so deduplicating (src, dst) pairs
+        # inside the block is exact per-vertex distinctness.
+        pair_keys = np.unique(cut_src * n + cut_dst)
+        uniq_src = pair_keys // n
+        uniq_dst = pair_keys % n
+        remote_per_vertex += np.bincount(uniq_src, minlength=n)
+        halo_seen[assignment[uniq_src], uniq_dst] = True
 
     sizes = partition.part_sizes()
-    ideal = graph.num_vertices / partition.num_parts
-
-    remote_per_vertex = np.zeros(graph.num_vertices, dtype=np.int64)
-    total_halo = 0
-    for part in range(partition.num_parts):
-        halo: set[int] = set()
-        for v in partition.part_vertices(part):
-            count = 0
-            seen: set[int] = set()
-            for u in graph.neighbors(int(v)):
-                u = int(u)
-                if assignment[u] != part and u not in seen:
-                    seen.add(u)
-                    count += 1
-                    halo.add(u)
-            remote_per_vertex[v] = count
-        total_halo += len(halo)
-
+    ideal = n / partition.num_parts
+    num_edges = store.num_edges
     return PartitionStats(
         num_parts=partition.num_parts,
         edge_cut=edge_cut,
-        edge_cut_ratio=edge_cut / graph.num_edges if graph.num_edges else 0.0,
+        edge_cut_ratio=edge_cut / num_edges if num_edges else 0.0,
         max_part_size=int(sizes.max()) if sizes.size else 0,
         min_part_size=int(sizes.min()) if sizes.size else 0,
         balance=float(sizes.max() / ideal) if ideal else 0.0,
         avg_remote_neighbors=float(remote_per_vertex.mean()),
-        total_halo=total_halo,
+        total_halo=int(halo_seen.sum()),
     )
 
 
 def part_loads(
-    graph: CSRGraph, assignment: np.ndarray, num_parts: int
+    graph: CSRGraph | GraphStore, assignment: np.ndarray, num_parts: int
 ) -> np.ndarray:
     """Per-part compute-load proxy: owned vertices plus incident edges.
 
@@ -99,10 +117,14 @@ def part_loads(
     survivor when a dead worker's partition needs a new home — edge
     count dominates both the aggregation FLOPs and the halo traffic a
     part generates, and vertex count covers the dense layer work.
+
+    Only the row pointers are read, so this is free even for out-of-core
+    stores.
     """
-    if assignment.shape[0] != graph.num_vertices:
+    store = as_topology(graph)
+    if assignment.shape[0] != store.num_vertices:
         raise ValueError("assignment does not match the graph")
-    degrees = np.diff(graph.indptr).astype(np.int64)
+    degrees = store.degrees().astype(np.int64)
     vertices = np.bincount(assignment, minlength=num_parts)
     edges = np.bincount(
         assignment, weights=degrees.astype(np.float64), minlength=num_parts
@@ -111,7 +133,7 @@ def part_loads(
 
 
 def remote_neighbor_lists(
-    graph: CSRGraph, partition: Partition
+    graph: CSRGraph | GraphStore, partition: Partition
 ) -> list[dict[int, np.ndarray]]:
     """Per-part map: remote part id -> sorted vertex ids needed from it.
 
@@ -119,21 +141,35 @@ def remote_neighbor_lists(
     embeddings part ``i`` needs each layer. This is exactly the request
     pattern the Neighbor Access Controller issues.
     """
+    store = as_topology(graph)
     assignment = partition.assignment
-    requests: list[dict[int, set[int]]] = [
+    n = store.num_vertices
+
+    # Distinct (requesting part, remote vertex) pairs, accumulated as
+    # per-block deduplicated keys and deduplicated once more globally.
+    key_blocks: list[np.ndarray] = []
+    for start, stop, indices, _ in store.iter_adjacency():
+        src = _block_sources(store.indptr, start, stop)
+        cut = assignment[src] != assignment[indices]
+        if cut.any():
+            key_blocks.append(
+                np.unique(assignment[src[cut]] * n + indices[cut])
+            )
+    requests: list[dict[int, np.ndarray]] = [
         {} for _ in range(partition.num_parts)
     ]
+    if not key_blocks:
+        return requests
+    keys = np.unique(np.concatenate(key_blocks))
+    req_part = keys // n
+    wanted = keys % n  # ascending within each requesting part
+    owners = assignment[wanted]
     for part in range(partition.num_parts):
-        for v in partition.part_vertices(part):
-            for u in graph.neighbors(int(v)):
-                u = int(u)
-                owner = int(assignment[u])
-                if owner != part:
-                    requests[part].setdefault(owner, set()).add(u)
-    return [
-        {
-            owner: np.array(sorted(vertices), dtype=np.int64)
-            for owner, vertices in part_requests.items()
-        }
-        for part_requests in requests
-    ]
+        in_part = req_part == part
+        part_wanted = wanted[in_part]
+        part_owners = owners[in_part]
+        for owner in np.unique(part_owners):
+            requests[part][int(owner)] = part_wanted[
+                part_owners == owner
+            ].astype(np.int64)
+    return requests

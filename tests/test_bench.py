@@ -229,6 +229,40 @@ class TestRunBenchSmoke:
         path = write_report(report, tmp_path / "smoke.json")
         assert load_report(path)["profile"] == "smoke"
 
+    def test_peak_rss_recorded(self, report):
+        assert report["peak_rss_bytes"] > 0
+
+
+class TestRunBenchLargeSmoke:
+    """The out-of-core tier, at smoke scale (seconds, not minutes)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(smoke=True, profile="large")
+
+    def test_schema_and_profile(self, report):
+        assert report["schema"] == SCHEMA
+        assert report["profile"] == "large-smoke"
+
+    def test_pipeline_steps_timed(self, report):
+        large = report["large"]
+        for key in ("generate_seconds", "partition_seconds",
+                    "stats_seconds", "subgraph_seconds", "gather_seconds"):
+            assert large[key] > 0
+
+    def test_store_and_rss_accounting(self, report):
+        large = report["large"]
+        assert large["num_vertices"] == 1 << 14
+        assert large["num_edges"] > large["num_vertices"]
+        assert large["feature_bytes_on_disk"] > 0
+        assert large["store_bytes_on_disk"] > large["feature_bytes_on_disk"]
+        assert report["peak_rss_bytes"] > 0
+        assert large["rss_to_feature_ratio"] > 0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            run_bench(smoke=True, profile="galactic")
+
 
 class TestBenchCLI:
     def test_smoke_run_writes_report(self, tmp_path, capsys):

@@ -66,6 +66,41 @@ class TestRoundTrip:
         assert path.exists()
 
 
+class TestMmapLoading:
+    def test_uncompressed_roundtrip_with_mmap(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path, compress=False)
+        loaded = load_graph(path, mmap_mode="r")
+        np.testing.assert_array_equal(loaded.features, graph.features)
+        np.testing.assert_array_equal(
+            loaded.adjacency.indices, graph.adjacency.indices
+        )
+        np.testing.assert_array_equal(loaded.test_mask, graph.test_mask)
+
+    def test_mmap_arrays_are_disk_backed(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path, compress=False)
+        loaded = load_graph(path, mmap_mode="r")
+        # AttributedGraph may rewrap the memmap in a zero-copy view;
+        # either way the ultimate base must be the on-disk mapping.
+        array = loaded.features
+        while array.base is not None and not isinstance(array, np.memmap):
+            array = array.base
+        assert isinstance(array, np.memmap)
+
+    def test_mmap_of_compressed_archive_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path, compress=True)
+        with pytest.raises(ValueError, match="compress=False"):
+            load_graph(path, mmap_mode="r")
+
+    def test_unsupported_mmap_mode(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path, compress=False)
+        with pytest.raises(ValueError, match="mmap_mode"):
+            load_graph(path, mmap_mode="r+")
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -79,4 +114,46 @@ class TestErrors:
         payload["format_version"] = np.int64(99)
         np.savez_compressed(path, **payload)
         with pytest.raises(ValueError, match="version"):
+            load_graph(path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, indptr=np.arange(3), features=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="not a graph archive"):
+            load_graph(path)
+
+    def test_wrong_magic_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["magic"] = np.str_("NOTAGRAPH")
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="magic"):
+            load_graph(path)
+
+    def test_missing_members_named(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        with np.load(path) as archive:
+            payload = {
+                k: archive[k] for k in archive.files
+                if k not in ("features", "labels")
+            }
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="features"):
+            load_graph(path)
+
+    def test_truncated_file_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(graph, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(ValueError, match="corrupt|truncated"):
+            load_graph(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValueError, match="corrupt"):
             load_graph(path)

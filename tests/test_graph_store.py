@@ -1,0 +1,356 @@
+"""Unit tests for the graph/feature store layer (``repro.graph.store``):
+feature-store backends agree byte-for-byte, the LRU chunk cache evicts
+what it promises, the external sorter matches ``np.unique`` on every
+path (in-memory and spilled-to-disk), adjacency iteration respects the
+edge-bounded block contract, and on-disk stores survive a round trip
+through the manifest."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph.attributed import AttributedGraph, make_split_masks
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import GraphSpec, generate_graph
+from repro.graph.normalize import gcn_normalize, row_normalize
+from repro.graph.store import (
+    ChunkCache,
+    ExternalSorter,
+    GraphStoreBundle,
+    MemoryFeatureStore,
+    MemoryGraphStore,
+    NormalizedGraphStore,
+    as_bundle,
+    as_topology,
+    memory_bundle,
+    open_bundle,
+    read_manifest,
+    to_mmap_bundle,
+)
+from repro.graph.store.base import DEFAULT_MAX_BLOCK_EDGES
+
+
+@pytest.fixture(scope="module")
+def graph():
+    spec = GraphSpec(
+        name="store-test", num_vertices=300, avg_degree=8,
+        feature_dim=12, num_classes=4, seed=11,
+    )
+    return generate_graph(spec)
+
+
+@pytest.fixture(scope="module")
+def mmap_root(graph, tmp_path_factory):
+    root = tmp_path_factory.mktemp("store") / "g"
+    # Odd chunk size so the last chunk is ragged and row ranges
+    # straddle chunk boundaries.
+    to_mmap_bundle(graph, root, chunk_vertices=97)
+    return root
+
+
+class TestFeatureStoreBackends:
+    """Memory and mmap feature stores expose identical bytes."""
+
+    def test_rows_slice_blocks_match(self, graph, mmap_root):
+        mem = MemoryFeatureStore(graph.features)
+        disk = open_bundle(mmap_root).feature_store
+        assert mem.shape == disk.shape
+        assert mem.dtype == disk.dtype
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, graph.num_vertices, size=64)
+        np.testing.assert_array_equal(mem.rows(ids), disk.rows(ids))
+        # A slice crossing the 97-row chunk boundary.
+        np.testing.assert_array_equal(mem.slice(90, 110), disk.slice(90, 110))
+        np.testing.assert_array_equal(mem.to_array(), disk.to_array())
+
+    def test_iter_blocks_cover_everything_in_order(self, graph, mmap_root):
+        disk = open_bundle(mmap_root).feature_store
+        cursor = 0
+        parts = []
+        for start, stop, block in disk.iter_blocks():
+            assert start == cursor
+            assert block.shape[0] == stop - start
+            parts.append(np.asarray(block))
+            cursor = stop
+        assert cursor == graph.num_vertices
+        np.testing.assert_array_equal(np.concatenate(parts), graph.features)
+
+    def test_rows_unsorted_and_duplicate_ids(self, graph, mmap_root):
+        disk = open_bundle(mmap_root).feature_store
+        ids = np.array([299, 0, 97, 97, 5, 200])
+        np.testing.assert_array_equal(disk.rows(ids), graph.features[ids])
+
+    def test_contiguous_ids_are_zero_copy(self, graph):
+        # The documented fast path: contiguous ascending ids come back
+        # as a view of the resident array, not a gather copy.
+        mem = MemoryFeatureStore(graph.features)
+        view = mem.rows(np.array([10, 11, 12]))
+        assert view.base is graph.features
+        gathered = mem.rows(np.array([12, 10]))
+        assert gathered.base is not graph.features
+
+
+class TestChunkCache:
+    def test_lru_eviction_and_stats(self):
+        loads = []
+
+        def loader(key):
+            return lambda: loads.append(key) or np.full(4, key)
+
+        cache = ChunkCache(budget=2)
+        cache.get(0, loader(0))
+        cache.get(1, loader(1))
+        cache.get(0, loader(0))          # hit; 1 becomes LRU
+        cache.get(2, loader(2))          # evicts 1
+        cache.get(1, loader(1))          # miss again
+        assert loads == [0, 1, 2, 1]
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 4
+        assert stats["evictions"] >= 2
+
+    def test_drop_all_forces_reload(self):
+        cache = ChunkCache(budget=4)
+        calls = {"n": 0}
+
+        def loader():
+            calls["n"] += 1
+            return np.zeros(1)
+
+        cache.get(0, loader)
+        cache.drop_all()
+        cache.get(0, loader)
+        assert calls["n"] == 2
+
+
+class TestExternalSorter:
+    @staticmethod
+    def _drain(sorter, unique=True):
+        blocks = list(sorter.sorted_blocks(unique=unique))
+        if not blocks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(blocks)
+
+    @pytest.mark.parametrize("on_disk", [False, True])
+    def test_matches_numpy_unique(self, on_disk, tmp_path):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 5_000, size=20_000)
+        workdir = tmp_path / "runs" if on_disk else None
+        # Tiny run/merge blocks force many spills and multi-level merges.
+        sorter = ExternalSorter(workdir=workdir, run_size=777, merge_block=256)
+        for start in range(0, keys.size, 1_000):
+            sorter.append(keys[start:start + 1_000])
+        np.testing.assert_array_equal(self._drain(sorter), np.unique(keys))
+
+    def test_duplicates_kept_when_not_unique(self, tmp_path):
+        keys = np.array([5, 3, 5, 1, 3, 5], dtype=np.int64)
+        sorter = ExternalSorter(workdir=tmp_path, run_size=2, merge_block=2)
+        sorter.append(keys)
+        out = self._drain(sorter, unique=False)
+        np.testing.assert_array_equal(out, np.sort(keys))
+
+    def test_empty_and_single_run(self):
+        assert self._drain(ExternalSorter()).size == 0
+        sorter = ExternalSorter()
+        sorter.append(np.array([2, 2, 1]))
+        np.testing.assert_array_equal(self._drain(sorter), [1, 2])
+
+    def test_single_use(self):
+        sorter = ExternalSorter()
+        sorter.append(np.array([1]))
+        self._drain(sorter)
+        with pytest.raises(RuntimeError):
+            list(sorter.sorted_blocks())
+        with pytest.raises(RuntimeError):
+            sorter.append(np.array([2]))
+
+    def test_blocks_are_sorted_and_bounded(self, tmp_path):
+        rng = np.random.default_rng(3)
+        sorter = ExternalSorter(workdir=tmp_path, run_size=500, merge_block=128)
+        sorter.append(rng.integers(0, 10_000, size=5_000))
+        previous = None
+        for block in sorter.sorted_blocks():
+            assert np.all(np.diff(block) > 0)
+            if previous is not None:
+                assert block[0] > previous
+            previous = int(block[-1])
+
+
+class TestAdjacencyIteration:
+    def test_blocks_reassemble_csr(self, graph, mmap_root):
+        for store in (
+            MemoryGraphStore(graph.adjacency),
+            open_bundle(mmap_root).adjacency,
+        ):
+            cursor = 0
+            indices_parts = []
+            for start, stop, indices, weights in store.iter_adjacency():
+                assert start == cursor
+                expected = int(store.indptr[stop] - store.indptr[start])
+                assert indices.shape[0] == expected
+                indices_parts.append(np.asarray(indices))
+                cursor = stop
+            assert cursor == graph.num_vertices
+            np.testing.assert_array_equal(
+                np.concatenate(indices_parts), graph.adjacency.indices
+            )
+
+    def test_blocks_respect_edge_bound(self, graph):
+        store = MemoryGraphStore(graph.adjacency)
+        degrees = store.degrees()
+        for start, stop, indices, _ in store.iter_adjacency():
+            # A block may exceed the bound only when a single row does.
+            if stop - start > 1:
+                assert indices.shape[0] <= max(
+                    DEFAULT_MAX_BLOCK_EDGES, int(degrees[start:stop].max())
+                )
+
+    def test_edge_bounded_spans_partition_range(self, graph):
+        store = MemoryGraphStore(graph.adjacency)
+        spans = list(store._edge_bounded_spans(0, graph.num_vertices, 64))
+        assert spans[0][0] == 0
+        assert spans[-1][1] == graph.num_vertices
+        for (_, a_hi), (b_lo, _) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+        for lo, hi in spans:
+            edges = int(store.indptr[hi] - store.indptr[lo])
+            assert edges <= 64 or hi - lo == 1
+
+    def test_neighbors_match_csr(self, graph, mmap_root):
+        store = open_bundle(mmap_root).adjacency
+        for v in (0, 96, 97, 150, graph.num_vertices - 1):
+            np.testing.assert_array_equal(
+                store.neighbors(v), graph.adjacency.neighbors(v)
+            )
+
+
+class TestNormalizedStore:
+    @pytest.mark.parametrize("scheme,reference", [
+        ("gcn", gcn_normalize), ("row", row_normalize),
+    ])
+    def test_matches_eager_normalization(self, graph, scheme, reference):
+        store = NormalizedGraphStore(
+            MemoryGraphStore(graph.adjacency), scheme=scheme
+        )
+        expected = reference(graph.adjacency, add_self_loops=True)
+        got = store.to_csr()
+        np.testing.assert_array_equal(got.indptr, expected.indptr)
+        np.testing.assert_array_equal(got.indices, expected.indices)
+        np.testing.assert_allclose(got.weights, expected.weights, rtol=1e-12)
+
+    def test_unknown_scheme(self, graph):
+        with pytest.raises(KeyError, match="unknown normalization"):
+            NormalizedGraphStore(MemoryGraphStore(graph.adjacency), "bad")
+
+
+class TestBundle:
+    def test_materialize_roundtrip(self, graph):
+        out = memory_bundle(graph).materialize()
+        np.testing.assert_array_equal(
+            out.adjacency.indptr, graph.adjacency.indptr
+        )
+        np.testing.assert_array_equal(
+            out.adjacency.indices, graph.adjacency.indices
+        )
+        np.testing.assert_array_equal(out.features, graph.features)
+        np.testing.assert_array_equal(out.labels, graph.labels)
+        np.testing.assert_array_equal(out.train_mask, graph.train_mask)
+        assert out.num_classes == graph.num_classes
+
+    def test_mmap_materialize_matches_source(self, graph, mmap_root):
+        out = open_bundle(mmap_root).materialize()
+        np.testing.assert_array_equal(out.features, graph.features)
+        np.testing.assert_array_equal(
+            out.adjacency.indices, graph.adjacency.indices
+        )
+        np.testing.assert_array_equal(out.val_mask, graph.val_mask)
+
+    def test_split_sizes_match_masks(self, graph, mmap_root):
+        bundle = open_bundle(mmap_root)
+        assert bundle.split_sizes() == (
+            int(graph.train_mask.sum()),
+            int(graph.val_mask.sum()),
+            int(graph.test_mask.sum()),
+        )
+
+    def test_as_bundle_and_as_topology_accept_everything(self, graph):
+        bundle = as_bundle(graph)
+        assert isinstance(bundle, GraphStoreBundle)
+        assert as_bundle(bundle) is bundle
+        topo = as_topology(graph.adjacency)
+        assert topo.num_edges == graph.adjacency.num_edges
+        assert as_topology(topo) is topo
+
+
+class TestManifest:
+    def test_read_manifest_roundtrip(self, mmap_root):
+        manifest = read_manifest(mmap_root)
+        assert manifest["num_vertices"] == 300
+        assert manifest["chunk_vertices"] == 97
+        assert "features" in manifest["columns"]
+
+    def test_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_manifest(tmp_path / "nope")
+
+    def test_corrupt_manifest_rejected(self, graph, tmp_path):
+        root = tmp_path / "g"
+        to_mmap_bundle(graph, root, chunk_vertices=128)
+        manifest_path = root / "manifest.json"
+        body = json.loads(manifest_path.read_text())
+        body["magic"] = "NOTASTORE"
+        manifest_path.write_text(json.dumps(body))
+        with pytest.raises(ValueError, match="magic"):
+            read_manifest(root)
+
+
+class TestSharedStoreMapNpy:
+    def test_workers_see_store_chunk_without_copy(self, graph, mmap_root):
+        from repro.mp.store import SharedStore
+
+        chunk = next(iter((mmap_root).rglob("*.npy")))
+        expected = np.load(chunk)
+        with SharedStore(create=True) as shared:
+            view = shared.map_npy("chunk0", chunk)
+            assert isinstance(view, np.memmap)
+            np.testing.assert_array_equal(view, expected)
+            again = shared.attach("chunk0")
+            np.testing.assert_array_equal(again, expected)
+
+
+def _tiny_graph():
+    indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+    indices = np.array([1, 2, 0, 0], dtype=np.int64)
+    adjacency = CSRGraph(indptr, indices)
+    features = np.arange(6, dtype=np.float32).reshape(3, 2)
+    labels = np.array([0, 1, 0])
+    train, val, test = make_split_masks(3, 1, 1, 1, np.random.default_rng(0))
+    return AttributedGraph(
+        adjacency=adjacency, features=features, labels=labels,
+        train_mask=train, val_mask=val, test_mask=test,
+        num_classes=2, name="tiny",
+    )
+
+
+class TestDegenerateShapes:
+    def test_single_chunk_store(self, tmp_path):
+        graph = _tiny_graph()
+        bundle = to_mmap_bundle(graph, tmp_path / "g", chunk_vertices=1024)
+        np.testing.assert_array_equal(
+            bundle.feature_store.to_array(), graph.features
+        )
+        np.testing.assert_array_equal(
+            bundle.adjacency.to_csr().indices, graph.adjacency.indices
+        )
+
+    def test_chunk_per_vertex(self, tmp_path):
+        graph = _tiny_graph()
+        bundle = to_mmap_bundle(graph, tmp_path / "g", chunk_vertices=1)
+        np.testing.assert_array_equal(
+            bundle.feature_store.rows(np.array([2, 0])), graph.features[[2, 0]]
+        )
+        blocks = list(bundle.adjacency.iter_adjacency())
+        np.testing.assert_array_equal(
+            np.concatenate([b[2] for b in blocks]), graph.adjacency.indices
+        )

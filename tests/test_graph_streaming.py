@@ -1,0 +1,168 @@
+"""Equivalence tests for the streaming generators: ``stream_graph`` is
+bit-identical to the materialized ``generate_graph``, ``stream_rmat_graph``
+produces the same graph on the memory and mmap backends, and every
+partitioner assigns identically whether the topology lives in RAM or in
+chunk files on disk."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import GraphSpec, generate_graph
+from repro.graph.rmat import RMATSpec
+from repro.graph.streaming import stream_graph, stream_rmat_graph
+from repro.graph.subgraph import induced_subgraph
+from repro.partition import (
+    BFSPartitioner,
+    HashPartitioner,
+    MetisLikePartitioner,
+    SpectralPartitioner,
+)
+from repro.partition.stats import partition_stats
+
+SPECS = [
+    GraphSpec(
+        name="uniform", num_vertices=400, avg_degree=10,
+        feature_dim=16, num_classes=5, seed=3,
+    ),
+    GraphSpec(
+        name="heavy-tail", num_vertices=350, avg_degree=8,
+        feature_dim=8, num_classes=3, power_law=2.1,
+        label_noise=0.1, seed=9,
+    ),
+]
+
+
+def _assert_graphs_identical(a, b):
+    np.testing.assert_array_equal(a.adjacency.indptr, b.adjacency.indptr)
+    np.testing.assert_array_equal(a.adjacency.indices, b.adjacency.indices)
+    np.testing.assert_array_equal(a.features, b.features)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_array_equal(a.train_mask, b.train_mask)
+    np.testing.assert_array_equal(a.val_mask, b.val_mask)
+    np.testing.assert_array_equal(a.test_mask, b.test_mask)
+    assert a.num_classes == b.num_classes
+
+
+class TestStreamGraphBitIdentity:
+    """stream_graph replays generate_graph's RNG sequence exactly."""
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_memory_backend_matches_materialized(self, spec):
+        expected = generate_graph(spec)
+        streamed = stream_graph(spec, backend="memory").materialize()
+        _assert_graphs_identical(streamed, expected)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_mmap_backend_matches_materialized(self, spec, tmp_path):
+        expected = generate_graph(spec)
+        bundle = stream_graph(
+            spec, backend="mmap", out_dir=tmp_path / spec.name,
+            chunk_vertices=97,
+        )
+        _assert_graphs_identical(bundle.materialize(), expected)
+
+    def test_odd_chunk_sizes_do_not_change_bytes(self, tmp_path):
+        spec = SPECS[0]
+        expected = generate_graph(spec)
+        for chunk in (1 << 12, 101, 33):
+            bundle = stream_graph(
+                spec, backend="mmap", out_dir=tmp_path / f"c{chunk}",
+                chunk_vertices=chunk,
+            )
+            _assert_graphs_identical(bundle.materialize(), expected)
+
+
+class TestStreamRmatBackends:
+    """The chunk-seeded R-MAT generator is backend-invariant."""
+
+    SPEC = RMATSpec(scale=10, edge_factor=6, feature_dim=8, seed=17)
+
+    def test_memory_vs_mmap_identical(self, tmp_path):
+        mem = stream_rmat_graph(self.SPEC, backend="memory").materialize()
+        disk = stream_rmat_graph(
+            self.SPEC, backend="mmap", out_dir=tmp_path / "rmat",
+            chunk_vertices=97,
+        ).materialize()
+        _assert_graphs_identical(mem, disk)
+
+    def test_rows_sorted_and_deduplicated(self):
+        g = stream_rmat_graph(self.SPEC, backend="memory").materialize()
+        indptr, indices = g.adjacency.indptr, g.adjacency.indices
+        for v in range(0, g.num_vertices, 57):
+            row = indices[indptr[v]:indptr[v + 1]]
+            assert np.all(np.diff(row) > 0), f"row {v} not strictly sorted"
+
+    def test_chunk_edges_is_part_of_identity(self):
+        # Different chunk_edges draw different RNG streams by design —
+        # the parameter is documented as part of the graph's identity.
+        a = stream_rmat_graph(self.SPEC, chunk_edges=1 << 12).materialize()
+        b = stream_rmat_graph(self.SPEC, chunk_edges=1 << 10).materialize()
+        assert not np.array_equal(a.adjacency.indices, b.adjacency.indices)
+
+
+PARTITIONERS = [
+    HashPartitioner(),
+    BFSPartitioner(seed=0),
+    MetisLikePartitioner(seed=0),
+    SpectralPartitioner(seed=0),
+]
+
+
+class TestPartitionersStoreInvariant:
+    """Each partitioner assigns identically over RAM and mmap topology."""
+
+    @pytest.fixture(scope="class")
+    def bundles(self, tmp_path_factory):
+        spec = GraphSpec(
+            name="part-equiv", num_vertices=320, avg_degree=9,
+            feature_dim=8, num_classes=4, seed=5,
+        )
+        mem = stream_graph(spec, backend="memory")
+        disk = stream_graph(
+            spec, backend="mmap",
+            out_dir=tmp_path_factory.mktemp("part") / "g",
+            chunk_vertices=97,
+        )
+        return mem, disk
+
+    @pytest.mark.parametrize(
+        "partitioner", PARTITIONERS, ids=lambda p: p.name
+    )
+    def test_assignment_identical(self, partitioner, bundles):
+        mem, disk = bundles
+        a = partitioner.partition(mem.adjacency, 4)
+        b = partitioner.partition(disk.adjacency, 4)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    @pytest.mark.parametrize(
+        "partitioner", PARTITIONERS, ids=lambda p: p.name
+    )
+    def test_csr_path_matches_store_path(self, partitioner, bundles):
+        mem, _ = bundles
+        csr = mem.adjacency.to_csr()
+        a = partitioner.partition(csr, 3)
+        b = partitioner.partition(mem.adjacency, 3)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_partition_stats_identical(self, bundles):
+        mem, disk = bundles
+        partition = HashPartitioner().partition(mem.adjacency, 4)
+        a = partition_stats(mem.adjacency, partition)
+        b = partition_stats(disk.adjacency, partition)
+        assert a == b
+
+    def test_induced_subgraph_identical(self, bundles):
+        mem, disk = bundles
+        partition = HashPartitioner().partition(mem.adjacency, 4)
+        owned = np.flatnonzero(partition.assignment == 0)
+        ref = induced_subgraph(mem.materialize().adjacency, owned)
+        for bundle in (mem, disk):
+            sub = induced_subgraph(bundle.adjacency, owned)
+            np.testing.assert_array_equal(
+                sub.local_vertices, ref.local_vertices
+            )
+            np.testing.assert_array_equal(
+                sub.remote_vertices, ref.remote_vertices
+            )
+            np.testing.assert_array_equal(sub.indptr, ref.indptr)
+            np.testing.assert_array_equal(sub.indices, ref.indices)
