@@ -37,7 +37,7 @@ def _run(name, fp_policy=None, config=None):
 
 
 def _experiment():
-    runs = [
+    return [
         _run("raw"),
         _run("bucket-2", config=ECGraphConfig(
             fp_mode="compress", bp_mode="raw", fp_bits=2,
@@ -53,7 +53,6 @@ def _experiment():
         _run("topk-2", fp_policy=CodecPolicy(TopKCodec(k=2))),
         _run("onebit", fp_policy=CodecPolicy(OneBitCodec())),
     ]
-    return runs
 
 
 def test_ablation_codecs(benchmark):

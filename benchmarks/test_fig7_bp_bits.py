@@ -77,7 +77,7 @@ def test_fig7_bp_bits(benchmark):
     # Shape: at every width, error feedback is at least as good as plain
     # gradient compression, and at 1 bit it is strictly better on the
     # high-degree dataset.
-    for dataset, runs in results.items():
+    for _dataset, runs in results.items():
         by_name = {run.name: run for run in runs}
         for bits in BITS:
             assert (

@@ -113,7 +113,7 @@ def test_fig8_ablation(benchmark):
 
     # Shape: the full EC-Graph pipeline reaches the target and keeps
     # near-baseline accuracy on every dataset.
-    for dataset, runs in results.items():
+    for _dataset, runs in results.items():
         summaries = {r.name: summarize(r, convergence_target(runs))
                      for r in runs}
         assert summaries["EC-Graph"].seconds_to_target is not None

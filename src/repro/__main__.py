@@ -15,7 +15,12 @@ Commands:
   the tolerance machinery held up against the fault-free twin;
 * ``bench``    — time the codec micro-kernels, a halo exchange and a
   training epoch (with a per-stage profile); write ``BENCH_core.json``
-  and optionally gate on a committed baseline (``--compare``).
+  and optionally gate on a committed baseline (``--compare``);
+* ``lint``     — run the AST-based invariant checker (rules ECG001..007:
+  simulated-clock discipline, seeded randomness, deterministic state
+  iteration, shared-resource lifecycles, wire-decode validation, no
+  pickle/eval, config drift) over source trees; exits non-zero on
+  findings.
 
 Operational errors (bad config values, missing dataset paths, corrupt
 checkpoints) exit non-zero with a one-line message instead of a
@@ -496,6 +501,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lintrules import format_json, format_text, run_lint
+
+    def _codes(raw: str | None) -> list[str] | None:
+        if raw is None:
+            return None
+        return [code.strip() for code in raw.split(",") if code.strip()]
+
+    report = run_lint(
+        args.paths, select=_codes(args.select), ignore=_codes(args.ignore)
+    )
+    text = (
+        format_json(report) if args.format == "json" else format_text(report)
+    )
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    print(text)
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -630,6 +658,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "multiprocess epoch suite, 'sync' only the "
                             "single-process suites (default: everything)")
     bench.set_defaults(func=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", help="AST-based invariant checker (ECG001..ECG007)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to run "
+                           "(default: all)")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="output format (default: text)")
+    lint.add_argument("--out", default=None,
+                      help="also write the report to this path "
+                           "(e.g. a CI artifact)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -9,6 +9,8 @@ from repro.core.bit_tuner import (
     DEFAULT_RAISE_THRESHOLD,
 )
 from repro.faults.config import FAULTS_DISABLED, FaultConfig
+from repro.nn.activations import ACTIVATION_NAMES
+from repro.nn.optim import OPTIMIZER_NAMES
 from repro.obs.config import OBS_DISABLED, ObsConfig
 
 __all__ = ["ModelConfig", "ECGraphConfig"]
@@ -17,6 +19,7 @@ _FP_MODES = ("raw", "compress", "reqec", "delayed")
 _BP_MODES = ("raw", "compress", "resec", "delayed")
 _GRANULARITIES = ("vertex", "matrix", "element")
 _EXECUTION_MODES = ("sync", "multiprocess")
+_TABLE_MODES = ("table", "bounds")
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,11 @@ class ModelConfig:
             raise ValueError("num_layers must be >= 1")
         if self.hidden_dim < 1:
             raise ValueError("hidden_dim must be >= 1")
+        if self.activation not in ACTIVATION_NAMES:
+            raise ValueError(
+                f"unknown activation {self.activation!r}; "
+                f"known: {', '.join(ACTIVATION_NAMES)}"
+            )
         if self.model not in ("gcn", "sage"):
             raise ValueError(f"unknown model {self.model!r}")
 
@@ -144,6 +152,10 @@ class ECGraphConfig:
             raise ValueError(f"fp_mode must be one of {_FP_MODES}")
         if self.bp_mode not in _BP_MODES:
             raise ValueError(f"bp_mode must be one of {_BP_MODES}")
+        if not 1 <= self.fp_bits <= 16:
+            raise ValueError(f"fp_bits must be in [1, 16], got {self.fp_bits}")
+        if not 1 <= self.bp_bits <= 16:
+            raise ValueError(f"bp_bits must be in [1, 16], got {self.bp_bits}")
         if self.selector_granularity not in _GRANULARITIES:
             raise ValueError(
                 f"selector_granularity must be one of {_GRANULARITIES}"
@@ -154,12 +166,25 @@ class ECGraphConfig:
             raise ValueError("delayed_rounds must be >= 1")
         if not 0.0 <= self.tuner_lower < self.tuner_raise <= 1.0:
             raise ValueError("need 0 <= tuner_lower < tuner_raise <= 1")
+        if self.table_mode not in _TABLE_MODES:
+            raise ValueError(f"table_mode must be one of {_TABLE_MODES}")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.optimizer not in OPTIMIZER_NAMES:
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"known: {', '.join(OPTIMIZER_NAMES)}"
+            )
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
         if self.codec_speedup <= 0:
             raise ValueError("codec_speedup must be positive")
         if self.exchange_threads < 0:
             raise ValueError("exchange_threads must be non-negative")
         if self.execution not in _EXECUTION_MODES:
             raise ValueError(f"execution must be one of {_EXECUTION_MODES}")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
 
     # Convenience presets matching the paper's named configurations.
     def as_non_cp(self) -> "ECGraphConfig":

@@ -11,13 +11,13 @@ traffic.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.compression.quantization import BucketQuantizer
 from repro.core.messages import ChannelKey, ChannelMessage, ReceiveResult
+from repro.obs.tracing import monotonic_now
 
 if TYPE_CHECKING:
     from repro.core.bit_tuner import BitTuner
@@ -96,9 +96,9 @@ class CompressPolicy:
         t: int,
         rows_idx: np.ndarray | None = None,
     ) -> ChannelMessage:
-        start = time.perf_counter()
+        start = monotonic_now()
         quantized = self._quantizer.encode(rows)
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         return ChannelMessage(
             payload=quantized,
             nbytes=quantized.payload_bytes(),
@@ -112,9 +112,9 @@ class CompressPolicy:
         t: int,
         rows_idx: np.ndarray | None = None,
     ) -> ReceiveResult:
-        start = time.perf_counter()
+        start = monotonic_now()
         rows = message.payload.decode()
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         return ReceiveResult(rows=rows, codec_seconds=elapsed)
 
     def reset(self) -> None:
@@ -145,10 +145,10 @@ class CodecPolicy:
         t: int,
         rows_idx: np.ndarray | None = None,
     ) -> ChannelMessage:
-        start = time.perf_counter()
+        start = monotonic_now()
         encoded = self._codec.encode(np.ascontiguousarray(rows,
                                                           dtype=np.float32))
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         return ChannelMessage(
             payload=encoded,
             nbytes=encoded.payload_bytes,
@@ -162,10 +162,10 @@ class CodecPolicy:
         t: int,
         rows_idx: np.ndarray | None = None,
     ) -> ReceiveResult:
-        start = time.perf_counter()
+        start = monotonic_now()
         rows = self._codec.decode(message.payload)
         return ReceiveResult(
-            rows=rows, codec_seconds=time.perf_counter() - start
+            rows=rows, codec_seconds=monotonic_now() - start
         )
 
     def reset(self) -> None:

@@ -20,7 +20,6 @@ adaptive :class:`~repro.core.bit_tuner.BitTuner`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +27,7 @@ import numpy as np
 from repro.compression.quantization import BucketQuantizer
 from repro.core.bit_tuner import BitTuner
 from repro.core.messages import ChannelKey, ChannelMessage, ReceiveResult
+from repro.obs.tracing import monotonic_now
 
 __all__ = ["TrendState", "ReqECPolicy", "SELECT_COMPRESSED",
            "SELECT_PREDICTED", "SELECT_AVERAGE"]
@@ -121,12 +121,12 @@ class ReqECPolicy:
 
         bits = self.tuner.bits(key.pair)
         quantizer = self._quantizer(bits)
-        start = time.perf_counter()
+        start = monotonic_now()
 
         if state is None:
             # No trend snapshot yet (first trend group): compressed only.
             quantized = quantizer.encode(rows)
-            elapsed = time.perf_counter() - start
+            elapsed = monotonic_now() - start
             if self.health is not None:
                 self.health.record_selection(
                     key.pair, (rows.shape[0], 0, 0), bits, t
@@ -151,7 +151,7 @@ class ReqECPolicy:
         payload, nbytes = self._build_compressed_payload(
             rows, selection, quantizer, ids, reps, lo, hi
         )
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         if self.health is not None:
             counts = np.bincount(selection.ravel(), minlength=3)
             self.health.record_selection(key.pair, counts, bits, t)
@@ -249,11 +249,11 @@ class ReqECPolicy:
             return ReceiveResult(rows=rows.copy())
 
         if kind == "cps_only":
-            start = time.perf_counter()
+            start = monotonic_now()
             rows = message.payload[1].decode()
             return ReceiveResult(
                 rows=rows,
-                codec_seconds=time.perf_counter() - start,
+                codec_seconds=monotonic_now() - start,
                 meta=dict(message.meta),
             )
 
@@ -264,13 +264,13 @@ class ReqECPolicy:
                 f"channel {key} received a selector message before any "
                 "exact trend snapshot"
             )
-        start = time.perf_counter()
+        start = monotonic_now()
         steps = t % self.trend_period + 1
         h_pdt = state.h_last + state.m_cr * steps
         rows = self._reconstruct(selection, quantized, h_pdt)
         return ReceiveResult(
             rows=rows,
-            codec_seconds=time.perf_counter() - start,
+            codec_seconds=monotonic_now() - start,
             meta=dict(message.meta),
         )
 

@@ -17,12 +17,12 @@ which is what Theorem 1 bounds.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
 from repro.compression.quantization import BucketQuantizer
 from repro.core.messages import ChannelKey, ChannelMessage, ReceiveResult
+from repro.obs.tracing import monotonic_now
 
 __all__ = ["ResECPolicy"]
 
@@ -58,7 +58,7 @@ class ResECPolicy:
         rows_idx: np.ndarray | None = None,
     ) -> ChannelMessage:
         rows = np.ascontiguousarray(rows, dtype=np.float32)
-        start = time.perf_counter()
+        start = monotonic_now()
         residual = self._residual.get(key)
         if rows_idx is None:
             if residual is None or residual.shape != rows.shape:
@@ -93,7 +93,7 @@ class ResECPolicy:
                     float(np.linalg.norm(rows)),
                     self._quantizer.bits,
                 )
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         return ChannelMessage(
             payload=quantized,
             nbytes=quantized.payload_bytes(),
@@ -111,10 +111,10 @@ class ResECPolicy:
         t: int,
         rows_idx: np.ndarray | None = None,
     ) -> ReceiveResult:
-        start = time.perf_counter()
+        start = monotonic_now()
         rows = message.payload.decode()
         return ReceiveResult(
-            rows=rows, codec_seconds=time.perf_counter() - start
+            rows=rows, codec_seconds=monotonic_now() - start
         )
 
     # ------------------------------------------------------------------

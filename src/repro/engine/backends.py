@@ -32,7 +32,7 @@ sampled row subsets).
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -80,7 +80,7 @@ class ModelBackend(Protocol):
     def begin_iteration(self) -> None:
         """Reset per-iteration caches before a forward pass."""
 
-    def adjacency(self, state: WorkerState, layer: int):
+    def adjacency(self, state: WorkerState, layer: int) -> csr_matrix:
         """Aggregation rows used by ``state`` at ``layer`` (1-based)."""
 
     def exchange_subset(
@@ -115,6 +115,29 @@ class ModelBackend(Protocol):
     ) -> None:
         """One backward layer: parameter-gradient shares into ``grads``
         plus the input-gradient propagation (with its halo exchange)."""
+
+    def backward_local(
+        self, state: WorkerState, layer: int, weights: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """One worker's parameter-gradient shares (pure kernel)."""
+
+    def backward_reduce(
+        self,
+        state: WorkerState,
+        layer: int,
+        halo: np.ndarray,
+        weights: dict[str, np.ndarray],
+    ) -> None:
+        """Fold the layer's gradient halo into ``grad_rows[layer-1]``."""
+
+    def bp_halo_rows(self, state: WorkerState, layer: int) -> np.ndarray:
+        """Rows the worker contributes to the layer's gradient exchange."""
+
+    def kernel_refresh(self, worker_id: int) -> Any:
+        """Payload syncing a worker replica's kernel state (None = none)."""
+
+    def apply_kernel_refresh(self, worker_id: int, payload: Any) -> None:
+        """Apply a :meth:`kernel_refresh` payload in a worker replica."""
 
     def eval_layer(
         self,
@@ -151,11 +174,11 @@ class _BackendBase:
     """
 
     ctx: ExchangeContext
-    _bp_span_stages = False
+    _bp_span_stages: bool = False
     # Bumped whenever supervisor-side per-worker kernel state changes
     # (sampled adjacencies); the process executor ships a refresh to
     # worker replicas when the shipped version falls behind.
-    kernel_version = 0
+    kernel_version: int = 0
 
     def bind(self, ctx: ExchangeContext) -> None:
         self.ctx = ctx
@@ -167,7 +190,7 @@ class _BackendBase:
         """Rebuild architecture-specific per-worker structures after the
         reassigner swapped the worker states (default: nothing cached)."""
 
-    def adjacency(self, state: WorkerState, layer: int):
+    def adjacency(self, state: WorkerState, layer: int) -> csr_matrix:
         del layer
         return state.a_local
 
@@ -180,13 +203,13 @@ class _BackendBase:
     # ------------------------------------------------------------------
     # Kernel-state shipping (multi-process executor)
     # ------------------------------------------------------------------
-    def kernel_refresh(self, worker_id: int):
+    def kernel_refresh(self, worker_id: int) -> Any:
         """Payload bringing a worker replica's kernel state up to
         ``kernel_version`` (None = backend has no mutable kernel state)."""
         del worker_id
         return None
 
-    def apply_kernel_refresh(self, worker_id: int, payload) -> None:
+    def apply_kernel_refresh(self, worker_id: int, payload: Any) -> None:
         """Apply a :meth:`kernel_refresh` payload in a worker replica."""
         del worker_id, payload
 
@@ -236,7 +259,9 @@ class _BackendBase:
             subset=self.exchange_subset(layer, "bp"),
         )
 
-    def backward_layer(self, t, layer, grads) -> None:
+    def backward_layer(
+        self, t: int, layer: int, grads: dict[int, dict[str, np.ndarray]]
+    ) -> None:
         ctx = self.ctx
         weights = {
             name: ctx.servers.get(name)
@@ -271,7 +296,14 @@ class GCNBackend(_BackendBase):
     def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
         return state.local_output(layer)
 
-    def forward_layer(self, state, h_cat, pulled, layer, is_last) -> None:
+    def forward_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        pulled: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> None:
         ctx = self.ctx
         state.caches[layer] = layer_forward(
             self.adjacency(state, layer),
@@ -286,7 +318,7 @@ class GCNBackend(_BackendBase):
     def final_logits(self, state: WorkerState) -> np.ndarray:
         return state.caches[self.ctx.params.num_layers].output
 
-    _bp_span_stages = True
+    _bp_span_stages: bool = True
 
     def backward_param_names(self, layer: int) -> list[str]:
         names = [weight_name(layer - 1)]
@@ -294,7 +326,9 @@ class GCNBackend(_BackendBase):
             names.append(bias_name(layer - 1))
         return names
 
-    def backward_local(self, state, layer, weights):
+    def backward_local(
+        self, state: WorkerState, layer: int, weights: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
         del weights
         g_local = state.grad_rows[layer]
         cache = state.caches[layer]
@@ -307,7 +341,13 @@ class GCNBackend(_BackendBase):
             shares[bias_name(layer - 1)] = bias_gradient(g_local)
         return shares
 
-    def backward_reduce(self, state, layer, halo, weights) -> None:
+    def backward_reduce(
+        self,
+        state: WorkerState,
+        layer: int,
+        halo: np.ndarray,
+        weights: dict[str, np.ndarray],
+    ) -> None:
         g_cat = np.concatenate([state.grad_rows[layer], halo], axis=0)
         state.grad_rows[layer - 1] = layer_backward_inputs(
             self.adjacency(state, layer),
@@ -317,7 +357,14 @@ class GCNBackend(_BackendBase):
             self.ctx.params.activation,
         )
 
-    def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
+    def eval_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        params: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> np.ndarray:
         # Exact inference always aggregates over the full local
         # adjacency (not a sampled one) with default kernel ordering.
         return layer_forward(
@@ -349,7 +396,7 @@ class SampledGCNBackend(GCNBackend):
         online: bool,
         sampling_speedup: float,
         rng: np.random.Generator,
-    ):
+    ) -> None:
         self.fanouts = list(fanouts)
         self.online = online
         self.sampling_speedup = sampling_speedup
@@ -366,20 +413,22 @@ class SampledGCNBackend(GCNBackend):
         self.subsets = {}
         self.kernel_version += 1
 
-    def kernel_refresh(self, worker_id: int):
+    def kernel_refresh(self, worker_id: int) -> dict[int, csr_matrix]:
         # Worker replicas only aggregate: they need their own sampled
         # adjacency, not the exchange subsets (supervisor-side).
         return self.sampled_adj[worker_id]
 
-    def apply_kernel_refresh(self, worker_id: int, payload) -> None:
+    def apply_kernel_refresh(self, worker_id: int, payload: Any) -> None:
         while len(self.sampled_adj) <= worker_id:
             self.sampled_adj.append({})
         self.sampled_adj[worker_id] = payload
 
-    def adjacency(self, state: WorkerState, layer: int):
+    def adjacency(self, state: WorkerState, layer: int) -> csr_matrix:
         return self.sampled_adj[state.worker_id][layer]
 
-    def exchange_subset(self, layer: int, direction: str):
+    def exchange_subset(
+        self, layer: int, direction: str
+    ) -> dict[tuple[int, int], np.ndarray] | None:
         del direction  # forward and backward touch the same sampled halo
         return self.subsets.get(layer)
 
@@ -425,6 +474,7 @@ class SampledGCNBackend(GCNBackend):
         for layer, per_worker in needed_halo.items():
             layer_subsets: dict[tuple[int, int], np.ndarray] = {}
             for state, used in zip(ctx.workers, per_worker):
+                # ecg: ignore[ECG003] halo_slots insertion order IS the bit-pinned channel plan order; sorting would reorder subset construction
                 for owner, slots in state.halo_slots.items():
                     rows_idx = np.flatnonzero(used[slots]).astype(np.int64)
                     layer_subsets[(owner, state.worker_id)] = rows_idx
@@ -495,7 +545,13 @@ def self_weight_name(layer: int) -> str:
 class _SAGECache:
     """Forward state per layer: inputs, neighbour means, pre-activations."""
 
-    def __init__(self, h_local, aggregated, z, output):
+    def __init__(
+        self,
+        h_local: np.ndarray,
+        aggregated: np.ndarray,
+        z: np.ndarray,
+        output: np.ndarray,
+    ) -> None:
         self.h_local = h_local
         self.aggregated = aggregated
         self.z = z
@@ -572,8 +628,15 @@ class SAGEBackend(_BackendBase):
     def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
         return self.caches[state.worker_id][layer].output
 
-    def sage_layer_forward(self, state, h_cat, w_self, w_neigh, bias,
-                           is_last: bool) -> _SAGECache:
+    def sage_layer_forward(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        w_self: np.ndarray,
+        w_neigh: np.ndarray,
+        bias: np.ndarray | None,
+        is_last: bool,
+    ) -> _SAGECache:
         h_local = h_cat[:state.num_local]
         aggregated = state.a_local @ h_cat
         z = (h_local @ w_self + aggregated @ w_neigh).astype(np.float32)
@@ -585,7 +648,14 @@ class SAGEBackend(_BackendBase):
         )
         return _SAGECache(h_local, aggregated, z, output)
 
-    def forward_layer(self, state, h_cat, pulled, layer, is_last) -> None:
+    def forward_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        pulled: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> None:
         self.caches[state.worker_id][layer] = self.sage_layer_forward(
             state,
             h_cat,
@@ -604,7 +674,9 @@ class SAGEBackend(_BackendBase):
             names.append(bias_name(layer - 1))
         return names
 
-    def backward_local(self, state, layer, weights):
+    def backward_local(
+        self, state: WorkerState, layer: int, weights: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
         del weights
         i = state.worker_id
         cache = self.caches[i][layer]
@@ -621,7 +693,13 @@ class SAGEBackend(_BackendBase):
             shares[bias_name(layer - 1)] = g.sum(axis=0).astype(np.float32)
         return shares
 
-    def backward_reduce(self, state, layer, halo, weights) -> None:
+    def backward_reduce(
+        self,
+        state: WorkerState,
+        layer: int,
+        halo: np.ndarray,
+        weights: dict[str, np.ndarray],
+    ) -> None:
         i = state.worker_id
         cache_prev = self.caches[i][layer - 1]
         g = state.grad_rows[layer]
@@ -634,7 +712,14 @@ class SAGEBackend(_BackendBase):
             dh * self.ctx.params.activation.derivative(cache_prev.z)
         ).astype(np.float32)
 
-    def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
+    def eval_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        params: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> np.ndarray:
         return self.sage_layer_forward(
             state,
             h_cat,
@@ -683,7 +768,7 @@ class _EdgeSpace:
         num_local / num_cat: Row/column counts of the local adjacency.
     """
 
-    def __init__(self, state: WorkerState):
+    def __init__(self, state: WorkerState) -> None:
         indptr = state.a_local.indptr
         self.col = state.a_local.indices.astype(np.int64)
         self.src = np.repeat(
@@ -709,7 +794,15 @@ class _GATCache:
     attention head.
     """
 
-    def __init__(self, h_cat, u_cat, logits, alpha, z, output):
+    def __init__(
+        self,
+        h_cat: np.ndarray,
+        u_cat: list[np.ndarray],
+        logits: list[np.ndarray],
+        alpha: list[np.ndarray],
+        z: np.ndarray,
+        output: np.ndarray,
+    ) -> None:
         self.h_cat = h_cat
         self.u_cat = u_cat
         self.logits = logits  # raw (pre-LeakyReLU) attention scores
@@ -734,7 +827,7 @@ class GATBackend(_BackendBase):
 
     name = "gat"
 
-    def __init__(self, num_heads: int = 1):
+    def __init__(self, num_heads: int = 1) -> None:
         if num_heads < 1:
             raise ValueError("num_heads must be >= 1")
         self.num_heads = num_heads
@@ -788,7 +881,9 @@ class GATBackend(_BackendBase):
             names.append(bias_name(layer - 1))
         return names
 
-    def _head_params(self, params: dict, layer: int, head: int):
+    def _head_params(
+        self, params: dict[str, np.ndarray], layer: int, head: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         return (
             params[head_weight_name(layer - 1, head)],
             params[attn_src_name(layer - 1, head)],
@@ -803,8 +898,14 @@ class GATBackend(_BackendBase):
     def layer_output(self, state: WorkerState, layer: int) -> np.ndarray:
         return self.caches[state.worker_id][layer].output
 
-    def gat_layer_forward(self, worker: int, h_cat, params: dict,
-                          layer: int, is_last: bool) -> _GATCache:
+    def gat_layer_forward(
+        self,
+        worker: int,
+        h_cat: np.ndarray,
+        params: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> _GATCache:
         """One multi-head GAT layer on a worker's local vertices."""
         edges = self.edges[worker]
         u_heads, logit_heads, alpha_heads = [], [], []
@@ -834,7 +935,14 @@ class GATBackend(_BackendBase):
         )
         return _GATCache(h_cat, u_heads, logit_heads, alpha_heads, z, output)
 
-    def forward_layer(self, state, h_cat, pulled, layer, is_last) -> None:
+    def forward_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        pulled: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> None:
         self.caches[state.worker_id][layer] = self.gat_layer_forward(
             state.worker_id, h_cat, pulled, layer, is_last=is_last
         )
@@ -852,7 +960,9 @@ class GATBackend(_BackendBase):
             ])
         return names
 
-    def backward_local(self, state, layer, weights):
+    def backward_local(
+        self, state: WorkerState, layer: int, weights: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
         # One worker's partial dH over the cat space (summed over
         # heads) plus its parameter-gradient shares.
         ctx = self.ctx
@@ -905,7 +1015,7 @@ class GATBackend(_BackendBase):
         self._dh_partials[i] = dh
         return shares
 
-    def bp_halo_rows(self, state, layer):
+    def bp_halo_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         del layer
         return self._dh_partials[state.worker_id][state.num_local:]
 
@@ -925,7 +1035,13 @@ class GATBackend(_BackendBase):
             dim=ctx.params.dims[layer - 1],
         )
 
-    def backward_reduce(self, state, layer, halo, weights) -> None:
+    def backward_reduce(
+        self,
+        state: WorkerState,
+        layer: int,
+        halo: np.ndarray,
+        weights: dict[str, np.ndarray],
+    ) -> None:
         del weights
         i = state.worker_id
         cache_prev = self.caches[i][layer - 1]
@@ -934,7 +1050,14 @@ class GATBackend(_BackendBase):
             dh_total * self.ctx.params.activation.derivative(cache_prev.z)
         ).astype(np.float32)
 
-    def eval_layer(self, state, h_cat, params, layer, is_last) -> np.ndarray:
+    def eval_layer(
+        self,
+        state: WorkerState,
+        h_cat: np.ndarray,
+        params: dict[str, np.ndarray],
+        layer: int,
+        is_last: bool,
+    ) -> np.ndarray:
         return self.gat_layer_forward(
             state.worker_id, h_cat, params, layer, is_last=is_last
         ).output

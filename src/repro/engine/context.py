@@ -131,7 +131,7 @@ class ExchangeContext:
             dim=dim,
         )
 
-    def policy_for(self, direction: str):
+    def policy_for(self, direction: str) -> object:
         if direction not in _DIRECTION_CATEGORIES:
             raise ValueError(f"unknown exchange direction {direction!r}")
         return self.fp_policy if direction == "fp" else self.bp_policy

@@ -44,7 +44,7 @@ class TrainerCore:
         ctx: ExchangeContext,
         backend: ModelBackend,
         recovery: RecoveryManager | None = None,
-    ):
+    ) -> None:
         self.ctx = ctx
         self.backend = backend
         self.recovery = recovery

@@ -27,10 +27,16 @@ populate.
 from __future__ import annotations
 
 import contextlib
+from typing import TYPE_CHECKING, ContextManager
 
 import numpy as np
 
 from repro.nn.losses import softmax_cross_entropy
+
+if TYPE_CHECKING:
+    from repro.core.worker import WorkerState
+    from repro.engine.backends import ModelBackend
+    from repro.engine.context import ExchangeContext
 
 __all__ = ["SyncExecutor"]
 
@@ -40,29 +46,40 @@ class SyncExecutor:
 
     name = "sync"
 
-    def __init__(self):
-        self.ctx = None
-        self.backend = None
+    def __init__(self) -> None:
+        self.ctx: ExchangeContext | None = None
+        self.backend: ModelBackend | None = None
 
-    def bind(self, ctx, backend) -> None:
+    def bind(self, ctx: ExchangeContext, backend: ModelBackend) -> None:
         self.ctx = ctx
         self.backend = backend
+
+    def _bound(self) -> tuple[ExchangeContext, ModelBackend]:
+        assert self.ctx is not None and self.backend is not None
+        return self.ctx, self.backend
 
     # ------------------------------------------------------------------
     # Iteration hooks
     # ------------------------------------------------------------------
     def on_epoch_start(self, t: int) -> None:
-        self.backend.on_epoch_start(t)
+        self._bound()[1].on_epoch_start(t)
 
     def begin_iteration(self) -> None:
-        self.backend.begin_iteration()
+        self._bound()[1].begin_iteration()
 
     # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
-    def forward_kernels(self, t, layer, pulled, halos, is_last) -> None:
+    def forward_kernels(
+        self,
+        t: int,
+        layer: int,
+        pulled: list[dict[str, np.ndarray]],
+        halos: list[np.ndarray],
+        is_last: bool,
+    ) -> None:
         del t
-        ctx, backend = self.ctx, self.backend
+        ctx, backend = self._bound()
         for state in ctx.active_workers():
             i = state.worker_id
             prev = backend.layer_input(state, layer)
@@ -72,11 +89,11 @@ class SyncExecutor:
                     state, h_cat, pulled[i], layer, is_last=is_last
                 )
 
-    def loss_scan(self, t) -> tuple[float, dict[str, list[int]]]:
+    def loss_scan(self, t: int) -> tuple[float, dict[str, list[int]]]:
         """Loss + accuracy counters from the final logits; seeds the
         gradient rows (scaled by the global train count)."""
         del t
-        ctx, backend = self.ctx, self.backend
+        ctx, backend = self._bound()
         num_layers = ctx.params.num_layers
         counters = {"train": [0, 0], "val": [0, 0], "test": [0, 0]}
         total_loss = 0.0
@@ -113,16 +130,23 @@ class SyncExecutor:
     # ------------------------------------------------------------------
     # Backward
     # ------------------------------------------------------------------
-    def _bp_span(self, layer: int, stage: str):
+    def _bp_span(self, layer: int, stage: str) -> ContextManager[object]:
+        ctx, _ = self._bound()
         if getattr(self.backend, "_bp_span_stages", False):
-            return self.ctx.telemetry.span(
+            return ctx.telemetry.span(
                 "kernel", layer=layer, direction="bp", stage=stage
             )
         return contextlib.nullcontext()
 
-    def backward_local(self, t, layer, weights, grads) -> None:
+    def backward_local(
+        self,
+        t: int,
+        layer: int,
+        weights: dict[str, np.ndarray],
+        grads: dict[int, dict[str, np.ndarray]],
+    ) -> None:
         del t
-        ctx, backend = self.ctx, self.backend
+        ctx, backend = self._bound()
         with self._bp_span(layer, "weight_grad"):
             for state in ctx.active_workers():
                 i = state.worker_id
@@ -131,9 +155,15 @@ class SyncExecutor:
                         backend.backward_local(state, layer, weights)
                     )
 
-    def backward_reduce(self, t, layer, weights, halos) -> None:
+    def backward_reduce(
+        self,
+        t: int,
+        layer: int,
+        weights: dict[str, np.ndarray],
+        halos: list[np.ndarray],
+    ) -> None:
         del t
-        ctx, backend = self.ctx, self.backend
+        ctx, backend = self._bound()
         with self._bp_span(layer, "input_grad"):
             for state in ctx.active_workers():
                 with ctx.runtime.worker_compute(state.worker_id):
@@ -144,17 +174,17 @@ class SyncExecutor:
     # ------------------------------------------------------------------
     # Exchange row sources
     # ------------------------------------------------------------------
-    def layer_rows(self, state, layer: int) -> np.ndarray:
+    def layer_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         """Rows a forward exchange serves: the layer's local outputs."""
-        return self.backend.layer_output(state, layer)
+        return self._bound()[1].layer_output(state, layer)
 
-    def grad_rows(self, state, layer: int) -> np.ndarray:
+    def grad_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         """Rows a backward fetch serves: the layer's gradient rows."""
         return state.grad_rows[layer]
 
-    def bp_halo_rows(self, state, layer: int) -> np.ndarray:
+    def bp_halo_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         """Halo rows a reverse exchange pushes (GAT dH partials)."""
-        return self.backend.bp_halo_rows(state, layer)
+        return self._bound()[1].bp_halo_rows(state, layer)
 
     # ------------------------------------------------------------------
     # Lifecycle

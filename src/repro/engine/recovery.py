@@ -32,7 +32,14 @@ from pathlib import Path
 
 import numpy as np
 
+from typing import TYPE_CHECKING, Any
+
 from repro.engine.context import ExchangeContext
+
+if TYPE_CHECKING:
+    from repro.membership.reassign import PartitionReassigner
+    from repro.membership.view import MembershipView
+    from repro.membership.watchdog import ConvergenceWatchdog
 
 __all__ = ["RecoveryManager", "CHECKPOINT_NAME", "PREVIOUS_CHECKPOINT_NAME"]
 
@@ -51,19 +58,24 @@ class RecoveryManager:
             the trainer's model/config metadata.
     """
 
-    def __init__(self, ctx: ExchangeContext, trainer):
+    def __init__(self, ctx: ExchangeContext, trainer: Any) -> None:
         self.ctx = ctx
         self.trainer = trainer
         # (epoch, params) in-memory snapshot — the rollback of last
         # resort when no disk checkpoint is configured or readable.
         self.param_snapshot: tuple[int, dict[str, np.ndarray]] | None = None
         # Elastic membership collaborators (attach_elasticity).
-        self.membership = None
-        self.reassigner = None
-        self.watchdog = None
+        self.membership: MembershipView | None = None
+        self.reassigner: PartitionReassigner | None = None
+        self.watchdog: ConvergenceWatchdog | None = None
         self._corruption_mark = 0
 
-    def attach_elasticity(self, membership, reassigner, watchdog) -> None:
+    def attach_elasticity(
+        self,
+        membership: MembershipView,
+        reassigner: PartitionReassigner,
+        watchdog: ConvergenceWatchdog,
+    ) -> None:
         """Wire the elastic-membership collaborators (``faults.elastic``).
 
         Called by the trainer facade after the engine is built; the
@@ -210,6 +222,7 @@ class RecoveryManager:
                     (state.num_halo, ctx.graph.feature_dim),
                     dtype=np.float32,
                 )
+                # ecg: ignore[ECG003] halo_slots insertion order IS the bit-pinned channel plan order; refetch must scatter rows in plan order
                 for owner, slots in state.halo_slots.items():
                     responder = ctx.workers[owner]
                     rows = responder.features[responder.serves[worker]]

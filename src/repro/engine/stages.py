@@ -39,7 +39,7 @@ __all__ = [
 class Stage:
     """Base class: a pipeline step bound to one context and backend."""
 
-    def __init__(self, ctx: ExchangeContext, backend: ModelBackend):
+    def __init__(self, ctx: ExchangeContext, backend: ModelBackend) -> None:
         self.ctx = ctx
         self.backend = backend
 

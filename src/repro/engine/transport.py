@@ -40,16 +40,25 @@ Two optional hot-path optimizations (both off by default, see
 
 from __future__ import annotations
 
-import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.cluster.engine import ClusterRuntime
-from repro.core.messages import ChannelKey, ChannelMessage, ExchangePolicy
+from repro.core.messages import (
+    ChannelKey,
+    ChannelMessage,
+    ExchangePolicy,
+    ReceiveResult,
+)
 from repro.core.worker import WorkerState
 from repro.faults.injector import FATE_CORRUPT, FATE_DELAY, FATE_DROP
+from repro.obs.tracing import monotonic_now
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["ChannelSession", "HaloTransport"]
 
@@ -122,7 +131,7 @@ class HaloTransport:
         codec_speedup: float = 20.0,
         buffer_pool: bool = False,
         threads: int = 0,
-    ):
+    ) -> None:
         if codec_speedup <= 0:
             raise ValueError("codec_speedup must be positive")
         if threads < 0:
@@ -135,21 +144,23 @@ class HaloTransport:
         self.telemetry = runtime.telemetry
         # FaultInjector, attached by the trainer when faults are
         # enabled; None keeps the exchange loop on the fault-free path.
-        self.injector = None
+        self.injector: FaultInjector | None = None
         self._last_proportions: dict[tuple[int, int], float] = {}
         # Last successfully received rows per channel, the stale-halo
         # fallback of last resort. Populated only under fault injection.
         self._halo_cache: dict[ChannelKey, np.ndarray] = {}
         # (kind, worker, dim) -> pooled float32 buffer.
         self._buffers: dict[tuple[str, int, int], np.ndarray] = {}
-        self._executor = None
+        self._executor: ThreadPoolExecutor | None = None
         # Optional session-output provider: (kind, worker, rows, dim) ->
         # zeroed float32 buffer, or None to fall back to the local pool.
         # The multiprocess executor plugs its shared-memory blocks in
         # here (ProcessChannelBuffers) so scatters land zero-copy where
         # the worker processes read them. Semantics match the pooled
         # path: a zeroed buffer reused across exchanges.
-        self.buffer_provider = None
+        self.buffer_provider: (
+            Callable[[str, int, int, int], np.ndarray | None] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Buffer pool
@@ -174,10 +185,8 @@ class HaloTransport:
     # ------------------------------------------------------------------
     # Thread pool
     # ------------------------------------------------------------------
-    def _pool(self):
+    def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
-            from concurrent.futures import ThreadPoolExecutor
-
             self._executor = ThreadPoolExecutor(
                 max_workers=self.threads, thread_name_prefix="nac"
             )
@@ -309,6 +318,7 @@ class HaloTransport:
         sessions: list[ChannelSession] = []
         for requester in self.workers:
             i = requester.worker_id
+            # ecg: ignore[ECG003] halo_slots insertion order IS the bit-pinned channel plan; sorting would reorder float scatters and break the goldens
             for owner, slots in requester.halo_slots.items():
                 rows_idx = None
                 if subset is not None:
@@ -351,6 +361,7 @@ class HaloTransport:
                 # partials for this worker at all.
                 continue
             partials = halo_rows_of(consumer)
+            # ecg: ignore[ECG003] halo_slots insertion order IS the bit-pinned channel plan; sorting would reorder reverse accumulation and break the goldens
             for owner, slots in consumer.halo_slots.items():
                 owner_state = self.workers[owner]
                 sessions.append(ChannelSession(
@@ -390,11 +401,11 @@ class HaloTransport:
         for ch in sessions:
             responder, consumer = ch.responder, ch.consumer
             with obs.span("encode", responder=responder, requester=consumer):
-                start = time.perf_counter()
+                start = monotonic_now()
                 message = policy.respond(
                     ch.key, ch.served, t, rows_idx=ch.rows_idx
                 )
-                respond_wall = time.perf_counter() - start
+                respond_wall = monotonic_now() - start
             self._charge_compute(responder, respond_wall, message.codec_seconds)
 
             delivered = self._deliver(
@@ -413,11 +424,11 @@ class HaloTransport:
                 continue
 
             with obs.span("decode", responder=responder, requester=consumer):
-                start = time.perf_counter()
+                start = monotonic_now()
                 result = policy.receive(
                     ch.key, message, t, rows_idx=ch.rows_idx
                 )
-                receive_wall = time.perf_counter() - start
+                receive_wall = monotonic_now() - start
             self._charge_compute(consumer, receive_wall, result.codec_seconds)
 
             ch.scatter(outputs, result.rows)
@@ -455,9 +466,9 @@ class HaloTransport:
         pool = self._pool()
 
         def _respond(ch: ChannelSession) -> tuple[ChannelMessage, float]:
-            start = time.perf_counter()
+            start = monotonic_now()
             message = policy.respond(ch.key, ch.served, t, rows_idx=ch.rows_idx)
-            return message, time.perf_counter() - start
+            return message, monotonic_now() - start
 
         responded = list(pool.map(_respond, sessions))
         for ch, (message, wall) in zip(sessions, responded):
@@ -466,11 +477,13 @@ class HaloTransport:
                 ch.responder, ch.consumer, message.nbytes, category
             )
 
-        def _receive(item: tuple[ChannelSession, tuple[ChannelMessage, float]]):
+        def _receive(
+            item: tuple[ChannelSession, tuple[ChannelMessage, float]]
+        ) -> tuple[ReceiveResult, float]:
             ch, (message, _) = item
-            start = time.perf_counter()
+            start = monotonic_now()
             result = policy.receive(ch.key, message, t, rows_idx=ch.rows_idx)
-            return result, time.perf_counter() - start
+            return result, monotonic_now() - start
 
         received = list(pool.map(_receive, zip(sessions, responded)))
         for ch, (message, _), (result, wall) in zip(
@@ -480,7 +493,12 @@ class HaloTransport:
             ch.scatter(outputs, result.rows)
             self._record_proportion(ch, message, result)
 
-    def _record_proportion(self, ch, message, result) -> None:
+    def _record_proportion(
+        self,
+        ch: ChannelSession,
+        message: ChannelMessage,
+        result: ReceiveResult,
+    ) -> None:
         proportion = result.meta.get("proportion")
         if proportion is None:
             proportion = message.meta.get("proportion")
@@ -657,7 +675,7 @@ class HaloTransport:
         for key in stale:
             del self._halo_cache[key]
 
-    def rebuild(self, changed=None) -> None:
+    def rebuild(self, changed: object = None) -> None:
         """Reset per-channel caches after a membership change.
 
         Sessions are planned fresh from the worker states on every

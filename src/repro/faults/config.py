@@ -148,6 +148,8 @@ class FaultConfig:
     watchdog_burst: int = 16
 
     def __post_init__(self):
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
         for name in ("drop_prob", "corrupt_prob", "delay_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -187,6 +189,8 @@ class FaultConfig:
             raise ValueError("recovery_seconds must be non-negative")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_dir is not None and not str(self.checkpoint_dir):
+            raise ValueError("checkpoint_dir must be None or a non-empty path")
         for name in ("permanent_failures", "rejoin_schedule"):
             for epoch, worker in getattr(self, name):
                 if epoch < 0 or worker < 0:

@@ -227,8 +227,8 @@ class GraphStoreBundle:
         test_mask_store: FeatureStore,
         num_classes: int,
         name: str = "unnamed",
-        meta: dict | None = None,
-    ):
+        meta: dict[str, object] | None = None,
+    ) -> None:
         self.adjacency = adjacency
         self.feature_store = feature_store
         self.label_store = label_store
@@ -313,7 +313,7 @@ class GraphStoreBundle:
         )
 
 
-def as_topology(graph) -> GraphStore:
+def as_topology(graph: CSRGraph | GraphStore) -> GraphStore:
     """Coerce a :class:`CSRGraph` or :class:`GraphStore` to a store."""
     if isinstance(graph, GraphStore):
         return graph
@@ -322,7 +322,7 @@ def as_topology(graph) -> GraphStore:
     return MemoryGraphStore(graph)
 
 
-def as_bundle(graph) -> GraphStoreBundle:
+def as_bundle(graph: AttributedGraph | GraphStoreBundle) -> GraphStoreBundle:
     """Coerce an :class:`AttributedGraph` or bundle to a bundle."""
     if isinstance(graph, GraphStoreBundle):
         return graph

@@ -36,7 +36,12 @@ _COLUMNS = ("features", "labels", "train_mask", "val_mask", "test_mask")
 class _MemoryColumn:
     """Sequential block appender accumulating into one resident array."""
 
-    def __init__(self, sink: dict, component: str, dtype):
+    def __init__(
+        self,
+        sink: dict[str, np.ndarray],
+        component: str,
+        dtype: np.dtype | type,
+    ) -> None:
         self._sink = sink
         self._component = component
         self._dtype = np.dtype(dtype)
@@ -72,7 +77,7 @@ class StoreBuilder:
         out_dir: str | Path | None = None,
         chunk_vertices: int = DEFAULT_CHUNK_VERTICES,
         max_resident_blocks: int = DEFAULT_RESIDENT_BLOCKS,
-    ):
+    ) -> None:
         if backend not in ("memory", "mmap"):
             raise ValueError(f"unknown store backend {backend!r}")
         if backend == "mmap" and out_dir is None:
@@ -91,7 +96,12 @@ class StoreBuilder:
             )
 
     # -- per-vertex columns -------------------------------------------
-    def column_writer(self, component: str, row_shape: tuple[int, ...], dtype):
+    def column_writer(
+        self,
+        component: str,
+        row_shape: tuple[int, ...],
+        dtype: np.dtype | type,
+    ) -> object:
         if self._writer is not None:
             return self._writer.column_writer(component, row_shape, dtype)
         return _MemoryColumn(self._arrays, component, dtype)
@@ -139,7 +149,7 @@ class StoreBuilder:
 
     # -- assembly ------------------------------------------------------
     def finish(
-        self, num_classes: int, name: str, meta: dict | None = None
+        self, num_classes: int, name: str, meta: dict[str, object] | None = None
     ) -> GraphStoreBundle:
         if self._indptr is None or self._index_sink is None:
             raise RuntimeError("topology was never written")

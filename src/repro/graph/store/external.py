@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import tempfile
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import BinaryIO, Callable, Iterator
 
 import numpy as np
 
@@ -39,7 +39,7 @@ DEFAULT_RUN_SIZE = 4_000_000  # int64 keys per sorted run (~32 MB)
 DEFAULT_MERGE_BLOCK = 1_000_000
 
 
-def _npy_header(fh) -> tuple[tuple[int, ...], np.dtype]:
+def _npy_header(fh: BinaryIO) -> tuple[tuple[int, ...], np.dtype]:
     version = np.lib.format.read_magic(fh)
     if version == (1, 0):
         shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
@@ -70,7 +70,7 @@ class ExternalSorter:
         workdir: str | Path | None = None,
         run_size: int = DEFAULT_RUN_SIZE,
         merge_block: int = DEFAULT_MERGE_BLOCK,
-    ):
+    ) -> None:
         if run_size < 2 or merge_block < 2:
             raise ValueError("run_size and merge_block must be >= 2")
         self._workdir = Path(workdir) if workdir is not None else None
@@ -252,14 +252,18 @@ class ChunkedEdgeArray:
     position/value batches to the owning buffers.
     """
 
-    def __init__(self, offsets: np.ndarray, buffers: list[np.ndarray]):
+    def __init__(
+        self, offsets: np.ndarray, buffers: list[np.ndarray]
+    ) -> None:
         self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
         if self.offsets.shape[0] != len(buffers) + 1:
             raise ValueError("offsets must have one entry per buffer + 1")
         self.buffers = buffers
 
     @classmethod
-    def in_memory(cls, num_edges: int, dtype) -> "ChunkedEdgeArray":
+    def in_memory(
+        cls, num_edges: int, dtype: np.dtype | type
+    ) -> "ChunkedEdgeArray":
         offsets = np.array([0, num_edges], dtype=np.int64)
         return cls(offsets, [np.empty(num_edges, dtype=dtype)])
 

@@ -32,7 +32,9 @@ DEFAULT_BLOCK_ROWS = 65_536
 class MemoryFeatureStore(FeatureStore):
     """Wrap one resident ndarray (1-D or 2-D) behind the row API."""
 
-    def __init__(self, array: np.ndarray, block_rows: int = DEFAULT_BLOCK_ROWS):
+    def __init__(
+        self, array: np.ndarray, block_rows: int = DEFAULT_BLOCK_ROWS
+    ) -> None:
         self._array = np.ascontiguousarray(array)
         if self._array.ndim not in (1, 2):
             raise ValueError("feature stores hold 1-D or 2-D arrays")
@@ -73,7 +75,9 @@ class MemoryFeatureStore(FeatureStore):
 class MemoryGraphStore(GraphStore):
     """Wrap one resident :class:`CSRGraph` behind the topology API."""
 
-    def __init__(self, graph: CSRGraph, block_vertices: int = DEFAULT_BLOCK_ROWS):
+    def __init__(
+        self, graph: CSRGraph, block_vertices: int = DEFAULT_BLOCK_ROWS
+    ) -> None:
         self._graph = graph
         self._block_vertices = int(block_vertices)
 

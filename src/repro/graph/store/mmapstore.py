@@ -27,7 +27,7 @@ import json
 import mmap as _mmap_mod
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.graph.store.base import (
     GraphStore,
     GraphStoreBundle,
 )
+
+if TYPE_CHECKING:
+    from repro.graph.attributed import AttributedGraph
 
 __all__ = [
     "ChunkCache",
@@ -80,7 +83,7 @@ def release_pages(array: np.ndarray) -> None:
 class ChunkCache:
     """LRU cache of open chunk memmaps with a residency budget."""
 
-    def __init__(self, budget: int):
+    def __init__(self, budget: int) -> None:
         if budget < 1:
             raise ValueError("residency budget must be >= 1")
         self.budget = int(budget)
@@ -153,7 +156,7 @@ class MmapFeatureStore(FeatureStore):
         dtype: np.dtype,
         chunk_rows: int,
         max_resident_blocks: int = DEFAULT_RESIDENT_BLOCKS,
-    ):
+    ) -> None:
         self._root = Path(root)
         self._component = component
         self._shape = tuple(int(s) for s in shape)
@@ -242,7 +245,7 @@ class MmapGraphStore(GraphStore):
         chunk_vertices: int,
         weighted: bool,
         max_resident_blocks: int = DEFAULT_RESIDENT_BLOCKS,
-    ):
+    ) -> None:
         self._root = Path(root)
         self._indptr = np.load(self._root / "indptr.npy", mmap_mode="r")
         if self._indptr.shape[0] != num_vertices + 1:
@@ -361,7 +364,7 @@ class _ColumnWriter:
         row_shape: tuple[int, ...],
         dtype: np.dtype,
         chunk_rows: int,
-    ):
+    ) -> None:
         self._root = root
         self._component = component
         self._num_rows = num_rows
@@ -436,7 +439,7 @@ class MmapStoreWriter:
         root: str | Path,
         num_vertices: int,
         chunk_vertices: int = DEFAULT_CHUNK_VERTICES,
-    ):
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.num_vertices = int(num_vertices)
@@ -454,7 +457,10 @@ class MmapStoreWriter:
         return max((n + cv - 1) // cv, 1)
 
     def column_writer(
-        self, component: str, row_shape: tuple[int, ...], dtype
+        self,
+        component: str,
+        row_shape: tuple[int, ...],
+        dtype: np.dtype | type,
     ) -> _ColumnWriter:
         dtype = np.dtype(dtype)
         self._columns[component] = {
@@ -490,7 +496,9 @@ class MmapStoreWriter:
         )
         return self._indptr[bounds]
 
-    def edge_buffers(self, component: str, dtype) -> list[np.ndarray]:
+    def edge_buffers(
+        self, component: str, dtype: np.dtype | type
+    ) -> list[np.ndarray]:
         """Writable edge-aligned chunk memmaps for the CSR fill."""
         offsets = self.edge_chunk_offsets()
         dtype = np.dtype(dtype)
@@ -513,7 +521,7 @@ class MmapStoreWriter:
         self,
         num_classes: int,
         name: str,
-        meta: dict | None = None,
+        meta: dict[str, object] | None = None,
     ) -> Path:
         if self._indptr is None:
             raise RuntimeError("set_indptr must be called before finalize")
@@ -576,7 +584,7 @@ def open_bundle(
 
 
 def to_mmap_bundle(
-    graph,
+    graph: "AttributedGraph | GraphStoreBundle",
     root: str | Path,
     chunk_vertices: int = DEFAULT_CHUNK_VERTICES,
     max_resident_blocks: int = DEFAULT_RESIDENT_BLOCKS,

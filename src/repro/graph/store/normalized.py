@@ -32,7 +32,7 @@ _SCHEMES = ("gcn", "row")
 class NormalizedGraphStore(GraphStore):
     """Lazily normalized topology (``gcn`` or ``row``) over a base store."""
 
-    def __init__(self, base: GraphStore, scheme: str = "gcn"):
+    def __init__(self, base: GraphStore, scheme: str = "gcn") -> None:
         if scheme not in _SCHEMES:
             known = ", ".join(_SCHEMES)
             raise KeyError(

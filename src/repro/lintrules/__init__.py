@@ -1,0 +1,46 @@
+"""``repro lint``: AST-based invariant checking for the EC-Graph repro.
+
+Seven repo-specific rules (see ``docs/static_analysis.md``):
+
+========  ==========================  =====================================
+Code      Name                        Invariant
+========  ==========================  =====================================
+ECG001    wall-clock-read             simulated NetworkModel clock is the
+                                      time oracle in engine/, mp/, core/
+ECG002    unseeded-randomness         RNG is an injected seeded Generator
+ECG003    unsorted-state-iteration    worker/channel/partition dict state
+                                      iterates in sorted (or pragma'd
+                                      canonical) order
+ECG004    shared-lifecycle            SharedMemory/process owners define
+                                      close()/shutdown()
+ECG005    decode-discipline           wire decoders raise ValueError on
+                                      malformed input
+ECG006    pickle-eval                 no pickle/eval on wire/checkpoint
+                                      bytes
+ECG007    config-drift                config fields validated and
+                                      documented
+========  ==========================  =====================================
+
+Suppression: ``# ecg: ignore[ECGxxx] reason`` on the finding's line.
+"""
+
+from repro.lintrules.base import Finding, ModuleInfo, Pragma, Rule
+from repro.lintrules.runner import (
+    ALL_RULES,
+    LintReport,
+    format_json,
+    format_text,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Pragma",
+    "Rule",
+    "format_json",
+    "format_text",
+    "run_lint",
+]

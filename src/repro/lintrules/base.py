@@ -1,0 +1,225 @@
+"""Core machinery of the ``repro lint`` invariant checker.
+
+The checker is a plain :mod:`ast` pass — no third-party dependencies —
+that enforces *repo-specific* invariants the test suite can only sample
+at runtime: the simulated clock as the single time oracle, seeded
+randomness, deterministic iteration order over distributed state,
+leak-proof shared-resource lifecycles, defensive wire decoding, and
+config/validator/doc agreement. Each rule is a small class with a
+stable ``ECGxxx`` code; findings anchor to a file and line.
+
+Suppression is explicit and audited: a finding is silenced only by a
+pragma — trailing on the finding's line, or a standalone comment on
+the line above it — that names the rule *and* carries a reason::
+
+    for key, slot in state.halo_slots.items():  # ecg: ignore[ECG003] canonical insertion order is bit-pinned
+
+A pragma without a reason, or naming an unknown code, does not
+suppress — it becomes an ``ECG000`` finding of its own, so the escape
+hatch cannot rot silently. Suppressed findings are kept (flagged
+``suppressed=True``) and reported in the summary.
+
+Scoping: rules that apply only to certain packages (``engine/``,
+``mp/``, ...) resolve a file's *package path* as the parts after the
+last ``repro`` directory component, so fixtures laid out as
+``tmp/repro/engine/x.py`` scope exactly like ``src/repro/engine/x.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Pragma",
+    "Rule",
+    "dotted_name",
+    "package_parts",
+    "parse_pragmas",
+]
+
+PRAGMA_RE = re.compile(
+    r"#\s*ecg:\s*ignore\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+CODE_RE = re.compile(r"^ECG\d{3}$")
+
+# Code reserved for checker-level problems (unparsable file, malformed
+# pragma). ECG000 findings can never be suppressed.
+META_CODE = "ECG000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+    reason: str = ""
+
+    def format_text(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{mark}"
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# ecg: ignore[...]`` comment.
+
+    A trailing pragma suppresses findings on its own line; a standalone
+    comment line suppresses findings on the line below it (so long
+    statements can carry a readable pragma above them).
+    """
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    standalone: bool = False
+
+    @property
+    def applies_to(self) -> int:
+        return self.line + 1 if self.standalone else self.line
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip()) and all(
+            CODE_RE.match(code) for code in self.codes
+        ) and bool(self.codes)
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every ``ecg: ignore`` pragma with its physical line.
+
+    Only real ``COMMENT`` tokens count — a pragma *example* quoted in a
+    docstring is text, not a suppression. Unreadable token streams fall
+    back to no pragmas (the caller reports the parse failure).
+    """
+    pragmas: list[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            part.strip() for part in match.group("codes").split(",")
+            if part.strip()
+        )
+        lineno, col = token.start
+        before = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+        pragmas.append(
+            Pragma(
+                line=lineno,
+                codes=codes,
+                reason=match.group("reason").strip(),
+                standalone=not before.strip(),
+            )
+        )
+    return pragmas
+
+
+def package_parts(path: Path) -> tuple[str, ...]:
+    """Path parts *after* the last ``repro`` directory component.
+
+    ``src/repro/engine/transport.py`` -> ``("engine", "transport.py")``;
+    files outside any ``repro`` tree resolve to just their filename, so
+    package-scoped rules stay quiet on them.
+    """
+    parts = path.parts
+    if "repro" in parts[:-1]:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return tuple(parts[idx + 1:])
+    return (path.name,)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Reconstruct ``a.b.c`` from a Name/Attribute chain ('' otherwise)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    pragmas: list[Pragma] = field(default_factory=list)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return package_parts(self.path)
+
+    @property
+    def package(self) -> str:
+        """First package component under ``repro`` ('' for bare files)."""
+        parts = self.parts
+        return parts[0] if len(parts) > 1 else ""
+
+    def in_packages(self, *packages: str) -> bool:
+        return self.package in packages
+
+    def finding(
+        self, code: str, message: str, node: ast.AST | None = None,
+        line: int = 0, col: int = 0,
+    ) -> Finding:
+        if node is not None:
+            line = getattr(node, "lineno", line)
+            col = getattr(node, "col_offset", col)
+        return Finding(
+            code=code, message=message, path=self.display_path,
+            line=line, col=col,
+        )
+
+
+class Rule:
+    """Base class: one invariant, one stable code.
+
+    Subclasses set ``code``/``name``/``summary`` and implement
+    :meth:`check`, yielding findings for one module. The module
+    docstring of each rule is its user-facing documentation.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def walk(self, module: ModuleInfo) -> Iterable[ast.AST]:
+        return ast.walk(module.tree)

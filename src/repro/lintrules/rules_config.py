@@ -1,0 +1,111 @@
+"""ECG007 — config fields, validators and docs move together.
+
+The run configs (``ECGraphConfig``, ``FaultConfig``, ``ObsConfig``,
+``ModelConfig``) are frozen dataclasses whose ``__post_init__``
+validators are the only thing standing between a typo'd sweep file and
+eight hours of garbage results. Fields added without validation (or
+documentation) drift: the dataclass accepts anything, the docstring
+lies by omission, and the failure surfaces as NaNs three layers down.
+
+For every ``@dataclass``-decorated class whose name ends in ``Config``,
+each field must:
+
+* be *referenced* in ``__post_init__`` (as ``self.<field>`` or a
+  local use of the name) — i.e. participate in validation. ``bool``
+  fields are exempt (every bool is valid) and so are nested ``*Config``
+  fields (their own ``__post_init__`` runs first); and
+* appear by name in the class docstring (the ``Attributes:`` section).
+
+A class with unvalidated fields and no ``__post_init__`` at all is
+flagged once per field, anchored to the field line so a narrowly scoped
+pragma can exempt a genuinely unconstrained field (with its reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintrules.base import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = ["ConfigDriftRule"]
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if dotted_name(target).rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _exempt_annotation(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return True
+    text = ast.unparse(annotation)
+    return "bool" in text or "Config" in text or "ClassVar" in text
+
+
+def _validated_names(post_init: ast.AST | None) -> set[str]:
+    if post_init is None:
+        return set()
+    names: set[str] = set()
+    for node in ast.walk(post_init):
+        if isinstance(node, ast.Attribute) and (
+            isinstance(node.value, ast.Name) and node.value.id == "self"
+        ):
+            names.add(node.attr)
+    return names
+
+
+class ConfigDriftRule(Rule):
+    """Every config field must appear in its validator and its docs."""
+
+    code = "ECG007"
+    name = "config-drift"
+    summary = (
+        "config dataclass field missing from __post_init__ validation "
+        "or from the class docstring"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in self.walk(module):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not cls.name.endswith("Config") or not _is_dataclass(cls):
+                continue
+            post_init = next(
+                (
+                    item for item in cls.body
+                    if isinstance(item, ast.FunctionDef)
+                    and item.name == "__post_init__"
+                ),
+                None,
+            )
+            validated = _validated_names(post_init)
+            docstring = ast.get_docstring(cls) or ""
+            for item in cls.body:
+                if not isinstance(item, ast.AnnAssign):
+                    continue
+                if not isinstance(item.target, ast.Name):
+                    continue
+                name = item.target.id
+                if name.startswith("_"):
+                    continue
+                if name not in docstring:
+                    yield module.finding(
+                        self.code,
+                        f"{cls.name}.{name} is not documented in the "
+                        "class docstring (Attributes section)",
+                        item,
+                    )
+                if _exempt_annotation(item.annotation):
+                    continue
+                if name not in validated:
+                    yield module.finding(
+                        self.code,
+                        f"{cls.name}.{name} is never referenced in "
+                        "__post_init__; add validation or pragma why the "
+                        "field is unconstrained",
+                        item,
+                    )

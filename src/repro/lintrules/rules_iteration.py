@@ -1,0 +1,152 @@
+"""ECG003 — iterate distributed state in a defined order.
+
+The engine's bit-identity guarantee (same losses on the sync and
+multiprocess backends, goldens pinned across machines) rests on every
+reduction over per-worker / per-channel / per-partition state visiting
+elements in a *defined* order: float accumulation does not commute, and
+message interleavings follow iteration order. Python dicts preserve
+insertion order, but insertion order is itself a moving part — it
+changes when channels are rebuilt after a membership event or primed in
+a different sequence by another backend.
+
+This rule flags ``for`` loops and comprehensions in ``engine/``,
+``mp/`` and ``membership/`` whose iterable is worker/channel/partition
+dict state without a ``sorted(...)`` wrapper. Two shapes count:
+
+* ``.items()``/``.keys()``/``.values()`` calls on a name matching the
+  state vocabulary below (those methods are unambiguous dict
+  evidence);
+* bare-name iteration (``for k in d:``) over a vocabulary-matching
+  name that the *same module* shows to be a dict — a ``dict[...]``
+  annotation or a ``{}``/``dict()`` assignment — so ordered lists
+  named ``workers`` or ``sessions`` stay quiet.
+
+Two legitimate outcomes exist for a finding:
+
+* wrap the iterable in ``sorted(...)`` (keys are ints, tuples or
+  strings everywhere in this repo, so sorting is total and cheap); or
+* pragma it with the reason the order is *already* canonical — e.g.
+  ``halo_slots`` insertion order is the bit-pinned channel plan order,
+  and sorting it would change float accumulation and break the goldens.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lintrules.base import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = ["UnsortedIterationRule"]
+
+_SCOPED_PACKAGES = ("engine", "mp", "membership")
+_DICT_METHODS = {"items", "keys", "values"}
+# Vocabulary of distributed-state containers in this repo. Matched
+# against the terminal name of the iterable, underscores stripped.
+_STATE_NAME = re.compile(
+    r"(worker|channel|chan\b|partition|custodian|conn|proc\b|procs|"
+    r"request|slot|residual|trend|shipped|segment|session|member|"
+    r"pending|adopt|stall)",
+)
+
+
+def _terminal_name(node: ast.AST) -> str:
+    name = dotted_name(node)
+    return name.rsplit(".", 1)[-1].lstrip("_").lower() if name else ""
+
+
+def _is_sorted_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("sorted", "enumerate", "reversed", "list", "tuple")
+        and bool(node.args)
+        and _is_sorted_call(node.args[0])
+    ) or (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    )
+
+
+class UnsortedIterationRule(Rule):
+    """No unordered iteration over distributed dict state."""
+
+    code = "ECG003"
+    name = "unsorted-state-iteration"
+    summary = (
+        "iteration over worker/channel/partition dict state without "
+        "sorted(...); nondeterministic float accumulation hazard"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_packages(*_SCOPED_PACKAGES):
+            return
+        dict_names = self._dict_evidence(module)
+        for node in self.walk(module):
+            iters: list[tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append((node, node.iter))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(
+                    (node, gen.iter) for gen in node.generators
+                )
+            for anchor, iterable in iters:
+                hit = self._state_iterable(iterable, dict_names)
+                if hit is not None:
+                    yield module.finding(
+                        self.code,
+                        f"unordered iteration over {hit!r}; wrap in "
+                        "sorted(...) or pragma why the order is canonical",
+                        anchor,
+                    )
+
+    @staticmethod
+    def _dict_evidence(module: ModuleInfo) -> set[str]:
+        """Terminal names this module shows to be dicts."""
+        names: set[str] = set()
+
+        def _targets(node: ast.AST) -> Iterator[str]:
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                name = dotted_name(node).rsplit(".", 1)[-1]
+                if name:
+                    yield name
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AnnAssign):
+                text = ast.unparse(node.annotation).lower()
+                if "dict" in text:
+                    names.update(_targets(node.target))
+            elif isinstance(node, ast.Assign):
+                value = node.value
+                is_dict = isinstance(value, ast.Dict) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "dict"
+                )
+                if is_dict:
+                    for target in node.targets:
+                        names.update(_targets(target))
+        return names
+
+    def _state_iterable(
+        self, node: ast.AST, dict_names: set[str]
+    ) -> str | None:
+        """Name of the offending state container, or None if clean."""
+        if _is_sorted_call(node):
+            return None
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _DICT_METHODS and not node.args:
+                name = _terminal_name(node.func.value)
+                if name and _STATE_NAME.search(name):
+                    return f"{dotted_name(node.func.value)}.{node.func.attr}()"
+            return None
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = _terminal_name(node)
+            raw = dotted_name(node).rsplit(".", 1)[-1]
+            if name and raw in dict_names and _STATE_NAME.search(name):
+                return dotted_name(node)
+        return None

@@ -1,0 +1,72 @@
+"""ECG004 — shared resources need an explicit teardown method.
+
+``/dev/shm`` segments and forked worker processes outlive the Python
+objects that created them: a class that allocates
+``multiprocessing.shared_memory`` blocks, builds a ``SharedStore``, or
+spawns processes/threads and relies on ``__del__`` for cleanup leaks
+segments on interpreter crash and orphans children on exception paths
+(the exact failure PR 7 burned review cycles on).
+
+Any class whose methods construct one of the tracked resources —
+``SharedMemory``, ``SharedStore``, ``Process``, ``Thread``, ``Popen``,
+``Pool`` — must define an idempotent ``close()`` (or the repo's
+equivalent ``shutdown()``) so callers can route teardown through
+``trainer.close()``-style chains and ``atexit`` hooks have a single
+entry point. ``__del__`` alone does not satisfy the rule: finalizer
+order during interpreter shutdown is undefined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintrules.base import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = ["SharedLifecycleRule"]
+
+_RESOURCE_CONSTRUCTORS = {
+    "SharedMemory", "SharedStore", "Process", "Thread", "Popen", "Pool",
+}
+_TEARDOWN_METHODS = {"close", "shutdown"}
+
+
+class SharedLifecycleRule(Rule):
+    """Classes creating shared memory / processes must define close()."""
+
+    code = "ECG004"
+    name = "shared-lifecycle"
+    summary = (
+        "class allocates SharedMemory/SharedStore or spawns "
+        "processes/threads but defines no close()/shutdown() teardown"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in self.walk(module):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            acquired = self._acquired_resources(node)
+            if not acquired:
+                continue
+            methods = {
+                item.name for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if not (methods & _TEARDOWN_METHODS):
+                yield module.finding(
+                    self.code,
+                    f"class {node.name} creates {', '.join(sorted(acquired))} "
+                    "but defines no close()/shutdown() teardown method",
+                    node,
+                )
+
+    @staticmethod
+    def _acquired_resources(cls: ast.ClassDef) -> set[str]:
+        acquired: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                terminal = name.rsplit(".", 1)[-1]
+                if terminal in _RESOURCE_CONSTRUCTORS:
+                    acquired.add(terminal)
+        return acquired

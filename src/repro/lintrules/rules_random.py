@@ -1,0 +1,102 @@
+"""ECG002 — randomness must flow from an injected, seeded Generator.
+
+Every stochastic choice in the repro — graph generation, feature
+synthesis, neighbour sampling, fault injection, parameter init — is
+derived from ``ECGraphConfig.seed`` through ``np.random.default_rng``
+(or a ``SeedSequence`` spawn of it). Two call families break that chain
+and are banned anywhere under ``src/repro``:
+
+* the *legacy* numpy module-level RNG (``np.random.rand``,
+  ``np.random.randint``, ``np.random.seed``, ...), whose hidden global
+  state couples unrelated call sites and is not spawn-safe across the
+  multiprocess backend;
+* the stdlib ``random`` module's module-level functions (``random.random``,
+  ``random.shuffle``, ...) and ``from random import ...`` imports.
+
+``np.random.default_rng``, ``np.random.Generator``, ``np.random.
+SeedSequence`` and friends are the sanctioned constructors; stdlib
+``random.Random(seed)`` instances are likewise allowed (it is the
+module-level global that is banned, not the class).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintrules.base import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = ["UnseededRandomRule"]
+
+# np.random attributes that are *not* hidden-global-state hazards.
+_NP_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+}
+# stdlib random attributes that construct explicit instances.
+_STDLIB_ALLOWED = {"Random", "SystemRandom"}
+
+
+class UnseededRandomRule(Rule):
+    """No module-level RNG state anywhere in ``src/repro``."""
+
+    code = "ECG002"
+    name = "unseeded-randomness"
+    summary = (
+        "module-level RNG (np.random.* legacy API or bare random.*); "
+        "inject a seeded np.random.Generator instead"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        stdlib_aliases = {"random"}
+        for node in self.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        stdlib_aliases.add(alias.asname or "random")
+        for node in self.walk(module):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield module.finding(
+                        self.code,
+                        "from random import ... pulls module-level RNG "
+                        "state; inject a seeded Generator",
+                        node,
+                    )
+                elif node.module in ("numpy.random", "np.random"):
+                    banned = [
+                        alias.name for alias in node.names
+                        if alias.name not in _NP_RANDOM_ALLOWED
+                    ]
+                    if banned:
+                        yield module.finding(
+                            self.code,
+                            "importing legacy numpy RNG functions "
+                            f"({', '.join(banned)}); use default_rng",
+                            node,
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[-2] == "random" and (
+                parts[-3] in ("np", "numpy")
+            ):
+                if parts[-1] not in _NP_RANDOM_ALLOWED:
+                    yield module.finding(
+                        self.code,
+                        f"legacy global-state RNG call {name}(); use an "
+                        "injected np.random.default_rng(seed) Generator",
+                        node,
+                    )
+            elif len(parts) == 2 and parts[0] in stdlib_aliases:
+                if parts[1] not in _STDLIB_ALLOWED:
+                    yield module.finding(
+                        self.code,
+                        f"stdlib module-level RNG call {name}(); "
+                        "construct random.Random(seed) or use numpy",
+                        node,
+                    )

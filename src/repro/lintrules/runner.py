@@ -1,0 +1,241 @@
+"""Run the ECG rule set over source trees and format the results.
+
+:func:`run_lint` is the single entry point the CLI (``repro lint``)
+and the tests share: collect ``.py`` files, parse each once, hand the
+module to every selected rule, then apply same-line pragmas. Pragmas
+are themselves audited — an invalid pragma (no reason, unknown code)
+or one that suppresses nothing becomes an ``ECG000`` finding, so the
+escape hatch cannot rot silently.
+
+Exit-code contract: 0 when every finding is suppressed by a reasoned
+pragma (or there are none), 1 when any finding stands, 2 on usage
+errors (unknown rule code, missing path).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lintrules.base import (
+    META_CODE,
+    Finding,
+    ModuleInfo,
+    Rule,
+    parse_pragmas,
+)
+from repro.lintrules.rules_clock import WallClockRule
+from repro.lintrules.rules_config import ConfigDriftRule
+from repro.lintrules.rules_decode import DecodeDisciplineRule
+from repro.lintrules.rules_iteration import UnsortedIterationRule
+from repro.lintrules.rules_lifecycle import SharedLifecycleRule
+from repro.lintrules.rules_random import UnseededRandomRule
+from repro.lintrules.rules_serialization import SerializationRule
+
+__all__ = ["ALL_RULES", "LintReport", "run_lint", "format_text", "format_json"]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    WallClockRule,
+    UnseededRandomRule,
+    UnsortedIterationRule,
+    SharedLifecycleRule,
+    DecodeDisciplineRule,
+    SerializationRule,
+    ConfigDriftRule,
+)
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[Rule] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                files.append(candidate)
+    return files
+
+
+def _resolve_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    known = {cls.code: cls for cls in ALL_RULES}
+    selected = list(select) if select else sorted(known)
+    for code in list(selected) + list(ignore or []):
+        if code not in known:
+            raise ValueError(
+                f"unknown rule code {code!r}; known: {', '.join(sorted(known))}"
+            )
+    ignored = set(ignore or [])
+    return [known[code]() for code in selected if code not in ignored]
+
+
+def _apply_pragmas(
+    module: ModuleInfo,
+    findings: list[Finding],
+    active_codes: frozenset[str],
+) -> list[Finding]:
+    """Suppress same-line findings; audit the pragmas themselves.
+
+    Staleness is judged only against ``active_codes`` — the rules this
+    run actually executed. A pragma for a rule excluded by
+    ``--select``/``--ignore`` is not stale, it is simply out of scope,
+    so narrowing a run never manufactures ECG000 findings.
+    """
+    out: list[Finding] = []
+    valid_by_line: dict[int, dict[str, str]] = {}
+    for pragma in module.pragmas:
+        if not pragma.valid:
+            out.append(
+                Finding(
+                    code=META_CODE,
+                    message=(
+                        "malformed ecg pragma: needs ECGxxx codes and a "
+                        "non-empty reason"
+                    ),
+                    path=module.display_path,
+                    line=pragma.line,
+                )
+            )
+            continue
+        line_map = valid_by_line.setdefault(pragma.applies_to, {})
+        for code in pragma.codes:
+            line_map[code] = pragma.reason
+    used: set[tuple[int, str]] = set()
+    for finding in findings:
+        reason = valid_by_line.get(finding.line, {}).get(finding.code)
+        if reason is not None and finding.code != META_CODE:
+            used.add((finding.line, finding.code))
+            out.append(
+                Finding(
+                    code=finding.code,
+                    message=finding.message,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    suppressed=True,
+                    reason=reason,
+                )
+            )
+        else:
+            out.append(finding)
+    for line, codes in sorted(valid_by_line.items()):
+        for code in sorted(codes):
+            if code in active_codes and (line, code) not in used:
+                out.append(
+                    Finding(
+                        code=META_CODE,
+                        message=(
+                            f"pragma suppresses {code} but no such finding "
+                            "fires on this line; delete the stale pragma"
+                        ),
+                        path=module.display_path,
+                        line=line,
+                    )
+                )
+    return out
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint ``paths`` with the selected rules; never raises on findings."""
+    rules = _resolve_rules(select, ignore)
+    active_codes = frozenset(rule.code for rule in rules)
+    report = LintReport(rules_run=rules)
+    for path in _collect_files(paths):
+        report.files_checked += 1
+        display = str(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    code=META_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                    path=display,
+                    line=exc.lineno or 0,
+                )
+            )
+            continue
+        module = ModuleInfo(
+            path=path,
+            display_path=display,
+            source=source,
+            tree=tree,
+            pragmas=parse_pragmas(source),
+        )
+        findings: list[Finding] = []
+        for rule in rules:
+            findings.extend(rule.check(module))
+        report.findings.extend(_apply_pragmas(module, findings, active_codes))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
+
+
+def format_text(report: LintReport) -> str:
+    lines = [finding.format_text() for finding in report.findings]
+    active, suppressed = report.active, report.suppressed
+    lines.append(
+        f"checked {report.files_checked} files with "
+        f"{len(report.rules_run)} rules: {len(active)} finding(s), "
+        f"{len(suppressed)} suppressed by pragma"
+    )
+    for finding in suppressed:
+        lines.append(
+            f"  suppressed {finding.code} at {finding.path}:{finding.line}"
+            f" — {finding.reason}"
+        )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "rules": [
+            {"code": rule.code, "name": rule.name, "summary": rule.summary}
+            for rule in report.rules_run
+        ],
+        "findings": [finding.as_json() for finding in report.findings],
+        "counts": {
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+        },
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -198,6 +198,7 @@ class PartitionReassigner:
         halo = np.zeros(
             (state.num_halo, ctx.graph.feature_dim), dtype=np.float32
         )
+        # ecg: ignore[ECG003] halo_slots insertion order IS the bit-pinned channel plan order; refetch must scatter rows in plan order
         for owner, slots in state.halo_slots.items():
             responder = ctx.workers[owner]
             rows = responder.features[responder.serves[state.worker_id]]
@@ -329,7 +330,7 @@ class PartitionReassigner:
             return  # full-batch backends never respond with a subset
         for layer in range(2, ctx.params.num_layers + 1):
             for state in ctx.workers:
-                for owner, wanted in state.requests.items():
+                for owner, wanted in sorted(state.requests.items()):
                     key = ChannelKey(
                         layer=layer,
                         responder=owner,

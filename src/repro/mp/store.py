@@ -31,6 +31,7 @@ import secrets
 import struct
 import weakref
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -77,7 +78,7 @@ def _encode_header(dtype: np.dtype, shape: tuple[int, ...],
                         len(shape), *padded, generation)
 
 
-def _decode_header(buf) -> tuple[np.dtype, tuple[int, ...], int]:
+def _decode_header(buf: memoryview) -> tuple[np.dtype, tuple[int, ...], int]:
     magic, version, dts, ndim, *rest = _HEADER.unpack(bytes(buf[:HEADER_BYTES]))
     if magic != _MAGIC:
         raise ValueError("shared segment is not a SharedStore array "
@@ -102,7 +103,7 @@ class StoreLayout:
         token: str,
         arrays: dict[str, tuple[tuple[int, ...], str]],
         files: dict[str, str] | None = None,
-    ):
+    ) -> None:
         self.token = token
         self.arrays = arrays
         self.files = dict(files or {})
@@ -118,7 +119,7 @@ class SharedStore:
             attach mode (``create=False``) maps existing ones by name.
     """
 
-    def __init__(self, token: str | None = None, create: bool = True):
+    def __init__(self, token: str | None = None, create: bool = True) -> None:
         self.token = token or f"ecg{secrets.token_hex(4)}"
         self.create = create
         self._segments: dict[str, shared_memory.SharedMemory] = {}
@@ -134,8 +135,12 @@ class SharedStore:
         slug = name.replace("/", "-")
         return f"{self.token}-{slug}"
 
-    def allocate(self, name: str, shape: tuple[int, ...],
-                 dtype=np.float32) -> np.ndarray:
+    def allocate(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+    ) -> np.ndarray:
         """Create one named array (creator mode); returns its view."""
         if not self.create:
             raise RuntimeError("attach-mode stores cannot allocate")
@@ -160,7 +165,7 @@ class SharedStore:
             self._atexit_registered = True
         return view
 
-    def map_npy(self, name: str, path) -> np.ndarray:
+    def map_npy(self, name: str, path: str | Path) -> np.ndarray:
         """Alias an on-disk npy file as a read-only named array.
 
         Unlike :meth:`allocate`, nothing is copied into ``/dev/shm``:
@@ -292,7 +297,7 @@ class SharedStore:
         # unlinked (the graph store on disk owns them).
         self._views.clear()
         self._files.clear()
-        for shm in self._segments.values():
+        for _, shm in sorted(self._segments.items()):
             try:
                 shm.close()
             except Exception:
@@ -325,7 +330,7 @@ class SharedStore:
         self._closed = True
         self._views.clear()
         self._files.clear()
-        for shm in self._segments.values():
+        for _, shm in sorted(self._segments.items()):
             try:
                 shm.close()
             except Exception:
@@ -341,10 +346,10 @@ class SharedStore:
     def __enter__(self) -> "SharedStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def __del__(self):
+    def __del__(self) -> None:
         try:
             self.close()
         except Exception:

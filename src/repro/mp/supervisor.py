@@ -29,11 +29,19 @@ already-recovered supervisor state) is handled by
 from __future__ import annotations
 
 import multiprocessing
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.mp.store import SharedStore
 from repro.mp.worker import worker_main
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from repro.core.worker import WorkerState
+    from repro.engine.backends import ModelBackend
+    from repro.engine.context import ExchangeContext
 
 __all__ = ["ProcessChannelBuffers", "ProcessExecutor"]
 
@@ -48,7 +56,7 @@ class ProcessChannelBuffers:
     share one ``h`` block per worker.
     """
 
-    def __init__(self, store: SharedStore):
+    def __init__(self, store: SharedStore) -> None:
         self.store = store
         # id(view) -> block name, so the executor can recognize arrays it
         # handed to the transport and ship them to workers by name.
@@ -58,7 +66,9 @@ class ProcessChannelBuffers:
     def _name(kind: str, worker: int, dim: int) -> str:
         return f"{kind}{worker}d{dim}"
 
-    def _block(self, kind: str, worker: int, rows: int, dim: int):
+    def _block(
+        self, kind: str, worker: int, rows: int, dim: int
+    ) -> tuple[str | None, np.ndarray | None]:
         name = self._name(kind, worker, dim)
         if name in self.store:
             view = self.store.view(name)
@@ -69,7 +79,9 @@ class ProcessChannelBuffers:
         self._names[id(view)] = name
         return name, view
 
-    def provide(self, kind: str, worker: int, rows: int, dim: int):
+    def provide(
+        self, kind: str, worker: int, rows: int, dim: int
+    ) -> np.ndarray | None:
         """``HaloTransport.buffer_provider`` hook: a zeroed shared block,
         or ``None`` to fall back to a private buffer."""
         _, view = self._block(kind, worker, rows, dim)
@@ -101,12 +113,12 @@ class ProcessExecutor:
     name = "multiprocess"
 
     def __init__(self) -> None:
-        self.ctx = None
-        self.backend = None
+        self.ctx: ExchangeContext | None = None
+        self.backend: ModelBackend | None = None
         self.store: SharedStore | None = None
         self.buffers: ProcessChannelBuffers | None = None
         self._procs: dict[int, multiprocessing.Process] = {}
-        self._conns: dict[int, object] = {}
+        self._conns: dict[int, Connection] = {}
         self._shipped_version: dict[int, int] = {}
         self._spawned = False
         self._closed = False
@@ -114,7 +126,7 @@ class ProcessExecutor:
     # ------------------------------------------------------------------
     # lifecycle
 
-    def bind(self, ctx, backend) -> None:
+    def bind(self, ctx: ExchangeContext, backend: ModelBackend) -> None:
         self.ctx = ctx
         self.backend = backend
         self.store = SharedStore()
@@ -169,7 +181,7 @@ class ProcessExecutor:
 
     @property
     def worker_pids(self) -> dict[int, int]:
-        return {w: proc.pid for w, proc in self._procs.items()}
+        return {w: proc.pid for w, proc in sorted(self._procs.items())}
 
     def _publish_pids(self) -> None:
         set_pids = getattr(
@@ -182,17 +194,17 @@ class ProcessExecutor:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns.values():
+        for _, conn in sorted(self._conns.items()):
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self._procs.values():
+        for _, proc in sorted(self._procs.items()):
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.kill()
                 proc.join(timeout=5)
-        for conn in self._conns.values():
+        for _, conn in sorted(self._conns.items()):
             try:
                 conn.close()
             except OSError:
@@ -226,7 +238,7 @@ class ProcessExecutor:
     # ------------------------------------------------------------------
     # round protocol
 
-    def _send(self, worker_id: int, msg) -> None:
+    def _send(self, worker_id: int, msg: tuple[Any, ...]) -> None:
         try:
             self._conns[worker_id].send(msg)
         except (BrokenPipeError, OSError) as exc:
@@ -236,7 +248,7 @@ class ProcessExecutor:
                 f"(exitcode {proc.exitcode})"
             ) from exc
 
-    def _recv(self, worker_id: int):
+    def _recv(self, worker_id: int) -> tuple[Any, float]:
         try:
             reply = self._conns[worker_id].recv()
         except EOFError as exc:
@@ -252,7 +264,9 @@ class ProcessExecutor:
             )
         return payload, wall
 
-    def _halo_ref(self, state, halo: np.ndarray):
+    def _halo_ref(
+        self, state: WorkerState, halo: np.ndarray
+    ) -> tuple[Any, ...]:
         name = self.buffers.name_of(halo)
         if name is not None:
             return ("shm", name)
@@ -269,7 +283,7 @@ class ProcessExecutor:
         version = getattr(self.backend, "kernel_version", 0)
         stale = [
             w
-            for w, shipped in self._shipped_version.items()
+            for w, shipped in sorted(self._shipped_version.items())
             if shipped != version
         ]
         for w in stale:
@@ -288,7 +302,15 @@ class ProcessExecutor:
         for state in self.ctx.active_workers():
             self._recv(state.worker_id)
 
-    def forward_kernels(self, t, layer, pulled, halos, *, is_last) -> None:
+    def forward_kernels(
+        self,
+        t: int,
+        layer: int,
+        pulled: list[dict[str, np.ndarray]],
+        halos: list[np.ndarray],
+        *,
+        is_last: bool,
+    ) -> None:
         del t
         ctx = self.ctx
         for state in ctx.active_workers():
@@ -309,7 +331,7 @@ class ProcessExecutor:
             _, wall = self._recv(state.worker_id)
             ctx.runtime.add_compute(state.worker_id, wall)
 
-    def loss_scan(self, t):
+    def loss_scan(self, t: int) -> tuple[float, dict[str, list[int]]]:
         del t
         ctx = self.ctx
         num_layers = ctx.params.num_layers
@@ -333,7 +355,13 @@ class ProcessExecutor:
                 counters[split][1] += worker_counters[split][1]
         return total_loss, counters
 
-    def backward_local(self, t, layer, weights, grads) -> None:
+    def backward_local(
+        self,
+        t: int,
+        layer: int,
+        weights: dict[str, np.ndarray],
+        grads: dict[int, dict[str, np.ndarray]],
+    ) -> None:
         del t
         ctx = self.ctx
         export_dim = self.backend.bp_halo_export_dim(layer)
@@ -350,7 +378,13 @@ class ProcessExecutor:
             ctx.runtime.add_compute(state.worker_id, wall)
             grads[state.worker_id].update(shares)
 
-    def backward_reduce(self, t, layer, weights, halos) -> None:
+    def backward_reduce(
+        self,
+        t: int,
+        layer: int,
+        weights: dict[str, np.ndarray],
+        halos: list[np.ndarray],
+    ) -> None:
         del t
         ctx = self.ctx
         for state in ctx.active_workers():
@@ -373,17 +407,17 @@ class ProcessExecutor:
     # ------------------------------------------------------------------
     # row sources for the supervisor-side exchanges
 
-    def layer_rows(self, state, layer: int) -> np.ndarray:
+    def layer_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         return self.buffers.view_of(
             "h", state.worker_id, self.ctx.params.dims[layer]
         )
 
-    def grad_rows(self, state, layer: int) -> np.ndarray:
+    def grad_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         return self.buffers.view_of(
             "g", state.worker_id, self.ctx.params.dims[layer]
         )
 
-    def bp_halo_rows(self, state, layer: int) -> np.ndarray:
+    def bp_halo_rows(self, state: WorkerState, layer: int) -> np.ndarray:
         return self.buffers.view_of(
             "dhh", state.worker_id, self.ctx.params.dims[layer - 1]
         )

@@ -30,6 +30,7 @@ never unlink shared segments the supervisor still owns.
 from __future__ import annotations
 
 import traceback
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -37,10 +38,19 @@ from repro.mp.store import SharedStore, disarm_inherited_stores
 from repro.nn.losses import softmax_cross_entropy
 from repro.obs.tracing import monotonic_now
 
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from repro.core.worker import WorkerState
+    from repro.engine.backends import ModelBackend
+    from repro.engine.context import ExchangeContext
+
 __all__ = ["worker_main"]
 
 
-def _resolve_halo(ref, state, store: SharedStore) -> np.ndarray:
+def _resolve_halo(
+    ref: tuple[Any, ...], state: WorkerState, store: SharedStore
+) -> np.ndarray:
     """Materialize a halo reference from a round's dispatch message."""
     kind = ref[0]
     if kind == "shm":
@@ -53,7 +63,13 @@ def _resolve_halo(ref, state, store: SharedStore) -> np.ndarray:
     return ref[1]
 
 
-def _dispatch(msg, state, backend, ctx, store: SharedStore):
+def _dispatch(
+    msg: tuple[Any, ...],
+    state: WorkerState,
+    backend: ModelBackend,
+    ctx: ExchangeContext,
+    store: SharedStore,
+) -> tuple[Any, float]:
     num_layers = ctx.params.num_layers
     op = msg[0]
 
@@ -133,7 +149,13 @@ def _dispatch(msg, state, backend, ctx, store: SharedStore):
     raise ValueError(f"unknown worker op {op!r}")
 
 
-def worker_main(worker_id: int, conn, token: str, ctx, backend) -> None:
+def worker_main(
+    worker_id: int,
+    conn: Connection,
+    token: str,
+    ctx: ExchangeContext,
+    backend: ModelBackend,
+) -> None:
     """Serve kernel rounds for one worker until ``stop`` or EOF."""
     disarm_inherited_stores()
     store = SharedStore(token, create=False)

@@ -5,13 +5,23 @@ This package replaces the PyTorch computation backend of the original
 EC-Graph implementation with plain numpy (see DESIGN.md section 2).
 """
 
-from repro.nn.activations import Activation, get_activation
+from repro.nn.activations import ACTIVATION_NAMES, Activation, get_activation
 from repro.nn.init import get_initializer, glorot_uniform
 from repro.nn.losses import LossResult, log_softmax, softmax, softmax_cross_entropy
 from repro.nn.metrics import accuracy, macro_f1, micro_f1
-from repro.nn.optim import SGD, Adam, AdaGrad, Momentum, Optimizer, make_optimizer
+from repro.nn.optim import (
+    OPTIMIZER_NAMES,
+    SGD,
+    Adam,
+    AdaGrad,
+    Momentum,
+    Optimizer,
+    make_optimizer,
+)
 
 __all__ = [
+    "ACTIVATION_NAMES",
+    "OPTIMIZER_NAMES",
     "Activation",
     "get_activation",
     "get_initializer",

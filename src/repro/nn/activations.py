@@ -111,6 +111,9 @@ _REGISTRY = {
     act.name: act for act in (relu, leaky_relu, tanh, sigmoid, identity, elu)
 }
 
+# Public registry surface: the names configs may validate against.
+ACTIVATION_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
+
 
 def get_activation(name: str) -> Activation:
     """Look up an activation by name, failing loudly on typos."""

@@ -175,6 +175,9 @@ _OPTIMIZERS = {
     "adagrad": AdaGrad,
 }
 
+# Public registry surface: the names configs may validate against.
+OPTIMIZER_NAMES: tuple[str, ...] = tuple(sorted(_OPTIMIZERS))
+
 
 def make_optimizer(name: str, lr: float, **kwargs) -> Optimizer:
     """Build an optimizer by registry name (``adam`` is the paper default)."""

@@ -67,5 +67,7 @@ class TestBuildParameters:
         assert params.activation.name == "tanh"
 
     def test_unknown_activation_fails_fast(self):
-        with pytest.raises(KeyError):
-            build_parameters(ModelConfig(activation="swishy"), 10, 3)
+        # Typos are rejected at config construction (ECG007: every field
+        # validated), before any model is built.
+        with pytest.raises(ValueError, match="swishy"):
+            ModelConfig(activation="swishy")

@@ -185,7 +185,7 @@ class TestAdjacencyIteration:
         ):
             cursor = 0
             indices_parts = []
-            for start, stop, indices, weights in store.iter_adjacency():
+            for start, stop, indices, _weights in store.iter_adjacency():
                 assert start == cursor
                 expected = int(store.indptr[stop] - store.indptr[start])
                 assert indices.shape[0] == expected
